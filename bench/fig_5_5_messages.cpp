@@ -1,0 +1,30 @@
+// Fig. 5.5: monitoring-message overhead for properties D, E and F (same
+// settings as Fig. 5.4: CommMu = 3 s, EvtMu = 3 s, 2-5 processes).
+// Headline claims to reproduce: D and F grow linearly with the events, E
+// behaves like B (single outgoing transition => sub-linear growth).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace decmon;
+  using namespace decmon::bench;
+
+  const paper::Property props[] = {paper::Property::kD, paper::Property::kE,
+                                   paper::Property::kF};
+  for (paper::Property p : props) {
+    std::printf("Property %s  (CommMu=3s CommSigma=1s EvtMu=3s EvtSigma=1s)\n",
+                paper::name(p).c_str());
+    std::printf("  %-10s %10s %10s %12s %12s %8s\n", "processes", "events",
+                "mon.msgs", "log10(evts)", "log10(msgs)", "msg/evt");
+    for (int n = 2; n <= 5; ++n) {
+      Cell c = run_cell(p, n, 3.0, true);
+      std::printf("  %-10d %10.1f %10.1f %12.3f %12.3f %8.3f\n", n, c.events,
+                  c.monitor_messages, log_scale(c.events),
+                  log_scale(c.monitor_messages),
+                  c.events > 0 ? c.monitor_messages / c.events : 0.0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

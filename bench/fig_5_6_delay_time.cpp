@@ -1,0 +1,57 @@
+// Fig. 5.6: detection latency measured as the paper's normalized delay-time
+// percentage, ((MonitorExtraTime / ProgramTime) * 100) / TotalGlobalViews,
+// for all six properties over 2-5 processes.
+// Headline claims to reproduce: delay grows with the number of processes
+// for the complex properties (A, C, D, F), while B and E stay low thanks to
+// their single outgoing transition.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace decmon;
+  using namespace decmon::bench;
+
+  // Compute each experimental cell exactly once.
+  Cell cells[6][6];
+  for (paper::Property p : paper::kAllProperties) {
+    for (int n = 2; n <= 5; ++n) {
+      cells[static_cast<int>(p)][n] = run_cell(p, n, 3.0, true);
+    }
+  }
+  auto cell = [&](paper::Property p, int n) -> const Cell& {
+    return cells[static_cast<int>(p)][n];
+  };
+
+  std::printf("Fig 5.6a: delay time %% per global view (properties A-C)\n");
+  std::printf("%-10s %10s %10s %10s\n", "processes", "A", "B", "C");
+  for (int n = 2; n <= 5; ++n) {
+    std::printf("%-10d %10.4f %10.4f %10.4f\n", n,
+                cell(paper::Property::kA, n).delay_pct_per_view,
+                cell(paper::Property::kB, n).delay_pct_per_view,
+                cell(paper::Property::kC, n).delay_pct_per_view);
+  }
+  std::printf("\nFig 5.6b: delay time %% per global view (properties D-F)\n");
+  std::printf("%-10s %10s %10s %10s\n", "processes", "D", "E", "F");
+  for (int n = 2; n <= 5; ++n) {
+    std::printf("%-10d %10.4f %10.4f %10.4f\n", n,
+                cell(paper::Property::kD, n).delay_pct_per_view,
+                cell(paper::Property::kE, n).delay_pct_per_view,
+                cell(paper::Property::kF, n).delay_pct_per_view);
+  }
+  std::printf(
+      "\n(raw averages: monitor extra time over program time, seconds)\n");
+  std::printf("%-10s", "processes");
+  for (paper::Property p : paper::kAllProperties) {
+    std::printf(" %9s", paper::name(p).c_str());
+  }
+  std::printf("\n");
+  for (int n = 2; n <= 5; ++n) {
+    std::printf("%-10d", n);
+    for (paper::Property p : paper::kAllProperties) {
+      std::printf(" %9.4f", cell(p, n).monitor_extra_time);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

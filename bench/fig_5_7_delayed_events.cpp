@@ -1,0 +1,30 @@
+// Fig. 5.7: average number of events queued (delayed) at the monitors
+// behind outstanding tokens, for all six properties over 2-5 processes.
+// Headline claims to reproduce: the delay grows with the process count for
+// the multi-transition properties A, C, D, F, while B and E stay flat.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace decmon;
+  using namespace decmon::bench;
+
+  std::printf("Fig 5.7a: average delayed events (properties A-C)\n");
+  std::printf("%-10s %10s %10s %10s\n", "processes", "A", "B", "C");
+  for (int n = 2; n <= 5; ++n) {
+    std::printf("%-10d %10.3f %10.3f %10.3f\n", n,
+                run_cell(paper::Property::kA, n, 3.0, true).delayed_events,
+                run_cell(paper::Property::kB, n, 3.0, true).delayed_events,
+                run_cell(paper::Property::kC, n, 3.0, true).delayed_events);
+  }
+  std::printf("\nFig 5.7b: average delayed events (properties D-F)\n");
+  std::printf("%-10s %10s %10s %10s\n", "processes", "D", "E", "F");
+  for (int n = 2; n <= 5; ++n) {
+    std::printf("%-10d %10.3f %10.3f %10.3f\n", n,
+                run_cell(paper::Property::kD, n, 3.0, true).delayed_events,
+                run_cell(paper::Property::kE, n, 3.0, true).delayed_events,
+                run_cell(paper::Property::kF, n, 3.0, true).delayed_events);
+  }
+  return 0;
+}

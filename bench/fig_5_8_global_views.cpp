@@ -1,0 +1,32 @@
+// Fig. 5.8: memory overhead measured as the total number of global views
+// created across all monitor processes, for all six properties over 2-5
+// processes.
+// Headline claims to reproduce: growth is linear in the number of
+// processes; B and E create the fewest views (one outgoing transition),
+// the complex automaton F the most.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace decmon;
+  using namespace decmon::bench;
+
+  std::printf("Fig 5.8a: total global views created (properties A-C)\n");
+  std::printf("%-10s %10s %10s %10s\n", "processes", "A", "B", "C");
+  for (int n = 2; n <= 5; ++n) {
+    std::printf("%-10d %10.1f %10.1f %10.1f\n", n,
+                run_cell(paper::Property::kA, n, 3.0, true).global_views,
+                run_cell(paper::Property::kB, n, 3.0, true).global_views,
+                run_cell(paper::Property::kC, n, 3.0, true).global_views);
+  }
+  std::printf("\nFig 5.8b: total global views created (properties D-F)\n");
+  std::printf("%-10s %10s %10s %10s\n", "processes", "D", "E", "F");
+  for (int n = 2; n <= 5; ++n) {
+    std::printf("%-10d %10.1f %10.1f %10.1f\n", n,
+                run_cell(paper::Property::kD, n, 3.0, true).global_views,
+                run_cell(paper::Property::kE, n, 3.0, true).global_views,
+                run_cell(paper::Property::kF, n, 3.0, true).global_views);
+  }
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "decmon/automata/analysis.hpp"
+
+#include <deque>
+#include <string>
+
+namespace decmon {
+namespace {
+
+/// Mark every state that can reach a state in `seeds` (backward BFS).
+std::vector<char> backward_reach(const MonitorAutomaton& m,
+                                 const std::vector<int>& seeds) {
+  const int n = m.num_states();
+  // Reverse adjacency.
+  std::vector<std::vector<int>> pred(static_cast<std::size_t>(n));
+  for (const MonitorTransition& t : m.transitions()) {
+    if (t.from != t.to) {
+      pred[static_cast<std::size_t>(t.to)].push_back(t.from);
+    }
+  }
+  std::vector<char> reach(static_cast<std::size_t>(n), 0);
+  std::deque<int> work;
+  for (int q : seeds) {
+    if (!reach[static_cast<std::size_t>(q)]) {
+      reach[static_cast<std::size_t>(q)] = 1;
+      work.push_back(q);
+    }
+  }
+  while (!work.empty()) {
+    const int q = work.front();
+    work.pop_front();
+    for (int p : pred[static_cast<std::size_t>(q)]) {
+      if (!reach[static_cast<std::size_t>(p)]) {
+        reach[static_cast<std::size_t>(p)] = 1;
+        work.push_back(p);
+      }
+    }
+  }
+  return reach;
+}
+
+}  // namespace
+
+AutomatonAnalysis analyze_automaton(const MonitorAutomaton& m) {
+  const int n = m.num_states();
+  AutomatonAnalysis out;
+
+  std::vector<int> false_states;
+  std::vector<int> true_states;
+  std::vector<int> final_states;
+  for (int q = 0; q < n; ++q) {
+    if (m.verdict(q) == Verdict::kFalse) false_states.push_back(q);
+    if (m.verdict(q) == Verdict::kTrue) true_states.push_back(q);
+    if (m.is_final(q)) final_states.push_back(q);
+  }
+  out.can_reach_false = backward_reach(m, false_states);
+  out.can_reach_true = backward_reach(m, true_states);
+
+  // Multi-source backward BFS for distances.
+  out.distance_to_verdict.assign(static_cast<std::size_t>(n),
+                                 AutomatonAnalysis::kUnreachable);
+  std::vector<std::vector<int>> pred(static_cast<std::size_t>(n));
+  for (const MonitorTransition& t : m.transitions()) {
+    if (t.from != t.to) {
+      pred[static_cast<std::size_t>(t.to)].push_back(t.from);
+    }
+  }
+  std::deque<int> work;
+  for (int q : final_states) {
+    out.distance_to_verdict[static_cast<std::size_t>(q)] = 0;
+    work.push_back(q);
+  }
+  while (!work.empty()) {
+    const int q = work.front();
+    work.pop_front();
+    const int d = out.distance_to_verdict[static_cast<std::size_t>(q)];
+    for (int p : pred[static_cast<std::size_t>(q)]) {
+      if (out.distance_to_verdict[static_cast<std::size_t>(p)] ==
+          AutomatonAnalysis::kUnreachable) {
+        out.distance_to_verdict[static_cast<std::size_t>(p)] = d + 1;
+        work.push_back(p);
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_string(Monitorability m) {
+  switch (m) {
+    case Monitorability::kSafety: return "safety";
+    case Monitorability::kCoSafety: return "co-safety";
+    case Monitorability::kMonitorable: return "monitorable";
+    case Monitorability::kWeaklyMonitorable: return "weakly-monitorable";
+    case Monitorability::kNonMonitorable: return "non-monitorable";
+  }
+  return "?";
+}
+
+Monitorability classify(const MonitorAutomaton& m) {
+  const AutomatonAnalysis a = analyze_automaton(m);
+  // Forward reachability from the initial state.
+  const int n = m.num_states();
+  std::vector<char> reachable(static_cast<std::size_t>(n), 0);
+  std::deque<int> work{m.initial_state()};
+  reachable[static_cast<std::size_t>(m.initial_state())] = 1;
+  while (!work.empty()) {
+    const int q = work.front();
+    work.pop_front();
+    for (int id : m.transitions_from(q)) {
+      const int to = m.transition(id).to;
+      if (!reachable[static_cast<std::size_t>(to)]) {
+        reachable[static_cast<std::size_t>(to)] = 1;
+        work.push_back(to);
+      }
+    }
+  }
+
+  bool false_possible = false;
+  bool true_possible = false;
+  bool ugly_reachable = false;
+  for (int q = 0; q < n; ++q) {
+    if (!reachable[static_cast<std::size_t>(q)]) continue;
+    if (m.verdict(q) == Verdict::kFalse) false_possible = true;
+    if (m.verdict(q) == Verdict::kTrue) true_possible = true;
+    if (a.verdict_settled(q)) ugly_reachable = true;
+  }
+  if (!false_possible && !true_possible) return Monitorability::kNonMonitorable;
+  if (ugly_reachable) return Monitorability::kWeaklyMonitorable;
+  if (!true_possible) return Monitorability::kSafety;
+  if (!false_possible) return Monitorability::kCoSafety;
+  return Monitorability::kMonitorable;
+}
+
+}  // namespace decmon

@@ -1,0 +1,473 @@
+#include "decmon/automata/buchi.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stack>
+
+namespace decmon {
+namespace {
+
+using FormulaSet = std::set<FormulaPtr>;
+
+/// GPVW tableau node.
+struct Node {
+  int id = -1;
+  std::set<int> incoming;  ///< predecessor node ids; kInit marks initial
+  FormulaSet news;
+  FormulaSet old;
+  FormulaSet next;
+};
+
+constexpr int kInit = -1;
+
+/// GPVW expansion engine (Gerth, Peled, Vardi, Wolper 1995).
+class Gpvw {
+ public:
+  explicit Gpvw(const FormulaPtr& nnf) : root_(nnf) {
+    Node start;
+    start.id = fresh_id();
+    start.incoming.insert(kInit);
+    start.news.insert(nnf);
+    expand(std::move(start));
+  }
+
+  std::vector<Node> take_nodes() {
+    std::vector<Node> out;
+    out.reserve(nodes_.size());
+    for (auto& [id, node] : nodes_) out.push_back(std::move(node));
+    return out;
+  }
+
+ private:
+  int fresh_id() { return next_id_++; }
+
+  static bool is_negation_of(const FormulaPtr& a, const FormulaPtr& b) {
+    return (a->op() == LtlOp::kNot && a->lhs() == b) ||
+           (b->op() == LtlOp::kNot && b->lhs() == a);
+  }
+
+  void expand(Node node) {
+    if (node.news.empty()) {
+      // Merge with an existing node having the same Old and Next sets.
+      for (auto& [id, other] : nodes_) {
+        if (other.old == node.old && other.next == node.next) {
+          other.incoming.insert(node.incoming.begin(), node.incoming.end());
+          return;
+        }
+      }
+      const int id = node.id;
+      nodes_.emplace(id, node);
+      Node succ;
+      succ.id = fresh_id();
+      succ.incoming.insert(id);
+      succ.news = node.next;
+      expand(std::move(succ));
+      return;
+    }
+    FormulaPtr f = *node.news.begin();
+    node.news.erase(node.news.begin());
+    if (node.old.count(f)) {
+      expand(std::move(node));
+      return;
+    }
+    switch (f->op()) {
+      case LtlOp::kFalse:
+        return;  // contradictory node, discard
+      case LtlOp::kTrue:
+        expand(std::move(node));
+        return;
+      case LtlOp::kAtom:
+      case LtlOp::kNot: {
+        // NNF guarantees kNot only wraps atoms here.
+        for (const FormulaPtr& g : node.old) {
+          if (is_negation_of(f, g)) return;  // contradiction, discard
+        }
+        node.old.insert(f);
+        expand(std::move(node));
+        return;
+      }
+      case LtlOp::kAnd: {
+        if (!node.old.count(f->lhs())) node.news.insert(f->lhs());
+        if (!node.old.count(f->rhs())) node.news.insert(f->rhs());
+        node.old.insert(f);
+        expand(std::move(node));
+        return;
+      }
+      case LtlOp::kOr: {
+        Node n1 = node;
+        n1.id = fresh_id();
+        if (!n1.old.count(f->lhs())) n1.news.insert(f->lhs());
+        n1.old.insert(f);
+        Node n2 = std::move(node);
+        if (!n2.old.count(f->rhs())) n2.news.insert(f->rhs());
+        n2.old.insert(f);
+        expand(std::move(n1));
+        expand(std::move(n2));
+        return;
+      }
+      case LtlOp::kNext: {
+        node.old.insert(f);
+        node.next.insert(f->lhs());
+        expand(std::move(node));
+        return;
+      }
+      case LtlOp::kUntil: {
+        // a U b  ==  b || (a && X(a U b))
+        Node n1 = node;
+        n1.id = fresh_id();
+        if (!n1.old.count(f->lhs())) n1.news.insert(f->lhs());
+        n1.next.insert(f);
+        n1.old.insert(f);
+        Node n2 = std::move(node);
+        if (!n2.old.count(f->rhs())) n2.news.insert(f->rhs());
+        n2.old.insert(f);
+        expand(std::move(n1));
+        expand(std::move(n2));
+        return;
+      }
+      case LtlOp::kRelease: {
+        // a R b  ==  (b && a) || (b && X(a R b))
+        Node n1 = node;
+        n1.id = fresh_id();
+        if (!n1.old.count(f->rhs())) n1.news.insert(f->rhs());
+        n1.next.insert(f);
+        n1.old.insert(f);
+        Node n2 = std::move(node);
+        if (!n2.old.count(f->lhs())) n2.news.insert(f->lhs());
+        if (!n2.old.count(f->rhs())) n2.news.insert(f->rhs());
+        n2.old.insert(f);
+        expand(std::move(n1));
+        expand(std::move(n2));
+        return;
+      }
+    }
+  }
+
+  FormulaPtr root_;
+  int next_id_ = 0;
+  std::map<int, Node> nodes_;
+};
+
+/// Collect the Until subformulas of `f` (acceptance obligations).
+void collect_untils(const FormulaPtr& f, std::set<FormulaPtr>& out) {
+  if (!f) return;
+  if (f->op() == LtlOp::kUntil) out.insert(f);
+  collect_untils(f->lhs(), out);
+  collect_untils(f->rhs(), out);
+}
+
+Cube guard_of(const Node& node) {
+  Cube c;
+  for (const FormulaPtr& f : node.old) {
+    if (f->op() == LtlOp::kAtom) {
+      c.pos |= AtomSet{1} << f->atom();
+    } else if (f->op() == LtlOp::kNot && f->lhs()->op() == LtlOp::kAtom) {
+      c.neg |= AtomSet{1} << f->lhs()->atom();
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+Nba ltl_to_nba(const FormulaPtr& formula) {
+  const FormulaPtr nnf = to_nnf(formula);
+
+  std::set<FormulaPtr> untils;
+  collect_untils(nnf, untils);
+  const int k = std::max<int>(1, static_cast<int>(untils.size()));
+  const bool degeneralize = untils.size() > 1;
+
+  Gpvw gpvw(nnf);
+  std::vector<Node> nodes = gpvw.take_nodes();
+
+  // Map node id -> dense index.
+  std::map<int, int> index;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    index[nodes[i].id] = static_cast<int>(i);
+  }
+
+  // GBA acceptance: for each until u = aUb, F_u = { node : u not in Old, or
+  // b in Old }.
+  std::vector<FormulaPtr> until_list(untils.begin(), untils.end());
+  auto in_fset = [&](const Node& node, int set_idx) {
+    if (until_list.empty()) return true;
+    const FormulaPtr& u = until_list[static_cast<std::size_t>(set_idx)];
+    return !node.old.count(u) || node.old.count(u->rhs()) != 0;
+  };
+
+  Nba nba;
+  nba.atom_mask = nnf->atom_mask();
+  const int levels = degeneralize ? k : 1;
+  const int n = static_cast<int>(nodes.size());
+  // State layout: 0 = dedicated initial state; then (node, level) pairs.
+  auto state_of = [&](int node_idx, int level) {
+    return 1 + node_idx * levels + level;
+  };
+  nba.num_states = 1 + n * levels;
+  nba.initial = {0};
+  nba.accepting.assign(static_cast<std::size_t>(nba.num_states), 0);
+  nba.out.assign(static_cast<std::size_t>(nba.num_states), {});
+
+  for (int ni = 0; ni < n; ++ni) {
+    const Node& node = nodes[static_cast<std::size_t>(ni)];
+    const Cube guard = guard_of(node);
+    for (int level = 0; level < levels; ++level) {
+      // Accepting: level 0 states whose node is in F_0 (single-set GBA:
+      // plain Buchi acceptance).
+      if (level == 0 && in_fset(node, 0)) {
+        nba.accepting[static_cast<std::size_t>(state_of(ni, 0))] = 1;
+      }
+    }
+    // Edges: every predecessor of `node` gets an edge into it, guarded by
+    // the literals `node` asserts about the letter being read.
+    for (int pred : node.incoming) {
+      if (pred == kInit) {
+        // From the dedicated initial state, enter at level 0.
+        nba.out[0].push_back({state_of(ni, 0), guard});
+        continue;
+      }
+      const int pi = index.at(pred);
+      const Node& pnode = nodes[static_cast<std::size_t>(pi)];
+      for (int level = 0; level < levels; ++level) {
+        int next_level = level;
+        if (degeneralize) {
+          // Counter bumps when the *source* node satisfies F_level.
+          next_level = in_fset(pnode, level) ? (level + 1) % k : level;
+        }
+        nba.out[static_cast<std::size_t>(state_of(pi, level))].push_back(
+            {state_of(ni, next_level), guard});
+      }
+    }
+  }
+  return nba;
+}
+
+std::vector<char> Nba::nonempty_states() const {
+  // Tarjan SCC, then mark states that can reach a "good" SCC: one containing
+  // an accepting state and at least one internal edge.
+  const int n = num_states;
+  std::vector<int> idx(static_cast<std::size_t>(n), -1);
+  std::vector<int> low(static_cast<std::size_t>(n), 0);
+  std::vector<int> comp(static_cast<std::size_t>(n), -1);
+  std::vector<char> on_stack(static_cast<std::size_t>(n), 0);
+  std::vector<int> stack;
+  int counter = 0;
+  int num_comp = 0;
+
+  // Iterative Tarjan to avoid deep recursion.
+  struct Frame {
+    int v;
+    std::size_t edge;
+  };
+  for (int root = 0; root < n; ++root) {
+    if (idx[static_cast<std::size_t>(root)] != -1) continue;
+    std::vector<Frame> frames{{root, 0}};
+    idx[static_cast<std::size_t>(root)] = low[static_cast<std::size_t>(root)] = counter++;
+    stack.push_back(root);
+    on_stack[static_cast<std::size_t>(root)] = 1;
+    while (!frames.empty()) {
+      Frame& fr = frames.back();
+      const auto& edges = out[static_cast<std::size_t>(fr.v)];
+      if (fr.edge < edges.size()) {
+        const int w = edges[fr.edge++].target;
+        if (idx[static_cast<std::size_t>(w)] == -1) {
+          idx[static_cast<std::size_t>(w)] = low[static_cast<std::size_t>(w)] = counter++;
+          stack.push_back(w);
+          on_stack[static_cast<std::size_t>(w)] = 1;
+          frames.push_back({w, 0});
+        } else if (on_stack[static_cast<std::size_t>(w)]) {
+          low[static_cast<std::size_t>(fr.v)] =
+              std::min(low[static_cast<std::size_t>(fr.v)], idx[static_cast<std::size_t>(w)]);
+        }
+      } else {
+        const int v = fr.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          const int p = frames.back().v;
+          low[static_cast<std::size_t>(p)] =
+              std::min(low[static_cast<std::size_t>(p)], low[static_cast<std::size_t>(v)]);
+        }
+        if (low[static_cast<std::size_t>(v)] == idx[static_cast<std::size_t>(v)]) {
+          while (true) {
+            const int w = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<std::size_t>(w)] = 0;
+            comp[static_cast<std::size_t>(w)] = num_comp;
+            if (w == v) break;
+          }
+          ++num_comp;
+        }
+      }
+    }
+  }
+
+  // Good SCCs.
+  std::vector<char> has_accepting(static_cast<std::size_t>(num_comp), 0);
+  std::vector<char> has_internal_edge(static_cast<std::size_t>(num_comp), 0);
+  for (int v = 0; v < n; ++v) {
+    const int c = comp[static_cast<std::size_t>(v)];
+    if (accepting[static_cast<std::size_t>(v)]) has_accepting[static_cast<std::size_t>(c)] = 1;
+    for (const auto& e : out[static_cast<std::size_t>(v)]) {
+      if (comp[static_cast<std::size_t>(e.target)] == c) {
+        has_internal_edge[static_cast<std::size_t>(c)] = 1;
+      }
+    }
+  }
+  std::vector<char> good(static_cast<std::size_t>(num_comp), 0);
+  for (int c = 0; c < num_comp; ++c) {
+    good[static_cast<std::size_t>(c)] =
+        has_accepting[static_cast<std::size_t>(c)] && has_internal_edge[static_cast<std::size_t>(c)];
+  }
+  // Propagate "can reach good" backwards. Tarjan numbers components in
+  // reverse topological order (children first), so iterate ascending.
+  std::vector<char> reach(static_cast<std::size_t>(num_comp), 0);
+  for (int c = 0; c < num_comp; ++c) {
+    reach[static_cast<std::size_t>(c)] = good[static_cast<std::size_t>(c)];
+  }
+  for (int v = 0; v < n; ++v) {
+    (void)v;
+  }
+  // Simple fixpoint over edges (component graph is small).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int v = 0; v < n; ++v) {
+      const int cv = comp[static_cast<std::size_t>(v)];
+      if (reach[static_cast<std::size_t>(cv)]) continue;
+      for (const auto& e : out[static_cast<std::size_t>(v)]) {
+        if (reach[static_cast<std::size_t>(comp[static_cast<std::size_t>(e.target)])]) {
+          reach[static_cast<std::size_t>(cv)] = 1;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  std::vector<char> result(static_cast<std::size_t>(n), 0);
+  for (int v = 0; v < n; ++v) {
+    result[static_cast<std::size_t>(v)] = reach[static_cast<std::size_t>(comp[static_cast<std::size_t>(v)])];
+  }
+  return result;
+}
+
+std::vector<int> Nba::step(const std::vector<int>& from, AtomSet letter) const {
+  std::vector<char> seen(static_cast<std::size_t>(num_states), 0);
+  std::vector<int> to;
+  for (int q : from) {
+    for (const auto& e : out[static_cast<std::size_t>(q)]) {
+      if (e.guard.matches(letter) && !seen[static_cast<std::size_t>(e.target)]) {
+        seen[static_cast<std::size_t>(e.target)] = 1;
+        to.push_back(e.target);
+      }
+    }
+  }
+  std::sort(to.begin(), to.end());
+  return to;
+}
+
+bool Nba::accepts_lasso(const std::vector<AtomSet>& prefix,
+                        const std::vector<AtomSet>& loop) const {
+  assert(!loop.empty());
+  const std::size_t plen = prefix.size();
+  const std::size_t llen = loop.size();
+  const std::size_t positions = plen + llen;
+  auto letter_at = [&](std::size_t pos) {
+    return pos < plen ? prefix[pos] : loop[pos - plen];
+  };
+  auto next_pos = [&](std::size_t pos) {
+    return pos + 1 < positions ? pos + 1 : plen;
+  };
+  // Product graph nodes: (state, position); edge for each enabled
+  // transition. Accepting lasso run exists iff from an initial product node
+  // a cycle through an accepting product node in the loop part is reachable.
+  const std::size_t pn = static_cast<std::size_t>(num_states) * positions;
+  auto pid = [&](int q, std::size_t pos) {
+    return static_cast<std::size_t>(q) * positions + pos;
+  };
+  // Forward reachability from initial nodes.
+  std::vector<char> reach(pn, 0);
+  std::vector<std::size_t> work;
+  for (int q0 : initial) {
+    if (!reach[pid(q0, 0)]) {
+      reach[pid(q0, 0)] = 1;
+      work.push_back(pid(q0, 0));
+    }
+  }
+  while (!work.empty()) {
+    const std::size_t node = work.back();
+    work.pop_back();
+    const int q = static_cast<int>(node / positions);
+    const std::size_t pos = node % positions;
+    const AtomSet letter = letter_at(pos);
+    for (const auto& e : out[static_cast<std::size_t>(q)]) {
+      if (!e.guard.matches(letter)) continue;
+      const std::size_t t = pid(e.target, next_pos(pos));
+      if (!reach[t]) {
+        reach[t] = 1;
+        work.push_back(t);
+      }
+    }
+  }
+  // For each reachable accepting product node in the loop region, check if
+  // it lies on a cycle (can reach itself).
+  for (int q = 0; q < num_states; ++q) {
+    if (!accepting[static_cast<std::size_t>(q)]) continue;
+    for (std::size_t pos = plen; pos < positions; ++pos) {
+      const std::size_t start = pid(q, pos);
+      if (!reach[start]) continue;
+      // BFS from start.
+      std::vector<char> r2(pn, 0);
+      std::vector<std::size_t> w2{start};
+      r2[start] = 1;
+      bool cycle = false;
+      while (!w2.empty() && !cycle) {
+        const std::size_t node = w2.back();
+        w2.pop_back();
+        const int cq = static_cast<int>(node / positions);
+        const std::size_t cpos = node % positions;
+        const AtomSet letter = letter_at(cpos);
+        for (const auto& e : out[static_cast<std::size_t>(cq)]) {
+          if (!e.guard.matches(letter)) continue;
+          const std::size_t t = pid(e.target, next_pos(cpos));
+          if (t == start) {
+            cycle = true;
+            break;
+          }
+          if (!r2[t]) {
+            r2[t] = 1;
+            w2.push_back(t);
+          }
+        }
+      }
+      if (cycle) return true;
+    }
+  }
+  return false;
+}
+
+std::string Nba::to_dot(const AtomRegistry* reg) const {
+  std::ostringstream os;
+  os << "digraph nba {\n  rankdir=LR;\n";
+  for (int q = 0; q < num_states; ++q) {
+    os << "  s" << q << " [shape="
+       << (accepting[static_cast<std::size_t>(q)] ? "doublecircle" : "circle") << "];\n";
+  }
+  for (int q0 : initial) {
+    os << "  init" << q0 << " [shape=point]; init" << q0 << " -> s" << q0
+       << ";\n";
+  }
+  for (int q = 0; q < num_states; ++q) {
+    for (const auto& e : out[static_cast<std::size_t>(q)]) {
+      os << "  s" << q << " -> s" << e.target << " [label=\""
+         << e.guard.to_string(reg) << "\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace decmon

@@ -1,0 +1,41 @@
+#include "decmon/automata/guard.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace decmon {
+
+int Cube::size() const {
+  return std::popcount(pos) + std::popcount(neg);
+}
+
+std::string Cube::to_string(const AtomRegistry* reg) const {
+  if (is_true()) return "true";
+  std::ostringstream os;
+  bool first = true;
+  for (int i = 0; i < 64; ++i) {
+    const AtomSet bit = AtomSet{1} << i;
+    if (!(pos & bit) && !(neg & bit)) continue;
+    if (!first) os << " && ";
+    first = false;
+    if (neg & bit) os << '!';
+    if (reg && i < reg->num_atoms()) {
+      os << reg->atom(i).name;
+    } else {
+      os << 'a' << i;
+    }
+  }
+  return os.str();
+}
+
+Cube restrict_to_process(const Cube& cube, const AtomRegistry& reg, int proc) {
+  const AtomSet mask = reg.owned_mask(proc);
+  return Cube{cube.pos & mask, cube.neg & mask};
+}
+
+bool locally_satisfied(const Cube& cube, AtomSet letter, AtomSet owned_mask) {
+  const Cube local{cube.pos & owned_mask, cube.neg & owned_mask};
+  return local.matches(letter & owned_mask);
+}
+
+}  // namespace decmon

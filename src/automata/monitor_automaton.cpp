@@ -1,0 +1,142 @@
+#include "decmon/automata/monitor_automaton.hpp"
+
+#include <bit>
+#include <sstream>
+#include <stdexcept>
+
+namespace decmon {
+
+std::string to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kUnknown: return "?";
+    case Verdict::kTrue: return "TRUE";
+    case Verdict::kFalse: return "FALSE";
+  }
+  return "?";
+}
+
+int MonitorAutomaton::add_state(Verdict v) {
+  verdicts_.push_back(v);
+  out_.emplace_back();
+  return static_cast<int>(verdicts_.size()) - 1;
+}
+
+int MonitorAutomaton::add_transition(int from, int to, Cube guard) {
+  if (from < 0 || from >= num_states() || to < 0 || to >= num_states()) {
+    throw std::out_of_range("MonitorAutomaton::add_transition: bad state");
+  }
+  MonitorTransition t;
+  t.id = static_cast<int>(transitions_.size());
+  t.from = from;
+  t.to = to;
+  t.guard = guard;
+  transitions_.push_back(t);
+  out_[static_cast<std::size_t>(from)].push_back(t.id);
+  return t.id;
+}
+
+std::optional<int> MonitorAutomaton::step(int q, AtomSet letter) const {
+  const MonitorTransition* t = matching_transition(q, letter);
+  if (!t) return std::nullopt;
+  return t->to;
+}
+
+const MonitorTransition* MonitorAutomaton::matching_transition(
+    int q, AtomSet letter) const {
+  for (int id : out_.at(static_cast<std::size_t>(q))) {
+    const MonitorTransition& t = transitions_[static_cast<std::size_t>(id)];
+    if (t.guard.matches(letter)) return &t;
+  }
+  return nullptr;
+}
+
+int MonitorAutomaton::run(const std::vector<AtomSet>& trace) const {
+  int q = initial_;
+  for (AtomSet letter : trace) {
+    auto next = step(q, letter);
+    if (!next) {
+      throw std::logic_error("MonitorAutomaton::run: no matching transition");
+    }
+    q = *next;
+  }
+  return q;
+}
+
+AtomSet MonitorAutomaton::relevant_atoms() const {
+  AtomSet mask = 0;
+  for (const MonitorTransition& t : transitions_) mask |= t.guard.support();
+  return mask;
+}
+
+int MonitorAutomaton::count_self_loops() const {
+  int n = 0;
+  for (const MonitorTransition& t : transitions_) {
+    if (t.self_loop()) ++n;
+  }
+  return n;
+}
+
+std::optional<std::string> MonitorAutomaton::validate() const {
+  const AtomSet mask = relevant_atoms();
+  const int k = std::popcount(mask);
+  if (k > 20) return "too many relevant atoms to validate exhaustively";
+  // Dense bit -> atom position.
+  std::vector<int> atom_pos;
+  for (int i = 0; i < 64; ++i) {
+    if (mask & (AtomSet{1} << i)) atom_pos.push_back(i);
+  }
+  const std::uint64_t letters = std::uint64_t{1} << k;
+  for (int q = 0; q < num_states(); ++q) {
+    for (std::uint64_t m = 0; m < letters; ++m) {
+      AtomSet letter = 0;
+      for (int b = 0; b < k; ++b) {
+        if (m & (std::uint64_t{1} << b)) {
+          letter |= AtomSet{1} << atom_pos[static_cast<std::size_t>(b)];
+        }
+      }
+      // Transitions split from one disjunctive predicate may overlap
+      // (e.g. the cubes !p0 and !p1 both match !p0 && !p1), so determinism
+      // means: at least one match, and all matches agree on the target.
+      int matches = 0;
+      int target = -1;
+      bool conflict = false;
+      for (int id : out_[static_cast<std::size_t>(q)]) {
+        const MonitorTransition& t = transitions_[static_cast<std::size_t>(id)];
+        if (t.guard.matches(letter)) {
+          if (matches && t.to != target) conflict = true;
+          target = t.to;
+          ++matches;
+        }
+      }
+      if (matches == 0 || conflict) {
+        std::ostringstream os;
+        os << "state " << q << (matches == 0 ? " has no" : " has conflicting")
+           << " matching transitions for letter " << letter;
+        return os.str();
+      }
+    }
+  }
+  if (initial_ < 0 || initial_ >= num_states()) return "bad initial state";
+  return std::nullopt;
+}
+
+std::string MonitorAutomaton::to_dot(const AtomRegistry* reg) const {
+  std::ostringstream os;
+  os << "digraph monitor {\n  rankdir=LR;\n";
+  for (int q = 0; q < num_states(); ++q) {
+    const char* color = "black";
+    if (verdict(q) == Verdict::kTrue) color = "green";
+    if (verdict(q) == Verdict::kFalse) color = "red";
+    os << "  q" << q << " [label=\"q" << q << "\\n"
+       << to_string(verdict(q)) << "\", color=" << color
+       << (q == initial_ ? ", penwidth=2" : "") << "];\n";
+  }
+  for (const MonitorTransition& t : transitions_) {
+    os << "  q" << t.from << " -> q" << t.to << " [label=\""
+       << t.guard.to_string(reg) << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace decmon

@@ -1,0 +1,86 @@
+// Moore-machine minimization by partition refinement: states are merged when
+// they carry the same verdict label and, letter by letter, their successors
+// fall in the same classes. Used as step 5 of the LTL3 synthesis pipeline
+// (optional; the paper's evaluation deliberately keeps an unreduced
+// automaton for some properties, see SynthesisOptions::minimize).
+#include <map>
+#include <vector>
+
+#include "decmon/automata/ltl3_monitor.hpp"
+
+namespace decmon {
+
+MooreTable minimize_moore(const MooreTable& table) {
+  const int n = table.num_states;
+  // Initial partition by verdict label; refine until stable.
+  std::vector<int> cls(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    cls[static_cast<std::size_t>(s)] =
+        static_cast<int>(table.label[static_cast<std::size_t>(s)]);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Signature: (current class, successor classes per letter).
+    std::map<std::vector<int>, int> sig_index;
+    std::vector<int> next_cls(static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      std::vector<int> sig;
+      sig.reserve(static_cast<std::size_t>(table.num_letters) + 1);
+      sig.push_back(cls[static_cast<std::size_t>(s)]);
+      for (int letter = 0; letter < table.num_letters; ++letter) {
+        sig.push_back(cls[static_cast<std::size_t>(
+            table.next[static_cast<std::size_t>(s)]
+                      [static_cast<std::size_t>(letter)])]);
+      }
+      auto it = sig_index.emplace(std::move(sig),
+                                  static_cast<int>(sig_index.size()))
+                    .first;
+      next_cls[static_cast<std::size_t>(s)] = it->second;
+    }
+    for (int s = 0; s < n; ++s) {
+      if (next_cls[static_cast<std::size_t>(s)] !=
+          cls[static_cast<std::size_t>(s)]) {
+        changed = true;
+      }
+    }
+    cls = std::move(next_cls);
+  }
+
+  // Renumber classes densely, initial state's class first, so the output is
+  // deterministic.
+  std::map<int, int> renumber;
+  auto id_of = [&](int c) {
+    auto it = renumber.find(c);
+    if (it != renumber.end()) return it->second;
+    const int id = static_cast<int>(renumber.size());
+    renumber.emplace(c, id);
+    return id;
+  };
+  MooreTable out;
+  out.atom_pos = table.atom_pos;
+  out.num_letters = table.num_letters;
+  id_of(cls[static_cast<std::size_t>(table.initial)]);
+  for (int s = 0; s < n; ++s) id_of(cls[static_cast<std::size_t>(s)]);
+  out.num_states = static_cast<int>(renumber.size());
+  out.initial = 0;
+  out.label.assign(static_cast<std::size_t>(out.num_states),
+                   Verdict::kUnknown);
+  out.next.assign(
+      static_cast<std::size_t>(out.num_states),
+      std::vector<int>(static_cast<std::size_t>(out.num_letters), 0));
+  for (int s = 0; s < n; ++s) {
+    const int c = id_of(cls[static_cast<std::size_t>(s)]);
+    out.label[static_cast<std::size_t>(c)] =
+        table.label[static_cast<std::size_t>(s)];
+    for (int letter = 0; letter < table.num_letters; ++letter) {
+      out.next[static_cast<std::size_t>(c)][static_cast<std::size_t>(letter)] =
+          id_of(cls[static_cast<std::size_t>(
+              table.next[static_cast<std::size_t>(s)]
+                        [static_cast<std::size_t>(letter)])]);
+    }
+  }
+  return out;
+}
+
+}  // namespace decmon

@@ -1,0 +1,182 @@
+#include "decmon/automata/qm_minimize.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace decmon {
+namespace {
+
+// A dense cube over k variables: `value` gives the fixed bits, `dontcare`
+// the free bits; bits of value under dontcare are zero.
+struct DenseCube {
+  std::uint32_t value = 0;
+  std::uint32_t dontcare = 0;
+  bool operator==(const DenseCube&) const = default;
+};
+
+struct DenseCubeHash {
+  std::size_t operator()(const DenseCube& c) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(c.value) << 32) | c.dontcare);
+  }
+};
+
+// All minterms covered by a dense cube.
+template <typename Fn>
+void for_each_minterm(const DenseCube& c, int k, Fn&& fn) {
+  // Iterate over subsets of the dontcare mask.
+  const std::uint32_t mask = c.dontcare & ((k == 32) ? ~0u : ((1u << k) - 1));
+  std::uint32_t sub = 0;
+  while (true) {
+    fn(c.value | sub);
+    if (sub == mask) break;
+    sub = (sub - mask) & mask;  // next subset trick
+  }
+}
+
+}  // namespace
+
+std::vector<Cube> minimize_cover(const std::vector<char>& onset, int k,
+                                 const std::vector<int>& atom_ids) {
+  if (k < 0 || k > 20) {
+    throw std::invalid_argument("minimize_cover: k out of range");
+  }
+  const std::size_t n = std::size_t{1} << k;
+  assert(onset.size() == n);
+  assert(atom_ids.size() == static_cast<std::size_t>(k));
+
+  // Trivial cases.
+  bool any = false;
+  bool all = true;
+  for (std::size_t m = 0; m < n; ++m) {
+    if (onset[m]) any = true; else all = false;
+  }
+  if (!any) return {};
+  if (all) return {Cube{}};  // the `true` cube
+
+  // --- Quine-McCluskey prime implicant generation -------------------------
+  // Level 0: all on-set minterms as cubes with empty dontcare.
+  std::unordered_set<DenseCube, DenseCubeHash> current;
+  for (std::uint32_t m = 0; m < n; ++m) {
+    if (onset[m]) current.insert(DenseCube{m, 0});
+  }
+  std::vector<DenseCube> primes;
+  while (!current.empty()) {
+    std::unordered_set<DenseCube, DenseCubeHash> next;
+    std::unordered_set<DenseCube, DenseCubeHash> combined;
+    std::vector<DenseCube> cur(current.begin(), current.end());
+    // Try to merge each cube with a neighbour differing in exactly one
+    // cared bit: if (value ^ bit) with same dontcare is present, merge.
+    for (const DenseCube& c : cur) {
+      for (int b = 0; b < k; ++b) {
+        const std::uint32_t bit = 1u << b;
+        if (c.dontcare & bit) continue;
+        DenseCube partner{c.value ^ bit, c.dontcare};
+        if (current.count(partner)) {
+          DenseCube merged{c.value & ~bit, c.dontcare | bit};
+          next.insert(merged);
+          combined.insert(c);
+          combined.insert(partner);
+        }
+      }
+    }
+    for (const DenseCube& c : cur) {
+      if (!combined.count(c)) primes.push_back(c);
+    }
+    current = std::move(next);
+  }
+
+  // --- Cover selection (essential primes, then greedy) --------------------
+  std::vector<std::uint32_t> minterms;
+  std::vector<int> minterm_index(n, -1);
+  for (std::uint32_t m = 0; m < n; ++m) {
+    if (onset[m]) {
+      minterm_index[m] = static_cast<int>(minterms.size());
+      minterms.push_back(m);
+    }
+  }
+  const std::size_t nm = minterms.size();
+  // coverage[p] = indices of minterms covered by prime p.
+  std::vector<std::vector<int>> coverage(primes.size());
+  std::vector<int> cover_count(nm, 0);
+  for (std::size_t p = 0; p < primes.size(); ++p) {
+    for_each_minterm(primes[p], k, [&](std::uint32_t m) {
+      const int idx = minterm_index[m];
+      assert(idx >= 0);  // primes only cover the on-set
+      coverage[p].push_back(idx);
+      ++cover_count[idx];
+    });
+  }
+
+  std::vector<char> covered(nm, 0);
+  std::vector<char> selected(primes.size(), 0);
+  std::size_t num_covered = 0;
+  auto select = [&](std::size_t p) {
+    if (selected[p]) return;
+    selected[p] = 1;
+    for (int idx : coverage[p]) {
+      if (!covered[idx]) {
+        covered[idx] = 1;
+        ++num_covered;
+      }
+    }
+  };
+  // Essential primes: sole cover of some minterm.
+  for (std::size_t p = 0; p < primes.size(); ++p) {
+    for (int idx : coverage[p]) {
+      if (cover_count[idx] == 1) {
+        select(p);
+        break;
+      }
+    }
+  }
+  // Greedy: repeatedly take the prime covering the most uncovered minterms.
+  while (num_covered < nm) {
+    std::size_t best = primes.size();
+    std::size_t best_gain = 0;
+    for (std::size_t p = 0; p < primes.size(); ++p) {
+      if (selected[p]) continue;
+      std::size_t gain = 0;
+      for (int idx : coverage[p]) {
+        if (!covered[idx]) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = p;
+      }
+    }
+    assert(best < primes.size());
+    select(best);
+  }
+
+  // --- Translate dense cubes to atom-id cubes ------------------------------
+  std::vector<Cube> out;
+  for (std::size_t p = 0; p < primes.size(); ++p) {
+    if (!selected[p]) continue;
+    Cube c;
+    for (int b = 0; b < k; ++b) {
+      const std::uint32_t bit = 1u << b;
+      if (primes[p].dontcare & bit) continue;
+      const AtomSet abit = AtomSet{1} << atom_ids[static_cast<std::size_t>(b)];
+      if (primes[p].value & bit) {
+        c.pos |= abit;
+      } else {
+        c.neg |= abit;
+      }
+    }
+    out.push_back(c);
+  }
+  // Deterministic order: fewer literals first, then lexicographic.
+  std::sort(out.begin(), out.end(), [](const Cube& a, const Cube& b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    if (a.pos != b.pos) return a.pos < b.pos;
+    return a.neg < b.neg;
+  });
+  return out;
+}
+
+}  // namespace decmon

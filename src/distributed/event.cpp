@@ -1,0 +1,15 @@
+#include "decmon/distributed/event.hpp"
+
+namespace decmon {
+
+std::string to_string(EventType t) {
+  switch (t) {
+    case EventType::kInitial: return "initial";
+    case EventType::kInternal: return "internal";
+    case EventType::kSend: return "send";
+    case EventType::kReceive: return "receive";
+  }
+  return "?";
+}
+
+}  // namespace decmon

@@ -1,0 +1,72 @@
+#include "decmon/distributed/process.hpp"
+
+#include <stdexcept>
+
+namespace decmon {
+
+ProgramProcess::ProgramProcess(int index, int num_processes,
+                               ProcessTrace trace,
+                               const AtomRegistry* registry)
+    : index_(index),
+      trace_(std::move(trace)),
+      registry_(registry),
+      vc_(static_cast<std::size_t>(num_processes)),
+      state_(trace_.initial) {}
+
+Event ProgramProcess::make_event(EventType type, double now) const {
+  Event e;
+  e.type = type;
+  e.process = index_;
+  e.sn = sn_;
+  e.vc = vc_;
+  e.state = state_;
+  e.letter = registry_ ? registry_->evaluate_local(index_, state_) : 0;
+  e.time = now;
+  return e;
+}
+
+Event ProgramProcess::initial_event() const {
+  if (sn_ != 0) {
+    throw std::logic_error("initial_event called after execution started");
+  }
+  return make_event(EventType::kInitial, 0.0);
+}
+
+double ProgramProcess::next_action_wait() const {
+  if (!has_next_action()) {
+    throw std::logic_error("next_action_wait: trace exhausted");
+  }
+  return trace_.actions[next_action_].wait;
+}
+
+ProgramProcess::ActionResult ProgramProcess::execute_next_action(double now) {
+  if (!has_next_action()) {
+    throw std::logic_error("execute_next_action: trace exhausted");
+  }
+  const TraceAction& action = trace_.actions[next_action_++];
+  ActionResult result;
+  ++sn_;
+  vc_.tick(static_cast<std::size_t>(index_));
+  if (action.kind == TraceAction::Kind::kInternal) {
+    state_ = action.state;
+    result.event = make_event(EventType::kInternal, now);
+  } else {
+    // One broadcast = one send event; the same clock is piggybacked on every
+    // copy (send events do not change the local state, §2.1).
+    result.event = make_event(EventType::kSend, now);
+    result.is_comm = true;
+    result.message.from = index_;
+    result.message.vc = vc_;
+    result.message.send_sn = sn_;
+  }
+  return result;
+}
+
+Event ProgramProcess::receive(const AppMessage& msg, double now) {
+  vc_.merge(msg.vc);
+  ++sn_;
+  vc_.tick(static_cast<std::size_t>(index_));
+  return make_event(EventType::kReceive, now);
+}
+
+}  // namespace decmon

@@ -1,0 +1,69 @@
+#include "decmon/distributed/replay_runtime.hpp"
+
+#include <vector>
+
+namespace decmon {
+
+bool ReplayRuntime::channels_empty() const {
+  for (const auto& [key, q] : channels_) {
+    if (!q.empty()) return false;
+  }
+  return true;
+}
+
+void ReplayRuntime::deliver_one(MonitorHooks& hooks, std::mt19937_64& rng) {
+  std::vector<std::pair<int, int>> nonempty;
+  for (const auto& [key, q] : channels_) {
+    if (!q.empty()) nonempty.push_back(key);
+  }
+  const auto key = nonempty[rng() % nonempty.size()];
+  MonitorMessage msg = std::move(channels_[key].front());
+  channels_[key].pop_front();
+  ++deliveries_;
+  hooks.on_monitor_message(msg, t_);
+}
+
+void ReplayRuntime::run(const Computation& comp, MonitorHooks& hooks,
+                        std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const int n = comp.num_processes();
+  std::vector<std::uint32_t> cursor(static_cast<std::size_t>(n), 1);
+  std::vector<char> terminated(static_cast<std::size_t>(n), 0);
+
+  auto events_left = [&] {
+    for (int p = 0; p < n; ++p) {
+      if (cursor[static_cast<std::size_t>(p)] <= comp.num_events(p) ||
+          !terminated[static_cast<std::size_t>(p)]) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  while (events_left() || !channels_empty()) {
+    t_ += 1.0;
+    const bool deliver_msg =
+        !channels_empty() && (rng() % 2 == 0 || !events_left());
+    if (deliver_msg) {
+      deliver_one(hooks, rng);
+      continue;
+    }
+    std::vector<int> ready;
+    for (int p = 0; p < n; ++p) {
+      if (cursor[static_cast<std::size_t>(p)] <= comp.num_events(p) ||
+          !terminated[static_cast<std::size_t>(p)]) {
+        ready.push_back(p);
+      }
+    }
+    const int p = ready[rng() % ready.size()];
+    if (cursor[static_cast<std::size_t>(p)] <= comp.num_events(p)) {
+      hooks.on_local_event(
+          p, comp.event(p, cursor[static_cast<std::size_t>(p)]++), t_);
+    } else {
+      terminated[static_cast<std::size_t>(p)] = 1;
+      hooks.on_local_termination(p, t_);
+    }
+  }
+}
+
+}  // namespace decmon

@@ -1,0 +1,145 @@
+#include "decmon/distributed/sim_runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace decmon {
+
+SimRuntime::SimRuntime(SystemTrace trace, const AtomRegistry* registry,
+                       SimConfig config)
+    : registry_(registry),
+      config_(config),
+      app_latency_(config.app_latency_mu, config.app_latency_sigma,
+                   derive_seed(config.seed, 1001), config.min_latency),
+      mon_latency_(config.mon_latency_mu, config.mon_latency_sigma,
+                   derive_seed(config.seed, 1002), config.min_latency) {
+  const int n = trace.num_processes();
+  procs_.reserve(static_cast<std::size_t>(n));
+  history_.resize(static_cast<std::size_t>(n));
+  remaining_receives_.resize(static_cast<std::size_t>(n));
+  terminated_.assign(static_cast<std::size_t>(n), 0);
+  app_last_delivery_.assign(static_cast<std::size_t>(n * n), 0.0);
+  mon_last_delivery_.assign(static_cast<std::size_t>(n * n), 0.0);
+  for (int p = 0; p < n; ++p) {
+    remaining_receives_[static_cast<std::size_t>(p)] =
+        trace.expected_receives(p);
+    procs_.emplace_back(p, n, trace.procs[static_cast<std::size_t>(p)],
+                        registry_);
+  }
+}
+
+std::vector<LocalState> SimRuntime::initial_states() const {
+  std::vector<LocalState> out;
+  out.reserve(procs_.size());
+  for (const ProgramProcess& p : procs_) out.push_back(p.state());
+  return out;
+}
+
+void SimRuntime::schedule(double time, std::function<void()> fn) {
+  assert(time >= now_);
+  queue_.push(Item{time, next_seq_++, std::move(fn)});
+}
+
+double SimRuntime::fifo_delivery_time(std::vector<double>& last, int channel,
+                                      double candidate) {
+  double& prev = last[static_cast<std::size_t>(channel)];
+  const double at = std::max(candidate, prev + 1e-9);
+  prev = at;
+  return at;
+}
+
+void SimRuntime::run() {
+  const int n = num_processes();
+  // Record initial pseudo-events (monitors receive the initial global state
+  // at construction, not through the event stream).
+  for (int p = 0; p < n; ++p) {
+    history_[static_cast<std::size_t>(p)].push_back(
+        procs_[static_cast<std::size_t>(p)].initial_event());
+  }
+  for (int p = 0; p < n; ++p) {
+    schedule_next_action(p);
+    maybe_terminate(p);  // empty traces terminate immediately
+  }
+  while (!queue_.empty()) {
+    Item item = queue_.top();
+    queue_.pop();
+    assert(item.time >= now_);
+    now_ = item.time;
+    item.fn();
+  }
+}
+
+void SimRuntime::schedule_next_action(int proc) {
+  ProgramProcess& p = procs_[static_cast<std::size_t>(proc)];
+  if (!p.has_next_action()) return;
+  schedule(now_ + p.next_action_wait(), [this, proc] { execute_action(proc); });
+}
+
+void SimRuntime::execute_action(int proc) {
+  ProgramProcess& p = procs_[static_cast<std::size_t>(proc)];
+  ProgramProcess::ActionResult result = p.execute_next_action(now_);
+  record_and_notify(result.event);
+  if (result.is_comm) {
+    // Broadcast: one copy per peer, independent latencies, FIFO channels.
+    for (int to = 0; to < num_processes(); ++to) {
+      if (to == proc) continue;
+      AppMessage msg = result.message;
+      msg.to = to;
+      const double at = fifo_delivery_time(
+          app_last_delivery_, proc * num_processes() + to,
+          now_ + app_latency_.sample());
+      ++app_messages_;
+      schedule(at, [this, msg] { deliver_app(msg); });
+    }
+  }
+  schedule_next_action(proc);
+  maybe_terminate(proc);
+}
+
+void SimRuntime::deliver_app(const AppMessage& msg) {
+  ProgramProcess& p = procs_[static_cast<std::size_t>(msg.to)];
+  const Event e = p.receive(msg, now_);
+  --remaining_receives_[static_cast<std::size_t>(msg.to)];
+  record_and_notify(e);
+  maybe_terminate(msg.to);
+}
+
+void SimRuntime::record_and_notify(const Event& e) {
+  ++program_events_;
+  program_end_ = std::max(program_end_, now_);
+  monitor_end_ = std::max(monitor_end_, now_);
+  auto& hist = history_[static_cast<std::size_t>(e.process)];
+  assert(e.sn == hist.size());
+  hist.push_back(e);
+  if (hooks_) hooks_->on_local_event(e.process, e, now_);
+}
+
+void SimRuntime::maybe_terminate(int proc) {
+  if (terminated_[static_cast<std::size_t>(proc)]) return;
+  const ProgramProcess& p = procs_[static_cast<std::size_t>(proc)];
+  if (p.has_next_action()) return;
+  if (remaining_receives_[static_cast<std::size_t>(proc)] > 0) return;
+  terminated_[static_cast<std::size_t>(proc)] = 1;
+  program_end_ = std::max(program_end_, now_);
+  if (hooks_) hooks_->on_local_termination(proc, now_);
+}
+
+void SimRuntime::send(MonitorMessage msg) {
+  if (msg.to < 0 || msg.to >= num_processes()) {
+    throw std::out_of_range("SimRuntime::send: bad destination");
+  }
+  const bool self = msg.from == msg.to;
+  if (!self) ++monitor_messages_;  // same-node handoff is not network traffic
+  const double at =
+      self ? now_
+           : fifo_delivery_time(mon_last_delivery_,
+                                msg.from * num_processes() + msg.to,
+                                now_ + mon_latency_.sample());
+  schedule(at, [this, msg] {
+    monitor_end_ = std::max(monitor_end_, now_);
+    if (hooks_) hooks_->on_monitor_message(msg, now_);
+  });
+}
+
+}  // namespace decmon

@@ -1,0 +1,204 @@
+#include "decmon/distributed/thread_runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace decmon {
+
+thread_local int ThreadRuntime::current_node_ = -1;
+
+namespace {
+
+std::chrono::nanoseconds to_wall(double trace_seconds, double scale) {
+  const double wall = std::max(0.0, trace_seconds * scale);
+  return std::chrono::nanoseconds(
+      static_cast<std::int64_t>(wall * 1e9));
+}
+
+}  // namespace
+
+ThreadRuntime::ThreadRuntime(SystemTrace trace, const AtomRegistry* registry,
+                             ThreadConfig config)
+    : registry_(registry), config_(config) {
+  const int n = trace.num_processes();
+  history_.resize(static_cast<std::size_t>(n));
+  nodes_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto node = std::make_unique<Node>();
+    node->process = std::make_unique<ProgramProcess>(
+        i, n, trace.procs[static_cast<std::size_t>(i)], registry_);
+    node->expected_receives = trace.expected_receives(i);
+    node->last_delivery.assign(static_cast<std::size_t>(n),
+                               Clock::time_point{});
+    node->latency = std::make_unique<NormalWait>(
+        config_.latency_mu, config_.latency_sigma,
+        derive_seed(config_.seed, 7000 + static_cast<std::uint64_t>(i)),
+        /*min=*/0.0001);
+    nodes_.push_back(std::move(node));
+  }
+}
+
+ThreadRuntime::~ThreadRuntime() {
+  stop_.store(true);
+  for (auto& node : nodes_) node->cv.notify_all();
+  // jthread joins on destruction.
+}
+
+std::vector<LocalState> ThreadRuntime::initial_states() const {
+  std::vector<LocalState> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) out.push_back(node->process->state());
+  return out;
+}
+
+double ThreadRuntime::now() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+ThreadRuntime::Clock::time_point ThreadRuntime::fifo_time(
+    int from, int to, Clock::time_point candidate) {
+  // Called from the sender's thread only; each sender serializes its own
+  // sends, so the clamp table needs no lock.
+  auto& last = nodes_[static_cast<std::size_t>(from)]
+                   ->last_delivery[static_cast<std::size_t>(to)];
+  const auto at = std::max(candidate, last + std::chrono::nanoseconds(1));
+  last = at;
+  return at;
+}
+
+void ThreadRuntime::deliver(int to, Clock::time_point at, Payload payload) {
+  Node& node = *nodes_[static_cast<std::size_t>(to)];
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::scoped_lock lock(node.mutex);
+    node.inbox.push(
+        Timed{at, seq_.fetch_add(1, std::memory_order_relaxed),
+              std::move(payload)});
+  }
+  node.cv.notify_all();
+}
+
+void ThreadRuntime::send(MonitorMessage msg) {
+  const int from = current_node_ >= 0 ? current_node_ : msg.from;
+  Clock::time_point at = Clock::now();
+  if (msg.from != msg.to) {
+    monitor_messages_.fetch_add(1, std::memory_order_relaxed);
+    at += to_wall(nodes_[static_cast<std::size_t>(from)]->latency->sample(),
+                  config_.time_scale);
+    at = fifo_time(msg.from, msg.to, at);
+  }
+  deliver(msg.to, at, std::move(msg));
+}
+
+void ThreadRuntime::run() {
+  start_ = Clock::now();
+  stop_.store(false);
+  active_programs_.store(num_processes());
+  threads_.clear();
+  threads_.reserve(static_cast<std::size_t>(num_processes()));
+  for (int i = 0; i < num_processes(); ++i) {
+    history_[static_cast<std::size_t>(i)].clear();
+    history_[static_cast<std::size_t>(i)].push_back(
+        nodes_[static_cast<std::size_t>(i)]->process->initial_event());
+    threads_.emplace_back([this, i] { node_main(i); });
+  }
+  // Quiescence: every program finished its trace and announced termination,
+  // and no message is queued or being processed. Double-check with a short
+  // settle window to close the send-during-processing race.
+  while (true) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (active_programs_.load(std::memory_order_acquire) != 0) continue;
+    if (in_flight_.load(std::memory_order_acquire) != 0) continue;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    if (active_programs_.load(std::memory_order_acquire) == 0 &&
+        in_flight_.load(std::memory_order_acquire) == 0) {
+      break;
+    }
+  }
+  stop_.store(true);
+  for (auto& node : nodes_) node->cv.notify_all();
+  threads_.clear();  // join
+}
+
+void ThreadRuntime::node_main(int index) {
+  current_node_ = index;
+  Node& node = *nodes_[static_cast<std::size_t>(index)];
+  ProgramProcess& proc = *node.process;
+  auto& hist = history_[static_cast<std::size_t>(index)];
+
+  int receives_left = node.expected_receives;
+  bool announced_termination = false;
+  Clock::time_point next_action =
+      proc.has_next_action()
+          ? start_ + to_wall(proc.next_action_wait(), config_.time_scale)
+          : Clock::time_point::max();
+
+  auto record_event = [&](const Event& e) {
+    program_events_.fetch_add(1, std::memory_order_relaxed);
+    hist.push_back(e);
+    if (hooks_) hooks_->on_local_event(index, e, now());
+  };
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Pull one ready message, or wait for the next action/message.
+    std::optional<Payload> ready;
+    {
+      std::unique_lock lock(node.mutex);
+      const auto next_msg_at = [&]() {
+        return node.inbox.empty() ? Clock::time_point::max()
+                                  : node.inbox.top().at;
+      };
+      auto wake = std::min(next_action, next_msg_at());
+      // Bounded wait so stop_ and newly queued messages are noticed.
+      const auto cap = Clock::now() + std::chrono::milliseconds(5);
+      node.cv.wait_until(lock, std::min(wake, cap), [&] {
+        return stop_.load(std::memory_order_acquire) ||
+               (!node.inbox.empty() && node.inbox.top().at <= Clock::now());
+      });
+      if (stop_.load(std::memory_order_acquire)) break;
+      if (!node.inbox.empty() && node.inbox.top().at <= Clock::now()) {
+        ready = node.inbox.top().payload;
+        node.inbox.pop();
+      }
+    }
+    if (ready) {
+      if (auto* app = std::get_if<AppMessage>(&*ready)) {
+        const Event e = proc.receive(*app, now());
+        --receives_left;
+        record_event(e);
+      } else {
+        const MonitorMessage& msg = std::get<MonitorMessage>(*ready);
+        if (hooks_) hooks_->on_monitor_message(msg, now());
+      }
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    } else if (proc.has_next_action() && Clock::now() >= next_action) {
+      ProgramProcess::ActionResult result = proc.execute_next_action(now());
+      record_event(result.event);
+      if (result.is_comm) {
+        for (int to = 0; to < num_processes(); ++to) {
+          if (to == index) continue;
+          AppMessage msg = result.message;
+          msg.to = to;
+          app_messages_.fetch_add(1, std::memory_order_relaxed);
+          auto at = Clock::now() +
+                    to_wall(node.latency->sample(), config_.time_scale);
+          deliver(to, fifo_time(index, to, at), std::move(msg));
+        }
+      }
+      next_action =
+          proc.has_next_action()
+              ? Clock::now() + to_wall(proc.next_action_wait(),
+                                       config_.time_scale)
+              : Clock::time_point::max();
+    }
+    if (!announced_termination && !proc.has_next_action() &&
+        receives_left == 0) {
+      announced_termination = true;
+      if (hooks_) hooks_->on_local_termination(index, now());
+      active_programs_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+}
+
+}  // namespace decmon

@@ -1,0 +1,189 @@
+#include "decmon/distributed/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "decmon/util/rng.hpp"
+#include "decmon/util/strings.hpp"
+
+namespace decmon {
+
+int ProcessTrace::count(TraceAction::Kind kind) const {
+  int n = 0;
+  for (const TraceAction& a : actions) {
+    if (a.kind == kind) ++n;
+  }
+  return n;
+}
+
+int SystemTrace::expected_receives(int to) const {
+  int n = 0;
+  for (int p = 0; p < num_processes(); ++p) {
+    if (p == to) continue;
+    n += procs[static_cast<std::size_t>(p)].count(TraceAction::Kind::kComm);
+  }
+  return n;
+}
+
+int SystemTrace::total_events() const {
+  const int n = num_processes();
+  int total = 0;
+  for (const ProcessTrace& pt : procs) {
+    total += pt.count(TraceAction::Kind::kInternal);
+    total += pt.count(TraceAction::Kind::kComm) * n;  // 1 send + n-1 receives
+  }
+  return total;
+}
+
+SystemTrace generate_trace(const TraceParams& params) {
+  if (params.num_processes < 1) {
+    throw std::invalid_argument("generate_trace: need at least one process");
+  }
+  SystemTrace trace;
+  trace.procs.resize(static_cast<std::size_t>(params.num_processes));
+  for (int p = 0; p < params.num_processes; ++p) {
+    ProcessTrace& pt = trace.procs[static_cast<std::size_t>(p)];
+    pt.initial.assign(static_cast<std::size_t>(params.num_variables),
+                      params.initial_true ? 1 : 0);
+
+    const std::uint64_t seed =
+        derive_seed(params.seed, static_cast<std::uint64_t>(p));
+    NormalWait evt_wait(params.evt_mu, params.evt_sigma, derive_seed(seed, 1),
+                        /*min=*/0.01);
+    NormalWait comm_wait(params.comm_mu, params.comm_sigma,
+                         derive_seed(seed, 2), /*min=*/0.01);
+    std::mt19937_64 flips(derive_seed(seed, 3));
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+    // Two independent wait-time streams (internal / comm) merged by time.
+    struct Timed {
+      double at;
+      TraceAction action;
+    };
+    std::vector<Timed> timeline;
+    double t = 0.0;
+    LocalState state = pt.initial;
+    for (int e = 0; e < params.internal_events; ++e) {
+      const double wait = evt_wait.sample();
+      t += wait;
+      for (auto& v : state) {
+        v = unit(flips) < params.true_bias ? 1 : 0;
+      }
+      TraceAction a;
+      a.kind = TraceAction::Kind::kInternal;
+      a.state = state;
+      timeline.push_back({t, std::move(a)});
+    }
+    const double end_time = t;
+    if (params.comm_enabled && params.num_processes > 1) {
+      double ct = comm_wait.sample();
+      while (ct < end_time) {
+        TraceAction a;
+        a.kind = TraceAction::Kind::kComm;
+        timeline.push_back({ct, std::move(a)});
+        ct += comm_wait.sample();
+      }
+    }
+    std::stable_sort(timeline.begin(), timeline.end(),
+                     [](const Timed& a, const Timed& b) { return a.at < b.at; });
+    double prev = 0.0;
+    for (Timed& item : timeline) {
+      item.action.wait = item.at - prev;
+      prev = item.at;
+      pt.actions.push_back(std::move(item.action));
+    }
+  }
+  return trace;
+}
+
+void force_final_all_true(SystemTrace& trace) {
+  for (ProcessTrace& pt : trace.procs) {
+    for (auto it = pt.actions.rbegin(); it != pt.actions.rend(); ++it) {
+      if (it->kind == TraceAction::Kind::kInternal) {
+        for (auto& v : it->state) v = 1;
+        break;
+      }
+    }
+  }
+}
+
+std::string to_text(const SystemTrace& trace) {
+  std::ostringstream os;
+  os << "processes " << trace.num_processes() << "\n";
+  for (int p = 0; p < trace.num_processes(); ++p) {
+    const ProcessTrace& pt = trace.procs[static_cast<std::size_t>(p)];
+    os << "process " << p << " vars " << pt.initial.size() << "\n";
+    os << "init";
+    for (auto v : pt.initial) os << ' ' << v;
+    os << "\n";
+    for (const TraceAction& a : pt.actions) {
+      if (a.kind == TraceAction::Kind::kComm) {
+        os << "comm " << a.wait << "\n";
+      } else {
+        os << "internal " << a.wait;
+        for (auto v : a.state) os << ' ' << v;
+        os << "\n";
+      }
+    }
+    os << "end\n";
+  }
+  return os.str();
+}
+
+SystemTrace trace_from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string word;
+  auto expect = [&](const std::string& what) {
+    if (!(is >> word) || word != what) {
+      throw std::runtime_error("trace_from_text: expected '" + what +
+                               "', got '" + word + "'");
+    }
+  };
+  expect("processes");
+  int n = 0;
+  if (!(is >> n) || n < 1) {
+    throw std::runtime_error("trace_from_text: bad process count");
+  }
+  SystemTrace trace;
+  trace.procs.resize(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    expect("process");
+    int idx = -1;
+    is >> idx;
+    if (idx != p) throw std::runtime_error("trace_from_text: bad process id");
+    expect("vars");
+    std::size_t nvars = 0;
+    is >> nvars;
+    ProcessTrace& pt = trace.procs[static_cast<std::size_t>(p)];
+    expect("init");
+    pt.initial.resize(nvars);
+    for (auto& v : pt.initial) is >> v;
+    while (is >> word && word != "end") {
+      TraceAction a;
+      if (word == "comm") {
+        a.kind = TraceAction::Kind::kComm;
+        is >> a.wait;
+      } else if (word == "internal") {
+        a.kind = TraceAction::Kind::kInternal;
+        is >> a.wait;
+        a.state.resize(nvars);
+        for (auto& v : a.state) is >> v;
+      } else {
+        throw std::runtime_error("trace_from_text: unknown action '" + word +
+                                 "'");
+      }
+      if (!is) throw std::runtime_error("trace_from_text: truncated action");
+      pt.actions.push_back(std::move(a));
+    }
+    if (word != "end") throw std::runtime_error("trace_from_text: missing end");
+  }
+  return trace;
+}
+
+std::ostream& operator<<(std::ostream& os, const SystemTrace& trace) {
+  return os << to_text(trace);
+}
+
+}  // namespace decmon

@@ -1,0 +1,63 @@
+// Static analysis of monitor automata (the paper's future-work item 7.2.2):
+// per-state facts that let the runtime monitors prioritize and prune.
+//
+//   * verdict reachability -- whether TRUE / FALSE states are reachable
+//     from each state. A state from which no definite verdict is reachable
+//     can never change the outcome: monitors may stop probing there
+//     entirely (e.g. the single-state monitor of G F p).
+//   * distance to the nearest definite-verdict state -- the paper suggests
+//     exploring "the shorter path first"; token routing can prefer
+//     transitions whose target is closer to a verdict.
+#pragma once
+
+#include <vector>
+
+#include "decmon/automata/monitor_automaton.hpp"
+
+namespace decmon {
+
+struct AutomatonAnalysis {
+  /// Per state: can a FALSE-labelled state be reached?
+  std::vector<char> can_reach_false;
+  /// Per state: can a TRUE-labelled state be reached?
+  std::vector<char> can_reach_true;
+  /// Per state: edge distance to the nearest definite-verdict state
+  /// (0 for final states, kUnreachable when none is reachable).
+  std::vector<int> distance_to_verdict;
+
+  static constexpr int kUnreachable = -1;
+
+  /// No definite verdict reachable: the state's '?' can never change.
+  bool verdict_settled(int q) const {
+    return !can_reach_false[static_cast<std::size_t>(q)] &&
+           !can_reach_true[static_cast<std::size_t>(q)];
+  }
+};
+
+/// Analyze `automaton` (linear in states + transitions).
+AutomatonAnalysis analyze_automaton(const MonitorAutomaton& automaton);
+
+/// Monitorability classification (Bauer-Leucker-Schallhart terminology),
+/// decided on the monitor automaton's reachable states.
+enum class Monitorability {
+  /// Only FALSE is ever reachable: pure safety (violations detectable,
+  /// satisfaction never declarable). Example: G p.
+  kSafety,
+  /// Only TRUE is ever reachable: pure co-safety. Example: F p.
+  kCoSafety,
+  /// Both verdicts occur and every reachable state can still reach one:
+  /// monitoring always stays useful. Example: p U q.
+  kMonitorable,
+  /// Verdicts are possible, but some reachable "ugly" state is settled:
+  /// monitoring can become permanently uninformative. Example:
+  /// (p U q) || G F r.
+  kWeaklyMonitorable,
+  /// No finite trace ever produces a verdict. Example: G F p.
+  kNonMonitorable,
+};
+
+std::string to_string(Monitorability m);
+
+Monitorability classify(const MonitorAutomaton& automaton);
+
+}  // namespace decmon

@@ -1,0 +1,52 @@
+// Nondeterministic Buchi automata and the GPVW (Gerth-Peled-Vardi-Wolper)
+// on-the-fly translation from LTL. This is the front half of the LTL3
+// monitor synthesis of Bauer-Leucker-Schallhart [1] used by the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "decmon/automata/guard.hpp"
+#include "decmon/ltl/formula.hpp"
+
+namespace decmon {
+
+/// Nondeterministic Buchi automaton over the alphabet 2^AP.
+///
+/// Transitions are guarded by cubes (conjunctions of literals); a letter may
+/// enable several transitions. Acceptance is state-based (Buchi).
+struct Nba {
+  struct Transition {
+    int target = -1;
+    Cube guard;
+  };
+
+  int num_states = 0;
+  std::vector<int> initial;                        ///< set of initial states
+  std::vector<char> accepting;                     ///< per-state flag
+  std::vector<std::vector<Transition>> out;        ///< per-state transitions
+  AtomSet atom_mask = 0;                           ///< atoms referenced
+
+  /// States from which some infinite word is accepted (the function F_phi of
+  /// the LTL3 construction): the state can reach a nontrivial SCC containing
+  /// an accepting state.
+  std::vector<char> nonempty_states() const;
+
+  /// Does the automaton accept the lasso word `prefix . loop^omega`?
+  /// Exponential in principle but fine for the test-sized inputs; checks
+  /// for an accepting cycle in the (state, position) product graph.
+  bool accepts_lasso(const std::vector<AtomSet>& prefix,
+                     const std::vector<AtomSet>& loop) const;
+
+  /// Set of states reachable from `from` by reading `letter` (one step).
+  std::vector<int> step(const std::vector<int>& from, AtomSet letter) const;
+
+  std::string to_dot(const AtomRegistry* reg = nullptr) const;
+};
+
+/// Translate an LTL formula to an NBA accepting exactly its models.
+/// The formula is converted to negation normal form internally.
+Nba ltl_to_nba(const FormulaPtr& formula);
+
+}  // namespace decmon

@@ -1,0 +1,60 @@
+// Conjunctive guards (cubes) over atomic propositions.
+//
+// Every transition of an LTL3 monitor automaton is labelled by a conjunction
+// of literals (the paper splits disjunctive predicates into one transition
+// per disjunct, §4.1 footnote 1). A cube stores the positive and negative
+// literal sets as bitmasks over atom ids.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "decmon/ltl/atoms.hpp"
+
+namespace decmon {
+
+struct Cube {
+  AtomSet pos = 0;  ///< atoms that must hold
+  AtomSet neg = 0;  ///< atoms that must not hold
+
+  /// Does the assignment `letter` satisfy the cube?
+  bool matches(AtomSet letter) const {
+    return (letter & pos) == pos && (letter & neg) == 0;
+  }
+
+  /// `true` guard (no literals).
+  bool is_true() const { return pos == 0 && neg == 0; }
+
+  /// Requires an atom both positively and negatively — unsatisfiable.
+  bool contradictory() const { return (pos & neg) != 0; }
+
+  /// All atoms mentioned.
+  AtomSet support() const { return pos | neg; }
+
+  /// Number of literals.
+  int size() const;
+
+  /// Conjunction of two cubes (may be contradictory).
+  static Cube conjoin(const Cube& a, const Cube& b) {
+    return Cube{a.pos | b.pos, a.neg | b.neg};
+  }
+
+  /// Does every assignment satisfying `*this` also satisfy `other`?
+  bool implies(const Cube& other) const {
+    return (other.pos & ~pos) == 0 && (other.neg & ~neg) == 0;
+  }
+
+  bool operator==(const Cube&) const = default;
+
+  /// Render as "a0 && !a1" (or "true"); names from `reg` if given.
+  std::string to_string(const AtomRegistry* reg = nullptr) const;
+};
+
+/// The literals of a cube restricted to atoms owned by process `proc`.
+Cube restrict_to_process(const Cube& cube, const AtomRegistry& reg, int proc);
+
+/// Do the local values in `letter` (for `proc`-owned atoms) satisfy the
+/// `proc`-owned literals of `cube`? Other processes' literals are ignored.
+bool locally_satisfied(const Cube& cube, AtomSet letter, AtomSet owned_mask);
+
+}  // namespace decmon

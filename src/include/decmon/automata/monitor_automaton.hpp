@@ -1,0 +1,105 @@
+// The deterministic LTL3 monitor automaton (Def. 12): a complete Moore
+// machine whose states carry verdicts in {TRUE, FALSE, UNKNOWN} and whose
+// transitions are guarded by conjunctive global-state predicates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "decmon/automata/guard.hpp"
+#include "decmon/ltl/atoms.hpp"
+
+namespace decmon {
+
+/// 3-valued LTL verdict (Def. 11).
+enum class Verdict : std::uint8_t {
+  kUnknown = 0,  ///< '?': current finite trace decides nothing
+  kTrue = 1,     ///< every infinite extension satisfies the property
+  kFalse = 2,    ///< every infinite extension violates the property
+};
+
+std::string to_string(Verdict v);
+
+/// One monitor transition; `id` is dense across the whole automaton.
+struct MonitorTransition {
+  int id = -1;
+  int from = -1;
+  int to = -1;
+  Cube guard;
+
+  bool self_loop() const { return from == to; }
+};
+
+/// Deterministic, complete Moore machine over global states.
+///
+/// Determinism and completeness are with respect to the *relevant* atoms
+/// (the union of all guard supports): for every state and every assignment
+/// of those atoms, exactly one transition matches. `validate()` checks this
+/// exhaustively.
+class MonitorAutomaton {
+ public:
+  MonitorAutomaton() = default;
+
+  /// Add a state with the given verdict; returns its index.
+  int add_state(Verdict v);
+
+  /// Add a transition; returns its dense id.
+  int add_transition(int from, int to, Cube guard);
+
+  int num_states() const { return static_cast<int>(verdicts_.size()); }
+  int initial_state() const { return initial_; }
+  void set_initial(int q) { initial_ = q; }
+
+  Verdict verdict(int q) const {
+    return verdicts_.at(static_cast<std::size_t>(q));
+  }
+  bool is_final(int q) const { return verdict(q) != Verdict::kUnknown; }
+
+  /// Ids of the transitions leaving state `q` (self-loops included).
+  const std::vector<int>& transitions_from(int q) const {
+    return out_.at(static_cast<std::size_t>(q));
+  }
+  const MonitorTransition& transition(int id) const {
+    return transitions_.at(static_cast<std::size_t>(id));
+  }
+  int num_transitions() const { return static_cast<int>(transitions_.size()); }
+  const std::vector<MonitorTransition>& transitions() const {
+    return transitions_;
+  }
+
+  /// Deterministic step: the target of the unique matching transition, or
+  /// nullopt when no transition matches (incomplete automaton).
+  std::optional<int> step(int q, AtomSet letter) const;
+
+  /// The matching transition itself (nullptr when none matches).
+  const MonitorTransition* matching_transition(int q, AtomSet letter) const;
+
+  /// Run the automaton over a finite trace from the initial state.
+  /// Precondition: the automaton is complete over the trace's letters.
+  int run(const std::vector<AtomSet>& trace) const;
+
+  /// All atoms mentioned by any guard.
+  AtomSet relevant_atoms() const;
+
+  // -- statistics reported by Table 5.1 / Fig. 5.1 --
+  int count_total() const { return num_transitions(); }
+  int count_self_loops() const;
+  int count_outgoing() const { return count_total() - count_self_loops(); }
+
+  /// Check determinism + completeness over the relevant atoms. Returns an
+  /// error description, or nullopt when valid. Exponential in the number of
+  /// relevant atoms; intended for construction-time checks.
+  std::optional<std::string> validate() const;
+
+  std::string to_dot(const AtomRegistry* reg = nullptr) const;
+
+ private:
+  int initial_ = 0;
+  std::vector<Verdict> verdicts_;
+  std::vector<std::vector<int>> out_;       ///< per-state transition ids
+  std::vector<MonitorTransition> transitions_;
+};
+
+}  // namespace decmon

@@ -1,0 +1,23 @@
+// Two-level logic minimization (Quine-McCluskey prime generation followed by
+// a greedy cover) used to turn the letter-level transition function of a
+// determinized monitor into a small set of conjunctive-predicate transitions
+// -- the representation Table 5.1 of the paper counts.
+#pragma once
+
+#include <vector>
+
+#include "decmon/automata/guard.hpp"
+
+namespace decmon {
+
+/// Minimize a boolean function given as an on-set over `k` dense variables.
+///
+/// `onset[m]` is true iff minterm `m` (a k-bit assignment) is in the
+/// function; `onset.size()` must be `1 << k`. `atom_ids[j]` maps dense
+/// variable `j` to a global atom id; the returned cubes are expressed over
+/// global atom ids. The cover is exact (covers the on-set and nothing else).
+/// Requires k <= 20.
+std::vector<Cube> minimize_cover(const std::vector<char>& onset, int k,
+                                 const std::vector<int>& atom_ids);
+
+}  // namespace decmon

@@ -1,0 +1,49 @@
+// decmon -- decentralized runtime verification of LTL specifications in
+// distributed systems.
+//
+// Umbrella header: pulls in the full public API.
+//
+//   * LTL front end:      decmon/ltl/{atoms,formula,parser,eval}.hpp
+//   * LTL3 synthesis:     decmon/automata/{buchi,ltl3_monitor,...}.hpp
+//   * Distributed layer:  decmon/distributed/{trace,sim_runtime,...}.hpp
+//   * Lattice & oracle:   decmon/lattice/{computation,oracle,slicer}.hpp
+//   * Monitoring:         decmon/monitor/{monitor_process,...}.hpp
+//   * Facade:             decmon/core/{session,properties}.hpp
+#pragma once
+
+#include "decmon/automata/buchi.hpp"
+#include "decmon/automata/analysis.hpp"
+#include "decmon/automata/guard.hpp"
+#include "decmon/automata/ltl3_monitor.hpp"
+#include "decmon/automata/monitor_automaton.hpp"
+#include "decmon/automata/qm_minimize.hpp"
+#include "decmon/core/properties.hpp"
+#include "decmon/core/session.hpp"
+#include "decmon/distributed/event.hpp"
+#include "decmon/distributed/message.hpp"
+#include "decmon/distributed/process.hpp"
+#include "decmon/distributed/replay_runtime.hpp"
+#include "decmon/distributed/runtime.hpp"
+#include "decmon/distributed/sim_runtime.hpp"
+#include "decmon/distributed/thread_runtime.hpp"
+#include "decmon/distributed/trace.hpp"
+#include "decmon/lattice/augmented_time.hpp"
+#include "decmon/lattice/computation.hpp"
+#include "decmon/lattice/event_log.hpp"
+#include "decmon/lattice/lattice.hpp"
+#include "decmon/lattice/oracle.hpp"
+#include "decmon/lattice/slicer.hpp"
+#include "decmon/ltl/atoms.hpp"
+#include "decmon/ltl/eval.hpp"
+#include "decmon/ltl/formula.hpp"
+#include "decmon/ltl/parser.hpp"
+#include "decmon/monitor/centralized_monitor.hpp"
+#include "decmon/monitor/decentralized_monitor.hpp"
+#include "decmon/monitor/monitor_process.hpp"
+#include "decmon/monitor/predicate.hpp"
+#include "decmon/monitor/stats.hpp"
+#include "decmon/monitor/token.hpp"
+#include "decmon/monitor/wire.hpp"
+#include "decmon/util/rng.hpp"
+#include "decmon/util/strings.hpp"
+#include "decmon/util/vector_clock.hpp"

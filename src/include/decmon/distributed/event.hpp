@@ -1,0 +1,37 @@
+// Events of a distributed program (§2.1): internal state changes, message
+// sends and message receives, each stamped with the process's vector clock
+// and a per-process sequence number.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "decmon/ltl/atoms.hpp"
+#include "decmon/util/vector_clock.hpp"
+
+namespace decmon {
+
+enum class EventType : std::uint8_t {
+  kInitial,   ///< pseudo-event: the initial local state (sn 0)
+  kInternal,  ///< local variable change
+  kSend,      ///< message send (state unchanged)
+  kReceive,   ///< message receive (state unchanged, clock merged)
+};
+
+std::string to_string(EventType t);
+
+/// One event, the paper's tuple e = (T, D, VC, sn). `letter` caches the
+/// valuation of the owner's atomic propositions at `state` so monitors never
+/// re-evaluate atoms.
+struct Event {
+  EventType type = EventType::kInternal;
+  int process = -1;       ///< owning process
+  std::uint32_t sn = 0;   ///< sequence number within the process (0=initial)
+  VectorClock vc;         ///< owner's clock at/after the event
+  LocalState state;       ///< owner's variable valuation after the event
+  AtomSet letter = 0;     ///< owner-owned atoms holding in `state`
+  double time = 0.0;      ///< occurrence time (metrics only, not consulted
+                          ///< by the algorithm -- there is no global clock)
+};
+
+}  // namespace decmon

@@ -1,0 +1,36 @@
+// Message types moved over the (simulated or threaded) network.
+//
+// Application messages carry the sender's vector clock (piggybacked, §4.2).
+// Monitor-to-monitor messages are opaque to the transport: the monitoring
+// layer defines concrete payloads (tokens, termination signals) derived from
+// NetPayload, so the runtimes need no dependency on the monitor module.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "decmon/util/vector_clock.hpp"
+
+namespace decmon {
+
+/// Application-level message between program processes.
+struct AppMessage {
+  int from = -1;
+  int to = -1;
+  VectorClock vc;            ///< sender's clock at the send event
+  std::uint32_t send_sn = 0; ///< sender's sequence number of the send event
+};
+
+/// Base class for monitor-layer payloads routed through a runtime.
+struct NetPayload {
+  virtual ~NetPayload() = default;
+};
+
+/// A monitor-to-monitor message in flight.
+struct MonitorMessage {
+  int from = -1;
+  int to = -1;
+  std::shared_ptr<NetPayload> payload;
+};
+
+}  // namespace decmon

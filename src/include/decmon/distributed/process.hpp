@@ -1,0 +1,62 @@
+// The program side of one node: executes its trace script, maintains the
+// local variable valuation and vector clock, and produces the event stream
+// its attached monitor observes. Runtime-agnostic: the simulation and thread
+// runtimes both drive this object.
+#pragma once
+
+#include <cstdint>
+
+#include "decmon/distributed/event.hpp"
+#include "decmon/distributed/message.hpp"
+#include "decmon/distributed/trace.hpp"
+#include "decmon/ltl/atoms.hpp"
+#include "decmon/util/vector_clock.hpp"
+
+namespace decmon {
+
+class ProgramProcess {
+ public:
+  /// `registry` may be null (no atoms cached on events).
+  ProgramProcess(int index, int num_processes, ProcessTrace trace,
+                 const AtomRegistry* registry);
+
+  int index() const { return index_; }
+
+  /// The pseudo-event representing the initial local state (sn 0).
+  Event initial_event() const;
+
+  bool has_next_action() const {
+    return next_action_ < trace_.actions.size();
+  }
+  /// Wait time before the next action (seconds).
+  double next_action_wait() const;
+
+  struct ActionResult {
+    Event event;          ///< the internal or send event generated
+    bool is_comm = false; ///< true: runtime must broadcast `message`
+    AppMessage message;   ///< template (to is filled per receiver)
+  };
+
+  /// Execute the next scripted action at time `now`.
+  ActionResult execute_next_action(double now);
+
+  /// Deliver an application message; returns the receive event.
+  Event receive(const AppMessage& msg, double now);
+
+  const VectorClock& clock() const { return vc_; }
+  const LocalState& state() const { return state_; }
+  std::uint32_t last_sn() const { return sn_; }
+
+ private:
+  Event make_event(EventType type, double now) const;
+
+  int index_;
+  ProcessTrace trace_;
+  const AtomRegistry* registry_;
+  std::size_t next_action_ = 0;
+  VectorClock vc_;
+  LocalState state_;
+  std::uint32_t sn_ = 0;
+};
+
+}  // namespace decmon

@@ -1,0 +1,48 @@
+// Replay runtime: drive a monitoring layer over an already-recorded
+// computation, with a seeded (but per-channel FIFO) interleaving of event
+// deliveries and monitor-message deliveries. Monitors only rely on vector
+// clocks, so any schedule respecting per-process event order and channel
+// FIFO is a legal asynchronous execution; sweeping seeds stress-tests
+// schedule independence. This powers offline analysis (tools/monitor_log)
+// and the randomized soundness/completeness tests.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <random>
+
+#include "decmon/distributed/runtime.hpp"
+#include "decmon/lattice/computation.hpp"
+
+namespace decmon {
+
+class ReplayRuntime final : public MonitorNetwork {
+ public:
+  /// Deliver everything: events under the interleaving selected by `seed`,
+  /// termination signals when a process's events run out, and monitor
+  /// messages interleaved throughout; returns once fully quiescent.
+  /// Construct the monitoring layer against `*this` first (it is the
+  /// MonitorNetwork the monitors send through).
+  void run(const Computation& computation, MonitorHooks& hooks,
+           std::uint64_t seed);
+
+  // MonitorNetwork:
+  void send(MonitorMessage msg) override {
+    channels_[{msg.from, msg.to}].push_back(std::move(msg));
+  }
+  double now() const override { return t_; }
+
+  /// Monitor messages delivered across all run() calls.
+  std::uint64_t deliveries() const { return deliveries_; }
+
+ private:
+  bool channels_empty() const;
+  void deliver_one(MonitorHooks& hooks, std::mt19937_64& rng);
+
+  std::map<std::pair<int, int>, std::deque<MonitorMessage>> channels_;
+  double t_ = 0.0;
+  std::uint64_t deliveries_ = 0;
+};
+
+}  // namespace decmon

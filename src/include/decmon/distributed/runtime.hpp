@@ -1,0 +1,44 @@
+// Runtime interfaces decoupling the monitoring layer from the execution
+// substrate. A runtime drives ProgramProcess objects, delivers application
+// and monitor messages over reliable FIFO channels, and notifies the
+// monitoring layer through MonitorHooks; the monitoring layer sends through
+// MonitorNetwork. The same monitor code runs under the deterministic
+// discrete-event simulator and the real-thread runtime.
+#pragma once
+
+#include "decmon/distributed/event.hpp"
+#include "decmon/distributed/message.hpp"
+
+namespace decmon {
+
+/// Implemented by the monitoring layer; invoked by runtimes.
+class MonitorHooks {
+ public:
+  virtual ~MonitorHooks() = default;
+
+  /// A local event occurred at `proc` (the monitor reads the local state in
+  /// one atomic step -- same-node, no network hop).
+  virtual void on_local_event(int proc, const Event& event, double now) = 0;
+
+  /// `proc`'s program terminated: no further local events will occur.
+  virtual void on_local_termination(int proc, double now) = 0;
+
+  /// A monitor-to-monitor message arrived at `msg.to`.
+  virtual void on_monitor_message(const MonitorMessage& msg, double now) = 0;
+};
+
+/// Implemented by runtimes; used by the monitoring layer to communicate.
+class MonitorNetwork {
+ public:
+  virtual ~MonitorNetwork() = default;
+
+  /// Queue a monitor message for delivery (reliable, FIFO per channel,
+  /// unbounded-but-finite delay). Self-sends are delivered too.
+  virtual void send(MonitorMessage msg) = 0;
+
+  /// Current time in seconds (virtual under simulation, wall-clock under
+  /// threads). Used only for metrics, never for ordering decisions.
+  virtual double now() const = 0;
+};
+
+}  // namespace decmon

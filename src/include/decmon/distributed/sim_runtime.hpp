@@ -1,0 +1,105 @@
+// Deterministic discrete-event simulation runtime.
+//
+// Substitutes for the paper's physical testbed (five iOS devices on WiFi):
+// trace actions fire at virtual times, messages experience a random
+// (seeded) latency, and simultaneous occurrences are ordered by a stable
+// (time, sequence) key, so every experiment row is exactly replayable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "decmon/distributed/process.hpp"
+#include "decmon/distributed/runtime.hpp"
+#include "decmon/distributed/trace.hpp"
+#include "decmon/util/rng.hpp"
+
+namespace decmon {
+
+struct SimConfig {
+  double app_latency_mu = 0.05;   ///< application message latency N(mu,
+  double app_latency_sigma = 0.02;///< sigma), truncated at min_latency
+  double mon_latency_mu = 0.05;   ///< monitor message latency
+  double mon_latency_sigma = 0.02;
+  double min_latency = 0.001;
+  std::uint64_t seed = 1;
+};
+
+class SimRuntime final : public MonitorNetwork {
+ public:
+  SimRuntime(SystemTrace trace, const AtomRegistry* registry,
+             SimConfig config = {});
+
+  /// Attach the monitoring layer (may be null for program-only runs).
+  void set_hooks(MonitorHooks* hooks) { hooks_ = hooks; }
+
+  /// Run to quiescence: all trace actions executed, all messages delivered.
+  void run();
+
+  // MonitorNetwork:
+  void send(MonitorMessage msg) override;
+  double now() const override { return now_; }
+
+  int num_processes() const { return static_cast<int>(procs_.size()); }
+
+  /// Recorded event history per process; index 0 is the initial pseudo-event.
+  const std::vector<std::vector<Event>>& history() const { return history_; }
+
+  /// Initial local states (for monitor initialization).
+  std::vector<LocalState> initial_states() const;
+
+  double program_end_time() const { return program_end_; }
+  double monitor_end_time() const { return monitor_end_; }
+  std::uint64_t app_messages_sent() const { return app_messages_; }
+  std::uint64_t monitor_messages_sent() const { return monitor_messages_; }
+  /// Internal + send + receive events actually generated.
+  std::uint64_t program_events() const { return program_events_; }
+
+ private:
+  struct Item {
+    double time;
+    std::uint64_t seq;  ///< tie-break for determinism
+    std::function<void()> fn;
+    bool operator>(const Item& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void schedule(double time, std::function<void()> fn);
+  void execute_action(int proc);
+  void schedule_next_action(int proc);
+  void deliver_app(const AppMessage& msg);
+  void record_and_notify(const Event& e);
+  void maybe_terminate(int proc);
+  /// FIFO channels: delivery never earlier than the previous one.
+  double fifo_delivery_time(std::vector<double>& last, int channel,
+                            double candidate);
+
+  const AtomRegistry* registry_;
+  SimConfig config_;
+  MonitorHooks* hooks_ = nullptr;
+
+  std::vector<ProgramProcess> procs_;
+  std::vector<std::vector<Event>> history_;
+  std::vector<int> remaining_receives_;
+  std::vector<char> terminated_;
+
+  NormalWait app_latency_;
+  NormalWait mon_latency_;
+  std::vector<double> app_last_delivery_;  ///< [from * n + to]
+  std::vector<double> mon_last_delivery_;
+
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  double program_end_ = 0.0;
+  double monitor_end_ = 0.0;
+  std::uint64_t app_messages_ = 0;
+  std::uint64_t monitor_messages_ = 0;
+  std::uint64_t program_events_ = 0;
+};
+
+}  // namespace decmon

@@ -1,0 +1,120 @@
+// Real-thread runtime: one std::jthread per node (program process + its
+// monitor replica), mailbox message passing with randomized latency and
+// per-channel FIFO, wall-clock time. Exercises the same MonitorHooks /
+// MonitorNetwork code path as the deterministic simulator, but with genuine
+// asynchrony -- the closest in-process equivalent of the paper's network of
+// iOS devices.
+//
+// Thread-safety contract: all callbacks for node i (its local events, its
+// termination, messages addressed to it) are invoked from node i's thread
+// only, so per-monitor state needs no locking (CP.2/CP.3: the only shared
+// mutable state is the mailboxes, each guarded by its own mutex).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "decmon/distributed/process.hpp"
+#include "decmon/distributed/runtime.hpp"
+#include "decmon/distributed/trace.hpp"
+#include "decmon/util/rng.hpp"
+
+namespace decmon {
+
+struct ThreadConfig {
+  /// Wall-clock seconds per trace second (0.002 => a 3 s trace wait lasts
+  /// 6 ms; keeps the experiments fast while preserving interleavings).
+  double time_scale = 0.002;
+  /// Message latency in *trace* seconds (scaled like waits).
+  double latency_mu = 0.05;
+  double latency_sigma = 0.02;
+  std::uint64_t seed = 1;
+};
+
+class ThreadRuntime final : public MonitorNetwork {
+ public:
+  ThreadRuntime(SystemTrace trace, const AtomRegistry* registry,
+                ThreadConfig config = {});
+  ~ThreadRuntime() override;
+
+  ThreadRuntime(const ThreadRuntime&) = delete;
+  ThreadRuntime& operator=(const ThreadRuntime&) = delete;
+
+  void set_hooks(MonitorHooks* hooks) { hooks_ = hooks; }
+
+  /// Run to quiescence (blocking): all trace actions executed, all messages
+  /// (application and monitor) delivered and processed.
+  void run();
+
+  // MonitorNetwork:
+  void send(MonitorMessage msg) override;
+  double now() const override;
+
+  int num_processes() const { return static_cast<int>(nodes_.size()); }
+  const std::vector<std::vector<Event>>& history() const { return history_; }
+  std::vector<LocalState> initial_states() const;
+  std::uint64_t app_messages_sent() const { return app_messages_; }
+  std::uint64_t monitor_messages_sent() const { return monitor_messages_; }
+  std::uint64_t program_events() const { return program_events_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  using Payload = std::variant<AppMessage, MonitorMessage>;
+
+  struct Timed {
+    Clock::time_point at;
+    std::uint64_t seq;
+    Payload payload;
+    bool operator>(const Timed& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  struct Node {
+    std::unique_ptr<ProgramProcess> process;
+    int expected_receives = 0;
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::priority_queue<Timed, std::vector<Timed>, std::greater<>> inbox;
+
+    // Sender-side per-destination FIFO clamp (accessed only by this node's
+    // thread, which serializes its own sends).
+    std::vector<Clock::time_point> last_delivery;
+    std::unique_ptr<NormalWait> latency;
+  };
+
+  void node_main(int index);
+  void deliver(int to, Clock::time_point at, Payload payload);
+  Clock::time_point fifo_time(int from, int to, Clock::time_point candidate);
+
+  const AtomRegistry* registry_;
+  ThreadConfig config_;
+  MonitorHooks* hooks_ = nullptr;
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::vector<Event>> history_;
+  std::vector<std::jthread> threads_;
+
+  Clock::time_point start_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> in_flight_{0};
+  std::atomic<int> active_programs_{0};
+  std::atomic<std::uint64_t> app_messages_{0};
+  std::atomic<std::uint64_t> monitor_messages_{0};
+  std::atomic<std::uint64_t> program_events_{0};
+  std::atomic<std::uint64_t> seq_{0};
+  /// Index of the node whose thread is currently sending (thread-local
+  /// lookup for FIFO clamps).
+  static thread_local int current_node_;
+};
+
+}  // namespace decmon

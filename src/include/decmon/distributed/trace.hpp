@@ -1,0 +1,85 @@
+// Trace-driven workloads, reproducing the paper's case study (§5.1): each
+// process loads a trace of wait times and actions; actions either change the
+// local propositions (internal events) or broadcast a message to every other
+// process (communication events). Wait times are drawn from normal
+// distributions N(EvtMu, EvtSigma) and N(CommMu, CommSigma).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "decmon/ltl/atoms.hpp"
+
+namespace decmon {
+
+/// One scripted action of a process.
+struct TraceAction {
+  enum class Kind : std::uint8_t {
+    kInternal,  ///< set the local variables to `state`
+    kComm,      ///< broadcast one message to every other process
+  };
+  Kind kind = Kind::kInternal;
+  double wait = 0.0;  ///< seconds to wait after the previous action
+  LocalState state;   ///< new variable valuation (kInternal only)
+};
+
+/// The script of one process.
+struct ProcessTrace {
+  LocalState initial;               ///< variable valuation at start
+  std::vector<TraceAction> actions;
+
+  int count(TraceAction::Kind kind) const;
+};
+
+/// The script of the whole system.
+struct SystemTrace {
+  std::vector<ProcessTrace> procs;
+
+  int num_processes() const { return static_cast<int>(procs.size()); }
+  /// Messages process `to` will receive = sum of peers' kComm actions.
+  int expected_receives(int to) const;
+  /// Total internal + send + receive events the program will generate
+  /// (each kComm action is one send event and n-1 receive events).
+  int total_events() const;
+};
+
+/// Parameters of the generator (the paper's experimental knobs, §5.2).
+struct TraceParams {
+  int num_processes = 2;
+  int num_variables = 2;           ///< boolean propositions per process
+                                   ///< (the case study uses p and q)
+  int internal_events = 20;        ///< internal events per process
+  double evt_mu = 3.0;             ///< N(mu, sigma) wait between internal
+  double evt_sigma = 1.0;          ///< events, in seconds
+  double comm_mu = 3.0;            ///< wait between broadcast events
+  double comm_sigma = 1.0;
+  bool comm_enabled = true;        ///< false = the "No comm" experiment
+  bool initial_true = false;       ///< variables start at 1 instead of 0
+  double true_bias = 0.5;          ///< probability an internal event sets
+                                   ///< each variable to 1 (the case study
+                                   ///< tunes this per property so a path to
+                                   ///< a final automaton state exists, §5.1)
+  std::uint64_t seed = 1;
+};
+
+/// Generate a random system trace. Deterministic in `params.seed`.
+/// Communication events are generated until the internal-event stream of the
+/// process ends, mirroring the case study where both streams run for the
+/// duration of the experiment.
+SystemTrace generate_trace(const TraceParams& params);
+
+/// Ensure a satisfying path exists: force the last internal event of every
+/// process to set all variables to 1 ("the variable valuation change events
+/// were designed such that there would be a path in the execution lattice
+/// that would lead to a final state", §5.1).
+void force_final_all_true(SystemTrace& trace);
+
+// -- text round-trip (the devices in the case study load trace files) --
+std::string to_text(const SystemTrace& trace);
+SystemTrace trace_from_text(const std::string& text);
+std::ostream& operator<<(std::ostream& os, const SystemTrace& trace);
+
+}  // namespace decmon

@@ -1,0 +1,35 @@
+// Offline monitoring support (§6.2.1): computations recorded as portable
+// text event logs. A run is captured once (online, cheaply) and analyzed
+// offline -- through the oracle, the centralized monitor, or a replayed
+// decentralized run -- as many times as needed, the way test logs are
+// post-processed in the paper's taxonomy of monitoring configurations.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "decmon/lattice/computation.hpp"
+
+namespace decmon {
+
+/// Serialize a computation as a line-oriented text log. Stable format:
+///   eventlog v1
+///   processes <n>
+///   event <proc> <sn> <type> <vc...> <time> vars <k> <v...>
+///   end
+std::string to_event_log(const Computation& comp);
+
+/// Parse a text event log; validates indexing and clock widths.
+/// Throws std::runtime_error on malformed input.
+Computation computation_from_event_log(const std::string& text);
+
+/// Convenience: write/read a log file.
+void save_event_log(const Computation& comp, const std::string& path);
+Computation load_event_log(const std::string& path,
+                           const AtomRegistry* registry = nullptr);
+
+/// Re-evaluate the letters of every event against `registry` (use after
+/// loading a log recorded before some atoms existed, or with none).
+Computation relabel(const Computation& comp, const AtomRegistry& registry);
+
+}  // namespace decmon

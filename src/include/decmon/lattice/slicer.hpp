@@ -1,0 +1,30 @@
+// Computation slicing for conjunctive predicates (Mittal-Garg; Def. 13-15).
+//
+// The decentralized algorithm's token protocol is a distributed
+// implementation of exactly this: advance every forbidding process past its
+// forbidden states until the least consistent cut satisfying the predicate
+// is reached (a join-irreducible element of the satisfying sub-lattice), or
+// a process runs out of events. This centralized version is the reference
+// the token protocol is validated against in tests.
+#pragma once
+
+#include <optional>
+
+#include "decmon/automata/guard.hpp"
+#include "decmon/lattice/computation.hpp"
+
+namespace decmon {
+
+/// The least consistent cut C >= `from` whose frontier satisfies the
+/// conjunctive predicate `pred`, or nullopt when no such cut exists in the
+/// (finite) computation. Literal ownership is resolved through `registry`.
+std::optional<Computation::Cut> least_satisfying_cut(
+    const Computation& comp, const Cube& pred, const AtomRegistry& registry,
+    const Computation::Cut& from);
+
+/// The least consistent cut C >= `from`, advancing only (make `from`
+/// causally closed). Always exists in a finite computation.
+Computation::Cut consistent_closure(const Computation& comp,
+                                    Computation::Cut from);
+
+}  // namespace decmon

@@ -1,0 +1,112 @@
+// Atomic propositions over per-process variables.
+//
+// The paper's predicates are boolean combinations of *local* propositions,
+// each owned by exactly one process (processes share no variables, §2.1).
+// An atom is a comparison `var OP constant` against one variable of one
+// process; boolean propositions such as `P0.p` are the special case
+// `p != 0`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace decmon {
+
+/// Comparison operator of an atomic proposition.
+enum class CmpOp { kLt, kLe, kEq, kNe, kGe, kGt };
+
+std::string to_string(CmpOp op);
+
+/// Valuation of one process's variables, indexed by per-process variable id.
+using LocalState = std::vector<std::int64_t>;
+
+/// Valuation of all processes' variables (a global state, Def. 3).
+using GlobalState = std::vector<LocalState>;
+
+/// Set of atoms holding in a state, as a bitmask (atom id = bit index).
+using AtomSet = std::uint64_t;
+
+/// One atomic proposition: `process.var OP rhs`.
+struct Atom {
+  int id = -1;            ///< dense id, also the bit index in an AtomSet
+  std::string name;       ///< display name, e.g. "P0.p" or "x1>=5"
+  int process = -1;       ///< owning process
+  int var = -1;           ///< variable index within the process's LocalState
+  CmpOp op = CmpOp::kNe;  ///< comparison
+  std::int64_t rhs = 0;   ///< right-hand constant
+
+  /// Does the atom hold for this variable value?
+  bool holds(std::int64_t value) const;
+
+  /// Does the atom hold in this local state? (variable missing => 0)
+  bool holds_in(const LocalState& s) const;
+};
+
+/// Registry of variables and atoms for a monitored system.
+///
+/// Usage: declare each process's variables up front, then obtain atoms either
+/// by name (boolean propositions) or as comparisons. The parser resolves
+/// identifiers through this registry. Atom ids are dense and stable.
+class AtomRegistry {
+ public:
+  explicit AtomRegistry(int num_processes = 0);
+
+  int num_processes() const { return num_processes_; }
+  void set_num_processes(int n);
+
+  /// Declare variable `name` on process `proc`; returns its variable id.
+  /// Declaring an existing variable returns the existing id.
+  int declare_variable(int proc, const std::string& name);
+
+  /// Variable id for `name` on `proc`, if declared.
+  std::optional<int> find_variable(int proc, const std::string& name) const;
+
+  /// Number of variables declared on `proc`.
+  int num_variables(int proc) const;
+
+  /// Variable name for (proc, var).
+  const std::string& variable_name(int proc, int var) const;
+
+  /// Atom for the comparison `proc.var OP rhs`; created on first request.
+  int comparison_atom(int proc, int var, CmpOp op, std::int64_t rhs);
+
+  /// Atom for the boolean proposition `proc.var != 0`.
+  int boolean_atom(int proc, int var);
+
+  /// Resolve a dotted name "P<k>.<var>" to its boolean atom, declaring the
+  /// variable if needed. Returns std::nullopt if the name does not follow the
+  /// convention or k is out of range.
+  std::optional<int> resolve_boolean(const std::string& dotted);
+
+  /// Resolve a bare variable name (searched across processes; must be
+  /// unique) to (proc, var). Used by the parser for `x1 >= 5` style atoms.
+  std::optional<std::pair<int, int>> resolve_bare(const std::string& name) const;
+
+  const Atom& atom(int id) const { return atoms_.at(static_cast<std::size_t>(id)); }
+  int num_atoms() const { return static_cast<int>(atoms_.size()); }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+
+  /// Evaluate all atoms against a global state; bit i set iff atom i holds.
+  AtomSet evaluate(const GlobalState& g) const;
+
+  /// Evaluate only the atoms owned by `proc` against its local state;
+  /// non-owned bits are left clear.
+  AtomSet evaluate_local(int proc, const LocalState& s) const;
+
+  /// Bitmask of the atoms owned by `proc`.
+  AtomSet owned_mask(int proc) const;
+
+ private:
+  int intern_atom(Atom a);
+
+  int num_processes_ = 0;
+  std::vector<std::vector<std::string>> var_names_;  // [proc][var]
+  std::vector<std::unordered_map<std::string, int>> var_ids_;  // [proc]
+  std::vector<Atom> atoms_;
+  std::unordered_map<std::string, int> atom_ids_;  // canonical key -> id
+};
+
+}  // namespace decmon

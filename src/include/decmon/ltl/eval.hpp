@@ -1,0 +1,45 @@
+// Exact LTL semantics over ultimately-periodic (lasso) words.
+//
+// A lasso word is u · v^omega with finite prefix u and non-empty loop v,
+// each position an AtomSet. Evaluation is bottom-up per subformula with
+// fixpoint iteration for U (least) and R (greatest) on the cyclic position
+// graph, so the result is exact, not an approximation. This is the
+// independent ground truth the automata tests compare against.
+#pragma once
+
+#include <vector>
+
+#include "decmon/ltl/atoms.hpp"
+#include "decmon/ltl/formula.hpp"
+
+namespace decmon {
+
+/// Does `u . v^omega` satisfy `f`? `loop` must be non-empty.
+bool lasso_satisfies(const FormulaPtr& f, const std::vector<AtomSet>& prefix,
+                     const std::vector<AtomSet>& loop);
+
+/// Enumerate every lasso word over `num_atoms` atoms with |prefix| = plen and
+/// |loop| = llen (exponential; only for tiny tests). Invokes `fn(prefix,
+/// loop)`; stops early if `fn` returns false.
+template <typename Fn>
+void for_each_lasso(int num_atoms, int plen, int llen, Fn&& fn) {
+  const AtomSet letters = AtomSet{1} << num_atoms;
+  std::vector<AtomSet> prefix(static_cast<std::size_t>(plen));
+  std::vector<AtomSet> loop(static_cast<std::size_t>(llen));
+  const int total = plen + llen;
+  std::vector<AtomSet> word(static_cast<std::size_t>(total), 0);
+  while (true) {
+    for (int i = 0; i < plen; ++i) prefix[static_cast<std::size_t>(i)] = word[static_cast<std::size_t>(i)];
+    for (int i = 0; i < llen; ++i) loop[static_cast<std::size_t>(i)] = word[static_cast<std::size_t>(plen + i)];
+    if (!fn(prefix, loop)) return;
+    int i = total - 1;
+    while (i >= 0) {
+      if (++word[static_cast<std::size_t>(i)] < letters) break;
+      word[static_cast<std::size_t>(i)] = 0;
+      --i;
+    }
+    if (i < 0) return;
+  }
+}
+
+}  // namespace decmon

@@ -1,0 +1,97 @@
+// Linear Temporal Logic formulas (Def. 8), as hash-consed immutable DAG
+// nodes: structurally equal formulas share one node, so semantic sets in the
+// tableau construction can use pointer identity.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "decmon/ltl/atoms.hpp"
+
+namespace decmon {
+
+enum class LtlOp {
+  kTrue,
+  kFalse,
+  kAtom,
+  kNot,
+  kAnd,
+  kOr,
+  kNext,     // X f
+  kUntil,    // f U g
+  kRelease,  // f R g  (dual of U)
+};
+
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// One LTL formula node. Construct only through the factory functions below;
+/// they hash-cons, so `a == b` as pointers iff structurally equal (after the
+/// light constant-folding the factories perform).
+class Formula : public std::enable_shared_from_this<Formula> {
+ public:
+  LtlOp op() const { return op_; }
+  int atom() const { return atom_; }
+  const FormulaPtr& lhs() const { return lhs_; }
+  const FormulaPtr& rhs() const { return rhs_; }
+
+  bool is_true() const { return op_ == LtlOp::kTrue; }
+  bool is_false() const { return op_ == LtlOp::kFalse; }
+  bool is_literal() const {
+    return op_ == LtlOp::kAtom ||
+           (op_ == LtlOp::kNot && lhs_->op_ == LtlOp::kAtom);
+  }
+  bool is_temporal() const {
+    return op_ == LtlOp::kNext || op_ == LtlOp::kUntil ||
+           op_ == LtlOp::kRelease;
+  }
+
+  /// Number of nodes in the DAG-unfolded syntax tree (for size metrics).
+  std::size_t tree_size() const;
+
+  /// Atoms referenced by the formula, as a bitmask.
+  AtomSet atom_mask() const { return atom_mask_; }
+
+  /// Render with minimal parentheses; atom names from `reg` if given.
+  std::string to_string(const AtomRegistry* reg = nullptr) const;
+
+ private:
+  friend class FormulaFactory;
+  Formula() = default;
+
+  LtlOp op_ = LtlOp::kTrue;
+  int atom_ = -1;
+  FormulaPtr lhs_;
+  FormulaPtr rhs_;
+  AtomSet atom_mask_ = 0;
+};
+
+// ---- factory functions (hash-consing + constant folding) ----
+FormulaPtr f_true();
+FormulaPtr f_false();
+FormulaPtr f_atom(int atom_id);
+FormulaPtr f_not(FormulaPtr f);
+FormulaPtr f_and(FormulaPtr a, FormulaPtr b);
+FormulaPtr f_or(FormulaPtr a, FormulaPtr b);
+FormulaPtr f_next(FormulaPtr f);
+FormulaPtr f_until(FormulaPtr a, FormulaPtr b);
+FormulaPtr f_release(FormulaPtr a, FormulaPtr b);
+
+// Derived operators.
+FormulaPtr f_implies(FormulaPtr a, FormulaPtr b);
+FormulaPtr f_iff(FormulaPtr a, FormulaPtr b);
+FormulaPtr f_eventually(FormulaPtr f);  // F f == true U f
+FormulaPtr f_always(FormulaPtr f);      // G f == false R f
+
+/// Conjunction / disjunction over a list (empty list => true / false).
+FormulaPtr f_and_all(const std::vector<FormulaPtr>& fs);
+FormulaPtr f_or_all(const std::vector<FormulaPtr>& fs);
+
+/// Negation-normal form: negations pushed to atoms, using R as dual of U.
+/// Factories already produce NNF for everything except kNot over composite
+/// operands; this resolves those.
+FormulaPtr to_nnf(const FormulaPtr& f);
+
+}  // namespace decmon

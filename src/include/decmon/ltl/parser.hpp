@@ -1,0 +1,43 @@
+// Recursive-descent parser for LTL formulas over per-process propositions.
+//
+// Syntax (precedence low to high):
+//   iff     :=  impl ('<->' impl)*
+//   impl    :=  or ('->' impl)?                 right-associative
+//   or      :=  and ('||' and)*
+//   and     :=  until ('&&' until)*
+//   until   :=  unary (('U' | 'R' | 'W') until)?  right-associative
+//   unary   :=  ('!' | 'X' | 'F' | 'G' | '<>' | '[]') unary | primary
+//   primary :=  'true' | 'false' | '(' iff ')' | atom
+//   atom    :=  IDENT (CMP INT)?
+//
+// Atoms: `P0.p` is the boolean proposition `p != 0` on process 0; `x1 >= 5`
+// compares the (unique) variable `x1` of whichever process declared it.
+// `W` is weak until: `a W b == (a U b) || G a`.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "decmon/ltl/atoms.hpp"
+#include "decmon/ltl/formula.hpp"
+
+namespace decmon {
+
+/// Error raised on malformed input; carries the offending position.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, std::size_t pos)
+      : std::runtime_error(what + " (at offset " + std::to_string(pos) + ")"),
+        pos_(pos) {}
+  std::size_t position() const { return pos_; }
+
+ private:
+  std::size_t pos_;
+};
+
+/// Parse `text` into a formula, resolving atoms through `registry`.
+/// Boolean propositions of the form P<k>.<name> are declared on demand;
+/// bare comparison variables must already be declared.
+FormulaPtr parse_ltl(const std::string& text, AtomRegistry& registry);
+
+}  // namespace decmon

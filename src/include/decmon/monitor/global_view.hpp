@@ -1,0 +1,56 @@
+// Global views: one per lattice path a monitor traces (§4.2). A view holds
+// the frontier cut it believes in, the believed local letters, the current
+// automaton state and a queue of local events that arrived while the view
+// was waiting for a token to return.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "decmon/distributed/event.hpp"
+#include "decmon/ltl/atoms.hpp"
+
+namespace decmon {
+
+struct GlobalView {
+  std::uint64_t id = 0;
+
+  /// Frontier cut: per-process sequence number of the last included event.
+  std::vector<std::uint32_t> cut;
+
+  /// Believed local letters at the cut frontier.
+  std::vector<AtomSet> gstate;
+
+  /// Current monitor automaton state.
+  int q = 0;
+
+  /// True while a token created by this view is outstanding; local events
+  /// queue in `pending` meanwhile (the paper's waiting status).
+  bool waiting = false;
+  std::uint64_t token_id = 0;
+
+  /// True when a copy was forked to continue the path, making this view a
+  /// pure launchpad that dies once its token resolves (keepAfterFork).
+  bool forked_copy = false;
+
+  /// Local events not yet applied to this view.
+  std::deque<Event> pending;
+
+  /// Probe-deduplication signature (optimization §4.3.2).
+  std::uint64_t probe_sig = 0;
+
+  /// Marked for removal; swept after the current dispatch round.
+  bool dead = false;
+
+  AtomSet combined_letter() const {
+    AtomSet a = 0;
+    for (AtomSet s : gstate) a |= s;
+    return a;
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace decmon

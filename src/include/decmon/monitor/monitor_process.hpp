@@ -1,0 +1,201 @@
+// MonitorProcess: one decentralized monitor replica M_i (Algorithms 1-5).
+//
+// The monitor is a pure state machine: it receives local events, tokens and
+// termination signals through methods, and sends tokens through an injected
+// MonitorNetwork. It performs no I/O and keeps no threads of its own, so
+// the same object runs under the deterministic simulator, the real-thread
+// runtime, and direct unit tests.
+//
+// Responsibilities (paper section in parentheses):
+//   * maintain the set of global views tracing lattice paths (4.2)
+//   * evaluate the deterministic automaton on consistent local advances
+//   * create and route tokens to detect conjunctive predicates at
+//     consistent cuts, distributed-slicing style (4.1 problem 1, 4.2)
+//   * fork views at pivot global states, merge equivalent views (4.1
+//     problems 2-3, 4.3.2)
+//   * flush waiting tokens on termination so every token returns
+//     (4.2.0.10, Lemma 1)
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "decmon/automata/monitor_automaton.hpp"
+#include "decmon/distributed/event.hpp"
+#include "decmon/distributed/runtime.hpp"
+#include "decmon/monitor/global_view.hpp"
+#include "decmon/monitor/predicate.hpp"
+#include "decmon/monitor/stats.hpp"
+#include "decmon/monitor/token.hpp"
+
+namespace decmon {
+
+/// How token entries search for satisfying cuts.
+enum class WalkMode : std::uint8_t {
+  /// Entries start at the view's cut and examine every intermediate event,
+  /// verifying self-loop feasibility at each consistent frontier: sound
+  /// definite verdicts, at the cost of longer token walks (default).
+  kExact,
+  /// The thesis's behaviour: entries start at the join max(gcut, e.VC),
+  /// skipping the intermediate cuts. Cheaper -- message overhead stays
+  /// linear in the events, as Fig. 5.4/5.5 report -- but admits verdicts on
+  /// paths that do not exist (see EXPERIMENTS.md for a pinned example).
+  kJoinJump,
+};
+
+struct MonitorOptions {
+  WalkMode walk_mode = WalkMode::kExact;
+
+  /// Suppress duplicate probes for the same (state, transition set, belief)
+  /// signature (optimization §4.3.2).
+  bool dedupe_probes = true;
+
+  /// When an enabled transition spawns a view, delete sibling entries that
+  /// target the same automaton state (optimization §4.3.3).
+  bool prune_same_destination = true;
+
+  /// Stop probing from states where no definite verdict is reachable any
+  /// more (automaton static analysis, future-work 7.2.2): the verdict is
+  /// settled at '?' forever, so tokens there are pure overhead.
+  bool prune_settled_states = true;
+
+  /// Drop views subsumed by another view at the same automaton state with a
+  /// larger cut agreeing on the shared frontier (the slice-merge side of
+  /// 4.3.2); keeps the live view count near the automaton size.
+  bool subsume_views = true;
+
+  /// Keep at most one settled view per automaton state (the most advanced
+  /// cut). This is the aggressive reading of the paper's merge ("the final
+  /// number of global views is bounded by the number of automaton states",
+  /// 4.4.1) and what keeps its overhead linear; the dropped views' unprobed
+  /// branches are covered by the surviving view and the peers' probes.
+  bool merge_by_state = true;
+
+  /// Route tokens preferring transitions whose target state is closer to a
+  /// definite verdict (automaton static analysis, future-work 7.2.2 /
+  /// SendToNextProcess tuning note in 4.2.0.8).
+  bool prioritize_near_verdict = true;
+
+  /// Hard cap on simultaneously live views (debugging guard; 0 = none).
+  std::size_t max_views = 0;
+
+  /// Optional trace sink: receives one line per significant monitor action
+  /// (probe creation, entry resolution, view spawn/resurrect). For
+  /// debugging and the examples' verbose modes; null = silent.
+  std::function<void(const std::string&)> trace;
+};
+
+class MonitorProcess {
+ public:
+  /// `initial_letters[p]` is process p's local letter at its initial state
+  /// (the monitor receives the initial global state as input, Alg. 1).
+  MonitorProcess(int index, const CompiledProperty* property,
+                 MonitorNetwork* network,
+                 std::vector<AtomSet> initial_letters,
+                 MonitorOptions options = {});
+
+  // -- runtime-facing interface --
+  void on_local_event(const Event& event, double now);
+  void on_local_termination(double now);
+  void on_token(Token token, double now);
+  void on_peer_termination(int peer, std::uint32_t last_sn, double now);
+
+  // -- results --
+  int index() const { return index_; }
+
+  /// Monitor fully drained: program over everywhere, no waiting or
+  /// outstanding tokens.
+  bool finished() const { return finished_; }
+
+  /// Automaton states currently held by live views.
+  std::set<int> current_states() const;
+
+  /// Verdicts of the current views, plus any definite verdict declared
+  /// earlier (final states are absorbing so they persist in views too).
+  std::set<Verdict> verdicts() const;
+
+  /// Definite verdicts declared so far (satisfaction/violation events).
+  const std::set<Verdict>& declared() const { return declared_; }
+
+  const MonitorStats& stats() const { return stats_; }
+  std::size_t num_views() const;
+  std::size_t num_waiting_tokens() const { return w_tokens_.size(); }
+
+  /// Callback invoked on each declared satisfaction/violation (optional).
+  using VerdictCallback = std::function<void(Verdict, double now)>;
+  void set_verdict_callback(VerdictCallback cb) { on_verdict_ = std::move(cb); }
+
+ private:
+  // -- event path (Alg. 2) --
+  void drain(GlobalView& gv, double now);
+  void process_event(GlobalView& gv, const Event& e, double now);
+  /// Probe the outgoing transitions of gv.q (plus those of
+  /// `extra_from_state` when >= 0 -- the pre-advance state, whose other
+  /// branches remain reachable through concurrent remote events).
+  void probe_outgoing(GlobalView& gv, const Event& e, bool consistent,
+                      double now, int extra_from_state = -1);
+
+  // -- token path (Alg. 3-5) --
+  /// Walk the token over local history from its target event; parks it in
+  /// w_tokens_ when the event has not happened yet.
+  void process_token(Token token, double now);
+  /// Apply local event `e` to the entries targeting it (Alg. 4-5).
+  void apply_event_to_token(Token& token, const Event& e);
+  /// Retarget entries after evaluation; returns false when the token wants
+  /// to stay at this monitor (waiting for a later local event).
+  bool route_token(Token& token, double now);
+  /// Handle a token created here that has come home.
+  void handle_returned_token(Token token, double now);
+  /// Create the view for an enabled entry's pivot cut; its local event
+  /// queue is rebuilt from history past the cut.
+  void spawn_view(const TransitionEntry& entry, double now);
+
+  // -- bookkeeping --
+  GlobalView* find_view_by_token(std::uint64_t token_id);
+  void declare(int q, double now);
+  void merge_similar_views();
+  void sweep_dead_views();
+  void flush_waiting_tokens(double now);
+  void check_finished(double now);
+  void sample_pending();
+  std::uint64_t probe_signature(const GlobalView& gv,
+                                const std::vector<int>& tids) const;
+
+  int index_;
+  int n_;
+  const CompiledProperty* prop_;
+  MonitorNetwork* net_;
+  MonitorOptions options_;
+
+  std::vector<Event> history_;  ///< local events by sn (0 = initial)
+  /// Deque: views are pushed while references to existing views are live on
+  /// the dispatch stack; deque growth never invalidates references.
+  std::deque<GlobalView> views_;
+  std::list<Token> w_tokens_;   ///< tokens waiting for future local events
+  std::vector<std::uint32_t> peer_last_sn_;  ///< UINT32_MAX = running
+  bool local_terminated_ = false;
+  bool finished_ = false;
+  int dispatch_depth_ = 0;  ///< guards view-vector sweeps during re-entrancy
+
+  /// Outstanding probe signatures (dedupe in O(1); mirrors the waiting
+  /// views' probe_sig fields).
+  std::unordered_set<std::uint64_t> outstanding_sigs_;
+
+  /// (state, cut) pairs ever spawned: a pivot detected twice (by different
+  /// tokens) must not fork twice -- the first view already traces that
+  /// path. Bounds the spawn cascade on wide lattices.
+  std::unordered_set<std::uint64_t> spawned_memo_;
+
+  std::uint64_t next_token_serial_ = 1;
+  std::uint64_t next_view_id_ = 1;
+  std::set<Verdict> declared_;
+  VerdictCallback on_verdict_;
+  MonitorStats stats_;
+};
+
+}  // namespace decmon

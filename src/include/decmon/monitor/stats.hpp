@@ -1,0 +1,44 @@
+// Monitoring-overhead metrics, matching the measurements of Chapter 5:
+// message counts (Fig. 5.4/5.5), delayed events (Fig. 5.7), delay time
+// (Fig. 5.6) and global views (Fig. 5.8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace decmon {
+
+struct MonitorStats {
+  // -- communication --
+  std::uint64_t tokens_created = 0;
+  std::uint64_t token_messages_sent = 0;  ///< network sends (excl. self)
+  std::uint64_t token_hops = 0;           ///< total hops over all tokens
+  std::uint64_t termination_messages = 0;
+
+  // -- memory --
+  std::uint64_t global_views_created = 0;
+  std::uint64_t global_views_merged = 0;
+  std::uint64_t peak_global_views = 0;
+  std::uint64_t peak_waiting_tokens = 0;
+
+  // -- latency --
+  std::uint64_t events_processed = 0;
+  std::uint64_t events_delayed = 0;   ///< events enqueued behind a token
+  std::uint64_t pending_sum = 0;      ///< sum of queue sizes at each event
+  std::uint64_t pending_samples = 0;
+  std::uint64_t max_pending = 0;
+  double finish_time = 0.0;           ///< when the monitor fully drained
+
+  double average_delayed_events() const {
+    return pending_samples ? static_cast<double>(pending_sum) /
+                                 static_cast<double>(pending_samples)
+                           : 0.0;
+  }
+
+  /// Aggregate (for whole-system reporting).
+  MonitorStats& operator+=(const MonitorStats& other);
+
+  std::string to_string() const;
+};
+
+}  // namespace decmon

@@ -1,0 +1,92 @@
+// Token messages: the monitoring layer's only network traffic (§4.2).
+//
+// A token is created by a global view to decide whether any of a set of
+// possibly-enabled outgoing transitions can fire at a consistent cut
+// reachable from the view's cut. Each TransitionEntry carries its own
+// partially-constructed cut, the dependency clock used to detect cut
+// inconsistencies, and per-process conjunct evaluations; the token routes
+// between monitors until every entry is enabled or disabled, then returns
+// to its parent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "decmon/distributed/message.hpp"
+#include "decmon/ltl/atoms.hpp"
+#include "decmon/util/vector_clock.hpp"
+
+namespace decmon {
+
+enum class ConjunctEval : std::uint8_t {
+  kUnset,  ///< not (re-)evaluated against the entry's current cut
+  kTrue,
+  kFalse,  ///< transient within one event evaluation (see Alg. 5)
+};
+
+enum class EntryEval : std::uint8_t { kUnset, kTrue, kFalse };
+
+/// One possibly-enabled outgoing transition under evaluation
+/// (`OutgoingTransition` in the paper).
+///
+/// Invariant: `gstate[j]` is the *verified* letter of process j at position
+/// `cut[j]` -- entries start from the creating view's cut and the walk
+/// advances one event at a time, so no frontier position is ever guessed.
+struct TransitionEntry {
+  int transition_id = -1;
+
+  /// Constructed cut: per-process sequence number of the last included
+  /// event. Also the frontier vector clock.
+  std::vector<std::uint32_t> cut;
+
+  /// Max vector clock over the events included; cut[k] < depend[k] means
+  /// the cut is inconsistent at process k.
+  VectorClock depend;
+
+  /// Local letters at the cut's frontier (per process).
+  std::vector<AtomSet> gstate;
+
+  /// Per-process conjunct evaluations.
+  std::vector<ConjunctEval> conj;
+
+  EntryEval eval = EntryEval::kUnset;
+  int next_target_process = -1;
+  std::uint32_t next_target_event = 0;
+
+  /// Last consistent cut the walk passed where the believed letter kept the
+  /// source state on a self-loop: a certified "the path can stay here"
+  /// point, used to resurrect launchpad views (see MonitorProcess).
+  bool loop_certified = false;
+  std::vector<std::uint32_t> loop_cut;
+  std::vector<AtomSet> loop_gstate;
+
+  std::string to_string() const;
+};
+
+/// A monitoring message (`token` in the paper).
+struct Token {
+  std::uint64_t token_id = 0;  ///< globally unique: (parent << 32) | counter
+  int parent = -1;             ///< creating monitor
+  std::uint32_t parent_sn = 0; ///< local event that created the token
+  VectorClock parent_vc;
+  std::vector<TransitionEntry> entries;
+  int next_target_process = -1;
+  std::uint32_t next_target_event = 0;
+  int hops = 0;  ///< network hops so far (metrics)
+
+  bool has_live_entries() const;
+  std::string to_string() const;
+};
+
+/// Network payloads of the monitoring layer.
+struct TokenMessage final : NetPayload {
+  Token token;
+};
+
+struct TerminationMessage final : NetPayload {
+  int process = -1;
+  std::uint32_t last_sn = 0;  ///< last event the process produced
+};
+
+}  // namespace decmon

@@ -1,0 +1,41 @@
+// Wire format for monitor-layer messages.
+//
+// The in-process runtimes pass payload objects directly; a deployment
+// across real machines needs tokens and termination signals on the wire.
+// This module defines a compact, versioned, endian-stable binary encoding
+// with full round-trip fidelity, plus defensive decoding (truncated or
+// corrupt buffers yield errors, never UB).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "decmon/monitor/token.hpp"
+
+namespace decmon {
+
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Serialize a token (message kind + version header included).
+std::vector<std::uint8_t> encode_token(const Token& token);
+
+/// Serialize a termination signal.
+std::vector<std::uint8_t> encode_termination(const TerminationMessage& msg);
+
+/// What kind of monitor message a buffer holds.
+enum class WireKind : std::uint8_t { kToken = 1, kTermination = 2 };
+
+/// Peek at the kind; throws WireError on garbage.
+WireKind wire_kind(const std::vector<std::uint8_t>& buffer);
+
+/// Decode; throws WireError on truncation, bad version or wrong kind.
+Token decode_token(const std::vector<std::uint8_t>& buffer);
+TerminationMessage decode_termination(const std::vector<std::uint8_t>& buffer);
+
+}  // namespace decmon

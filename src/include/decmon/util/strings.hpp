@@ -1,0 +1,28 @@
+// Small string helpers shared across modules (formatting for diagnostics,
+// DOT dumps, and bench table output).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace decmon {
+
+/// Join the elements of `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Render any streamable value via operator<<.
+template <typename T>
+std::string to_display(const T& value) {
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+/// Trim ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+/// Split on a single character, keeping empty fields.
+std::vector<std::string> split(const std::string& s, char sep);
+
+}  // namespace decmon

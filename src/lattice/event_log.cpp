@@ -1,0 +1,139 @@
+#include "decmon/lattice/event_log.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace decmon {
+namespace {
+
+const char* type_name(EventType t) {
+  switch (t) {
+    case EventType::kInitial: return "initial";
+    case EventType::kInternal: return "internal";
+    case EventType::kSend: return "send";
+    case EventType::kReceive: return "receive";
+  }
+  return "?";
+}
+
+EventType type_from(const std::string& s) {
+  if (s == "initial") return EventType::kInitial;
+  if (s == "internal") return EventType::kInternal;
+  if (s == "send") return EventType::kSend;
+  if (s == "receive") return EventType::kReceive;
+  throw std::runtime_error("event log: unknown event type '" + s + "'");
+}
+
+}  // namespace
+
+std::string to_event_log(const Computation& comp) {
+  std::ostringstream os;
+  const int n = comp.num_processes();
+  os << "eventlog v1\n";
+  os << "processes " << n << "\n";
+  for (int p = 0; p < n; ++p) {
+    for (std::uint32_t sn = 0; sn <= comp.num_events(p); ++sn) {
+      const Event& e = comp.event(p, sn);
+      os << "event " << p << ' ' << sn << ' ' << type_name(e.type);
+      for (std::size_t j = 0; j < e.vc.size(); ++j) os << ' ' << e.vc[j];
+      os << ' ' << e.time << " vars " << e.state.size();
+      for (std::int64_t v : e.state) os << ' ' << v;
+      os << "\n";
+    }
+  }
+  os << "end\n";
+  return os.str();
+}
+
+Computation computation_from_event_log(const std::string& text) {
+  std::istringstream is(text);
+  std::string word;
+  auto expect = [&](const std::string& what) {
+    if (!(is >> word) || word != what) {
+      throw std::runtime_error("event log: expected '" + what + "', got '" +
+                               word + "'");
+    }
+  };
+  expect("eventlog");
+  expect("v1");
+  expect("processes");
+  int n = 0;
+  if (!(is >> n) || n < 1) {
+    throw std::runtime_error("event log: bad process count");
+  }
+  std::vector<std::vector<Event>> events(static_cast<std::size_t>(n));
+  while (is >> word && word != "end") {
+    if (word != "event") {
+      throw std::runtime_error("event log: expected 'event', got '" + word +
+                               "'");
+    }
+    Event e;
+    int proc = -1;
+    std::string type;
+    if (!(is >> proc >> e.sn >> type)) {
+      throw std::runtime_error("event log: truncated event header");
+    }
+    if (proc < 0 || proc >= n) {
+      throw std::runtime_error("event log: bad process index");
+    }
+    e.process = proc;
+    e.type = type_from(type);
+    e.vc = VectorClock(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      if (!(is >> e.vc[static_cast<std::size_t>(j)])) {
+        throw std::runtime_error("event log: truncated vector clock");
+      }
+    }
+    if (!(is >> e.time)) {
+      throw std::runtime_error("event log: missing timestamp");
+    }
+    expect("vars");
+    std::size_t k = 0;
+    is >> k;
+    if (k > 4096) throw std::runtime_error("event log: too many variables");
+    e.state.resize(k);
+    for (auto& v : e.state) {
+      if (!(is >> v)) throw std::runtime_error("event log: truncated vars");
+    }
+    auto& hist = events[static_cast<std::size_t>(proc)];
+    if (e.sn != hist.size()) {
+      throw std::runtime_error("event log: out-of-order sequence numbers");
+    }
+    hist.push_back(std::move(e));
+  }
+  if (word != "end") throw std::runtime_error("event log: missing 'end'");
+  return Computation(std::move(events));  // validates clocks and indexing
+}
+
+void save_event_log(const Computation& comp, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("event log: cannot open " + path);
+  out << to_event_log(comp);
+}
+
+Computation load_event_log(const std::string& path,
+                           const AtomRegistry* registry) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("event log: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Computation comp = computation_from_event_log(buffer.str());
+  return registry ? relabel(comp, *registry) : comp;
+}
+
+Computation relabel(const Computation& comp, const AtomRegistry& registry) {
+  std::vector<std::vector<Event>> events;
+  const int n = comp.num_processes();
+  events.resize(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    for (std::uint32_t sn = 0; sn <= comp.num_events(p); ++sn) {
+      Event e = comp.event(p, sn);
+      e.letter = registry.evaluate_local(p, e.state);
+      events[static_cast<std::size_t>(p)].push_back(std::move(e));
+    }
+  }
+  return Computation(std::move(events));
+}
+
+}  // namespace decmon

@@ -1,0 +1,74 @@
+#include "decmon/lattice/lattice.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace decmon {
+
+Lattice Lattice::build(const Computation& comp, std::size_t max_nodes) {
+  Lattice lat;
+  const int n = comp.num_processes();
+  auto intern = [&](const Computation::Cut& cut) {
+    auto it = lat.index_.find(cut);
+    if (it != lat.index_.end()) return it->second;
+    if (lat.nodes_.size() >= max_nodes) {
+      throw std::length_error("Lattice::build: lattice too large");
+    }
+    const int id = static_cast<int>(lat.nodes_.size());
+    lat.index_.emplace(cut, id);
+    Node node;
+    node.cut = cut;
+    node.succ.assign(static_cast<std::size_t>(n), -1);
+    lat.nodes_.push_back(std::move(node));
+    return id;
+  };
+
+  const Computation::Cut bottom = comp.bottom();
+  const Computation::Cut top = comp.top();
+  lat.bottom_ = intern(bottom);
+  std::deque<int> work{lat.bottom_};
+  while (!work.empty()) {
+    const int id = work.front();
+    work.pop_front();
+    for (int p = 0; p < n; ++p) {
+      // Copy: intern() may reallocate nodes_.
+      Computation::Cut cut = lat.nodes_[static_cast<std::size_t>(id)].cut;
+      if (!comp.can_advance(cut, p)) continue;
+      ++cut[static_cast<std::size_t>(p)];
+      const bool fresh = lat.index_.find(cut) == lat.index_.end();
+      const int succ = intern(cut);
+      lat.nodes_[static_cast<std::size_t>(id)].succ[static_cast<std::size_t>(p)] =
+          succ;
+      if (fresh) work.push_back(succ);
+    }
+  }
+  lat.top_ = lat.find(top);
+  if (lat.top_ < 0) {
+    throw std::logic_error("Lattice::build: top cut unreachable");
+  }
+  return lat;
+}
+
+int Lattice::find(const Computation::Cut& cut) const {
+  auto it = index_.find(cut);
+  return it == index_.end() ? -1 : it->second;
+}
+
+double Lattice::num_paths() const {
+  // Count paths by DP from top backwards; process nodes in decreasing
+  // order of cut size. Nodes were created in BFS order from the bottom, so
+  // reverse creation order is a valid topological order.
+  std::vector<double> paths(nodes_.size(), 0.0);
+  paths[static_cast<std::size_t>(top_)] = 1.0;
+  for (std::size_t i = nodes_.size(); i-- > 0;) {
+    if (static_cast<int>(i) == top_) continue;
+    double sum = 0.0;
+    for (int succ : nodes_[i].succ) {
+      if (succ >= 0) sum += paths[static_cast<std::size_t>(succ)];
+    }
+    paths[i] = sum;
+  }
+  return paths[static_cast<std::size_t>(bottom_)];
+}
+
+}  // namespace decmon

@@ -1,0 +1,52 @@
+#include "decmon/lattice/slicer.hpp"
+
+namespace decmon {
+
+Computation::Cut consistent_closure(const Computation& comp,
+                                    Computation::Cut cut) {
+  const int n = comp.num_processes();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < n; ++i) {
+      const Event& e = comp.event(i, cut[static_cast<std::size_t>(i)]);
+      for (int j = 0; j < n; ++j) {
+        if (j == i) continue;
+        if (e.vc[static_cast<std::size_t>(j)] >
+            cut[static_cast<std::size_t>(j)]) {
+          cut[static_cast<std::size_t>(j)] = e.vc[static_cast<std::size_t>(j)];
+          changed = true;
+        }
+      }
+    }
+  }
+  return cut;
+}
+
+std::optional<Computation::Cut> least_satisfying_cut(
+    const Computation& comp, const Cube& pred, const AtomRegistry& registry,
+    const Computation::Cut& from) {
+  const int n = comp.num_processes();
+  Computation::Cut cut = consistent_closure(comp, from);
+  while (true) {
+    // Find a forbidding process: one whose frontier state violates its own
+    // literals of the predicate.
+    int forbidding = -1;
+    for (int p = 0; p < n; ++p) {
+      const Event& e = comp.event(p, cut[static_cast<std::size_t>(p)]);
+      if (!locally_satisfied(pred, e.letter, registry.owned_mask(p))) {
+        forbidding = p;
+        break;
+      }
+    }
+    if (forbidding < 0) return cut;  // all conjuncts hold at a consistent cut
+    if (cut[static_cast<std::size_t>(forbidding)] >=
+        comp.num_events(forbidding)) {
+      return std::nullopt;  // process exhausted without satisfying
+    }
+    ++cut[static_cast<std::size_t>(forbidding)];
+    cut = consistent_closure(comp, cut);
+  }
+}
+
+}  // namespace decmon

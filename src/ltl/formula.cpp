@@ -1,0 +1,272 @@
+#include "decmon/ltl/formula.hpp"
+
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+namespace decmon {
+namespace {
+
+struct Key {
+  LtlOp op;
+  int atom;
+  const Formula* lhs;
+  const Formula* rhs;
+  bool operator==(const Key&) const = default;
+};
+
+struct KeyHash {
+  std::size_t operator()(const Key& k) const noexcept {
+    std::size_t h = static_cast<std::size_t>(k.op) * 0x9E3779B97F4A7C15ull;
+    h ^= static_cast<std::size_t>(k.atom + 1) * 0xBF58476D1CE4E5B9ull;
+    h ^= reinterpret_cast<std::uintptr_t>(k.lhs) * 0x94D049BB133111EBull;
+    h ^= reinterpret_cast<std::uintptr_t>(k.rhs) * 0x2545F4914F6CDD1Dull;
+    return h;
+  }
+};
+
+}  // namespace
+
+/// Global hash-consing table. Guarded by a mutex: formula construction is a
+/// setup-time activity, never on the monitoring hot path (CP.3: the only
+/// shared mutable state is this interner).
+class FormulaFactory {
+ public:
+  static FormulaFactory& instance() {
+    static FormulaFactory f;
+    return f;
+  }
+
+  FormulaPtr make(LtlOp op, int atom, FormulaPtr lhs, FormulaPtr rhs) {
+    std::scoped_lock lock(mu_);
+    Key key{op, atom, lhs.get(), rhs.get()};
+    auto it = table_.find(key);
+    if (it != table_.end()) {
+      if (auto sp = it->second.lock()) return sp;
+    }
+    auto node = std::shared_ptr<Formula>(new Formula());
+    node->op_ = op;
+    node->atom_ = atom;
+    node->lhs_ = lhs;
+    node->rhs_ = rhs;
+    node->atom_mask_ = (atom >= 0 ? (AtomSet{1} << atom) : 0) |
+                       (lhs ? lhs->atom_mask() : 0) |
+                       (rhs ? rhs->atom_mask() : 0);
+    table_[key] = node;
+    return node;
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<Key, std::weak_ptr<const Formula>, KeyHash> table_;
+};
+
+namespace {
+FormulaPtr make(LtlOp op, int atom, FormulaPtr lhs, FormulaPtr rhs) {
+  return FormulaFactory::instance().make(op, atom, std::move(lhs),
+                                         std::move(rhs));
+}
+}  // namespace
+
+FormulaPtr f_true() { return make(LtlOp::kTrue, -1, nullptr, nullptr); }
+FormulaPtr f_false() { return make(LtlOp::kFalse, -1, nullptr, nullptr); }
+
+FormulaPtr f_atom(int atom_id) {
+  return make(LtlOp::kAtom, atom_id, nullptr, nullptr);
+}
+
+FormulaPtr f_not(FormulaPtr f) {
+  if (f->is_true()) return f_false();
+  if (f->is_false()) return f_true();
+  if (f->op() == LtlOp::kNot) return f->lhs();  // double negation
+  return make(LtlOp::kNot, -1, std::move(f), nullptr);
+}
+
+FormulaPtr f_and(FormulaPtr a, FormulaPtr b) {
+  if (a->is_false() || b->is_false()) return f_false();
+  if (a->is_true()) return b;
+  if (b->is_true()) return a;
+  if (a == b) return a;
+  // Canonical operand order so hash-consing folds commuted conjunctions.
+  if (a.get() > b.get()) std::swap(a, b);
+  return make(LtlOp::kAnd, -1, std::move(a), std::move(b));
+}
+
+FormulaPtr f_or(FormulaPtr a, FormulaPtr b) {
+  if (a->is_true() || b->is_true()) return f_true();
+  if (a->is_false()) return b;
+  if (b->is_false()) return a;
+  if (a == b) return a;
+  if (a.get() > b.get()) std::swap(a, b);
+  return make(LtlOp::kOr, -1, std::move(a), std::move(b));
+}
+
+FormulaPtr f_next(FormulaPtr f) {
+  // X true == true and X false == false over infinite words.
+  if (f->is_true() || f->is_false()) return f;
+  return make(LtlOp::kNext, -1, std::move(f), nullptr);
+}
+
+FormulaPtr f_until(FormulaPtr a, FormulaPtr b) {
+  if (b->is_true() || b->is_false()) return b;  // x U true / x U false
+  if (a->is_false()) return b;                  // false U b == b
+  if (a == b) return b;
+  return make(LtlOp::kUntil, -1, std::move(a), std::move(b));
+}
+
+FormulaPtr f_release(FormulaPtr a, FormulaPtr b) {
+  if (b->is_true() || b->is_false()) return b;
+  if (a->is_true()) return b;  // true R b == b
+  if (a == b) return b;
+  return make(LtlOp::kRelease, -1, std::move(a), std::move(b));
+}
+
+FormulaPtr f_implies(FormulaPtr a, FormulaPtr b) {
+  return f_or(f_not(std::move(a)), std::move(b));
+}
+
+FormulaPtr f_iff(FormulaPtr a, FormulaPtr b) {
+  return f_and(f_implies(a, b), f_implies(b, a));
+}
+
+FormulaPtr f_eventually(FormulaPtr f) { return f_until(f_true(), std::move(f)); }
+
+FormulaPtr f_always(FormulaPtr f) { return f_release(f_false(), std::move(f)); }
+
+FormulaPtr f_and_all(const std::vector<FormulaPtr>& fs) {
+  FormulaPtr out = f_true();
+  for (const auto& f : fs) out = f_and(out, f);
+  return out;
+}
+
+FormulaPtr f_or_all(const std::vector<FormulaPtr>& fs) {
+  FormulaPtr out = f_false();
+  for (const auto& f : fs) out = f_or(out, f);
+  return out;
+}
+
+FormulaPtr to_nnf(const FormulaPtr& f) {
+  switch (f->op()) {
+    case LtlOp::kTrue:
+    case LtlOp::kFalse:
+    case LtlOp::kAtom:
+      return f;
+    case LtlOp::kAnd:
+      return f_and(to_nnf(f->lhs()), to_nnf(f->rhs()));
+    case LtlOp::kOr:
+      return f_or(to_nnf(f->lhs()), to_nnf(f->rhs()));
+    case LtlOp::kNext:
+      return f_next(to_nnf(f->lhs()));
+    case LtlOp::kUntil:
+      return f_until(to_nnf(f->lhs()), to_nnf(f->rhs()));
+    case LtlOp::kRelease:
+      return f_release(to_nnf(f->lhs()), to_nnf(f->rhs()));
+    case LtlOp::kNot: {
+      const FormulaPtr& g = f->lhs();
+      switch (g->op()) {
+        case LtlOp::kTrue: return f_false();
+        case LtlOp::kFalse: return f_true();
+        case LtlOp::kAtom: return f;  // literal, already NNF
+        case LtlOp::kNot: return to_nnf(g->lhs());
+        case LtlOp::kAnd:
+          return f_or(to_nnf(f_not(g->lhs())), to_nnf(f_not(g->rhs())));
+        case LtlOp::kOr:
+          return f_and(to_nnf(f_not(g->lhs())), to_nnf(f_not(g->rhs())));
+        case LtlOp::kNext:
+          return f_next(to_nnf(f_not(g->lhs())));
+        case LtlOp::kUntil:
+          return f_release(to_nnf(f_not(g->lhs())), to_nnf(f_not(g->rhs())));
+        case LtlOp::kRelease:
+          return f_until(to_nnf(f_not(g->lhs())), to_nnf(f_not(g->rhs())));
+      }
+      return f;
+    }
+  }
+  return f;
+}
+
+std::size_t Formula::tree_size() const {
+  std::size_t n = 1;
+  if (lhs_) n += lhs_->tree_size();
+  if (rhs_) n += rhs_->tree_size();
+  return n;
+}
+
+namespace {
+
+int precedence(LtlOp op) {
+  switch (op) {
+    case LtlOp::kOr: return 1;
+    case LtlOp::kAnd: return 2;
+    case LtlOp::kUntil:
+    case LtlOp::kRelease: return 3;
+    default: return 4;  // unary and nullary
+  }
+}
+
+void print(const Formula& f, const AtomRegistry* reg, int parent_prec,
+           std::ostringstream& os) {
+  const int prec = precedence(f.op());
+  const bool parens = prec < parent_prec;
+  if (parens) os << '(';
+  switch (f.op()) {
+    case LtlOp::kTrue: os << "true"; break;
+    case LtlOp::kFalse: os << "false"; break;
+    case LtlOp::kAtom:
+      if (reg) {
+        os << reg->atom(f.atom()).name;
+      } else {
+        os << 'a' << f.atom();
+      }
+      break;
+    case LtlOp::kNot:
+      os << '!';
+      print(*f.lhs(), reg, 4, os);
+      break;
+    case LtlOp::kNext:
+      os << "X ";
+      print(*f.lhs(), reg, 4, os);
+      break;
+    case LtlOp::kAnd:
+      print(*f.lhs(), reg, prec, os);
+      os << " && ";
+      print(*f.rhs(), reg, prec, os);
+      break;
+    case LtlOp::kOr:
+      print(*f.lhs(), reg, prec, os);
+      os << " || ";
+      print(*f.rhs(), reg, prec, os);
+      break;
+    case LtlOp::kUntil:
+      if (f.lhs()->is_true()) {  // true U x == F x
+        os << "F ";
+        print(*f.rhs(), reg, 4, os);
+        break;
+      }
+      print(*f.lhs(), reg, prec + 1, os);
+      os << " U ";
+      print(*f.rhs(), reg, prec + 1, os);
+      break;
+    case LtlOp::kRelease:
+      if (f.lhs()->is_false()) {  // false R x == G x
+        os << "G ";
+        print(*f.rhs(), reg, 4, os);
+        break;
+      }
+      print(*f.lhs(), reg, prec + 1, os);
+      os << " R ";
+      print(*f.rhs(), reg, prec + 1, os);
+      break;
+  }
+  if (parens) os << ')';
+}
+
+}  // namespace
+
+std::string Formula::to_string(const AtomRegistry* reg) const {
+  std::ostringstream os;
+  print(*this, reg, 0, os);
+  return os.str();
+}
+
+}  // namespace decmon

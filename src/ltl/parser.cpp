@@ -1,0 +1,282 @@
+#include "decmon/ltl/parser.hpp"
+
+#include <cctype>
+#include <optional>
+
+namespace decmon {
+namespace {
+
+enum class Tok {
+  kEnd,
+  kTrue,
+  kFalse,
+  kIdent,
+  kInt,
+  kLParen,
+  kRParen,
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kIff,
+  kNext,     // X
+  kFinally,  // F or <>
+  kGlobally, // G or []
+  kUntil,    // U
+  kRelease,  // R
+  kWeak,     // W
+  kCmp,      // < <= == != >= >
+};
+
+struct Lexer {
+  const std::string& text;
+  std::size_t pos = 0;
+  Tok tok = Tok::kEnd;
+  std::string ident;
+  std::int64_t number = 0;
+  CmpOp cmp = CmpOp::kEq;
+  std::size_t tok_pos = 0;
+
+  explicit Lexer(const std::string& t) : text(t) { advance(); }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg, tok_pos);
+  }
+
+  void advance() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+    tok_pos = pos;
+    if (pos >= text.size()) {
+      tok = Tok::kEnd;
+      return;
+    }
+    const char c = text[pos];
+    auto two = [&](char a, char b) {
+      return c == a && pos + 1 < text.size() && text[pos + 1] == b;
+    };
+    if (two('-', '>')) { tok = Tok::kImplies; pos += 2; return; }
+    if (c == '<' && pos + 2 < text.size() && text[pos + 1] == '-' &&
+        text[pos + 2] == '>') { tok = Tok::kIff; pos += 3; return; }
+    if (two('<', '>')) { tok = Tok::kFinally; pos += 2; return; }
+    if (two('[', ']')) { tok = Tok::kGlobally; pos += 2; return; }
+    if (two('&', '&')) { tok = Tok::kAnd; pos += 2; return; }
+    if (two('|', '|')) { tok = Tok::kOr; pos += 2; return; }
+    if (two('=', '=')) { tok = Tok::kCmp; cmp = CmpOp::kEq; pos += 2; return; }
+    if (two('!', '=')) { tok = Tok::kCmp; cmp = CmpOp::kNe; pos += 2; return; }
+    if (two('<', '=')) { tok = Tok::kCmp; cmp = CmpOp::kLe; pos += 2; return; }
+    if (two('>', '=')) { tok = Tok::kCmp; cmp = CmpOp::kGe; pos += 2; return; }
+    switch (c) {
+      case '(': tok = Tok::kLParen; ++pos; return;
+      case ')': tok = Tok::kRParen; ++pos; return;
+      case '!': tok = Tok::kNot; ++pos; return;
+      case '&': tok = Tok::kAnd; ++pos; return;
+      case '|': tok = Tok::kOr; ++pos; return;
+      case '<': tok = Tok::kCmp; cmp = CmpOp::kLt; ++pos; return;
+      case '>': tok = Tok::kCmp; cmp = CmpOp::kGt; ++pos; return;
+      case '=': tok = Tok::kCmp; cmp = CmpOp::kEq; ++pos; return;
+      default: break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[pos + 1])))) {
+      std::size_t start = pos;
+      if (c == '-') ++pos;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+      number = std::stoll(text.substr(start, pos - start));
+      tok = Tok::kInt;
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos;
+      while (pos < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+              text[pos] == '_' || text[pos] == '.')) {
+        ++pos;
+      }
+      ident = text.substr(start, pos - start);
+      // Single capital letters are temporal operators, not identifiers.
+      if (ident == "U") { tok = Tok::kUntil; return; }
+      if (ident == "R" || ident == "V") { tok = Tok::kRelease; return; }
+      if (ident == "W") { tok = Tok::kWeak; return; }
+      if (ident == "X") { tok = Tok::kNext; return; }
+      if (ident == "F") { tok = Tok::kFinally; return; }
+      if (ident == "G") { tok = Tok::kGlobally; return; }
+      if (ident == "true") { tok = Tok::kTrue; return; }
+      if (ident == "false") { tok = Tok::kFalse; return; }
+      tok = Tok::kIdent;
+      return;
+    }
+    throw ParseError(std::string("unexpected character '") + c + "'", pos);
+  }
+};
+
+class Parser {
+ public:
+  Parser(const std::string& text, AtomRegistry& reg)
+      : lex_(text), reg_(reg) {}
+
+  FormulaPtr parse() {
+    FormulaPtr f = iff();
+    if (lex_.tok != Tok::kEnd) lex_.fail("trailing input after formula");
+    return f;
+  }
+
+ private:
+  FormulaPtr iff() {
+    FormulaPtr f = impl();
+    while (lex_.tok == Tok::kIff) {
+      lex_.advance();
+      f = f_iff(f, impl());
+    }
+    return f;
+  }
+
+  FormulaPtr impl() {
+    FormulaPtr f = disj();
+    if (lex_.tok == Tok::kImplies) {
+      lex_.advance();
+      f = f_implies(f, impl());
+    }
+    return f;
+  }
+
+  FormulaPtr disj() {
+    FormulaPtr f = conj();
+    while (lex_.tok == Tok::kOr) {
+      lex_.advance();
+      f = f_or(f, conj());
+    }
+    return f;
+  }
+
+  FormulaPtr conj() {
+    FormulaPtr f = until();
+    while (lex_.tok == Tok::kAnd) {
+      lex_.advance();
+      f = f_and(f, until());
+    }
+    return f;
+  }
+
+  FormulaPtr until() {
+    FormulaPtr f = unary();
+    if (lex_.tok == Tok::kUntil) {
+      lex_.advance();
+      return f_until(f, until());
+    }
+    if (lex_.tok == Tok::kRelease) {
+      lex_.advance();
+      return f_release(f, until());
+    }
+    if (lex_.tok == Tok::kWeak) {
+      lex_.advance();
+      FormulaPtr g = until();
+      return f_or(f_until(f, g), f_always(f));
+    }
+    return f;
+  }
+
+  FormulaPtr unary() {
+    switch (lex_.tok) {
+      case Tok::kNot:
+        lex_.advance();
+        return f_not(unary());
+      case Tok::kNext:
+        lex_.advance();
+        return f_next(unary());
+      case Tok::kFinally:
+        lex_.advance();
+        return f_eventually(unary());
+      case Tok::kGlobally:
+        lex_.advance();
+        return f_always(unary());
+      default:
+        return primary();
+    }
+  }
+
+  FormulaPtr primary() {
+    switch (lex_.tok) {
+      case Tok::kTrue:
+        lex_.advance();
+        return f_true();
+      case Tok::kFalse:
+        lex_.advance();
+        return f_false();
+      case Tok::kLParen: {
+        lex_.advance();
+        FormulaPtr f = iff();
+        if (lex_.tok != Tok::kRParen) lex_.fail("expected ')'");
+        lex_.advance();
+        return f;
+      }
+      case Tok::kIdent:
+        return atom();
+      default:
+        lex_.fail("expected formula");
+    }
+  }
+
+  FormulaPtr atom() {
+    const std::string name = lex_.ident;
+    const std::size_t at = lex_.tok_pos;
+    lex_.advance();
+    if (lex_.tok == Tok::kCmp) {
+      const CmpOp op = lex_.cmp;
+      lex_.advance();
+      if (lex_.tok != Tok::kInt) lex_.fail("expected integer after comparison");
+      const std::int64_t rhs = lex_.number;
+      lex_.advance();
+      auto pv = resolve_variable(name);
+      if (!pv) {
+        throw ParseError("unknown or ambiguous variable '" + name + "'", at);
+      }
+      return f_atom(reg_.comparison_atom(pv->first, pv->second, op, rhs));
+    }
+    // Boolean proposition.
+    if (auto id = reg_.resolve_boolean(name)) return f_atom(*id);
+    if (auto pv = reg_.resolve_bare(name)) {
+      return f_atom(reg_.boolean_atom(pv->first, pv->second));
+    }
+    throw ParseError("cannot resolve proposition '" + name + "'", at);
+  }
+
+  // "P<k>.<var>" with explicit process, or a bare unique variable name.
+  std::optional<std::pair<int, int>> resolve_variable(const std::string& name) {
+    const std::size_t dot = name.find('.');
+    if (dot != std::string::npos && dot >= 2 &&
+        (name[0] == 'P' || name[0] == 'p')) {
+      int proc = 0;
+      bool numeric = true;
+      for (std::size_t i = 1; i < dot; ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(name[i]))) {
+          numeric = false;
+          break;
+        }
+        proc = proc * 10 + (name[i] - '0');
+      }
+      if (numeric && proc < reg_.num_processes()) {
+        return std::make_pair(
+            proc, reg_.declare_variable(proc, name.substr(dot + 1)));
+      }
+    }
+    return reg_.resolve_bare(name);
+  }
+
+  Lexer lex_;
+  AtomRegistry& reg_;
+};
+
+}  // namespace
+
+FormulaPtr parse_ltl(const std::string& text, AtomRegistry& registry) {
+  return Parser(text, registry).parse();
+}
+
+}  // namespace decmon

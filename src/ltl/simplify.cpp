@@ -1,0 +1,124 @@
+// Lasso-word LTL evaluation (see eval.hpp). Lives in this TU together with
+// the NNF helper declared in formula.hpp; both are "semantic" utilities
+// layered on the plain AST.
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+#include "decmon/ltl/eval.hpp"
+#include "decmon/ltl/formula.hpp"
+
+namespace decmon {
+namespace {
+
+// Truth of one subformula at every position of the lasso.
+using Row = std::vector<char>;
+
+class LassoEvaluator {
+ public:
+  LassoEvaluator(const std::vector<AtomSet>& prefix,
+                 const std::vector<AtomSet>& loop)
+      : len_(prefix.size() + loop.size()), loop_start_(prefix.size()) {
+    assert(!loop.empty());
+    word_.reserve(len_);
+    word_.insert(word_.end(), prefix.begin(), prefix.end());
+    word_.insert(word_.end(), loop.begin(), loop.end());
+  }
+
+  bool eval(const FormulaPtr& f) { return row(f)[0] != 0; }
+
+ private:
+  std::size_t next(std::size_t i) const {
+    return i + 1 < len_ ? i + 1 : loop_start_;
+  }
+
+  const Row& row(const FormulaPtr& f) {
+    auto it = memo_.find(f.get());
+    if (it != memo_.end()) return it->second;
+    Row r(len_, 0);
+    switch (f->op()) {
+      case LtlOp::kTrue:
+        r.assign(len_, 1);
+        break;
+      case LtlOp::kFalse:
+        break;
+      case LtlOp::kAtom:
+        for (std::size_t i = 0; i < len_; ++i) {
+          r[i] = (word_[i] >> f->atom()) & 1;
+        }
+        break;
+      case LtlOp::kNot: {
+        const Row& a = row(f->lhs());
+        for (std::size_t i = 0; i < len_; ++i) r[i] = !a[i];
+        break;
+      }
+      case LtlOp::kAnd: {
+        const Row& a = row(f->lhs());
+        const Row& b = row(f->rhs());
+        for (std::size_t i = 0; i < len_; ++i) r[i] = a[i] && b[i];
+        break;
+      }
+      case LtlOp::kOr: {
+        const Row& a = row(f->lhs());
+        const Row& b = row(f->rhs());
+        for (std::size_t i = 0; i < len_; ++i) r[i] = a[i] || b[i];
+        break;
+      }
+      case LtlOp::kNext: {
+        const Row& a = row(f->lhs());
+        for (std::size_t i = 0; i < len_; ++i) r[i] = a[next(i)];
+        break;
+      }
+      case LtlOp::kUntil: {
+        // Least fixpoint of r[i] = b[i] || (a[i] && r[next(i)]).
+        const Row& a = row(f->lhs());
+        const Row& b = row(f->rhs());
+        bool changed = true;
+        while (changed) {
+          changed = false;
+          for (std::size_t k = len_; k-- > 0;) {
+            const char v = b[k] || (a[k] && r[next(k)]);
+            if (v != r[k]) {
+              r[k] = v;
+              changed = true;
+            }
+          }
+        }
+        break;
+      }
+      case LtlOp::kRelease: {
+        // Greatest fixpoint of r[i] = b[i] && (a[i] || r[next(i)]).
+        const Row& a = row(f->lhs());
+        const Row& b = row(f->rhs());
+        r.assign(len_, 1);
+        bool changed = true;
+        while (changed) {
+          changed = false;
+          for (std::size_t k = len_; k-- > 0;) {
+            const char v = b[k] && (a[k] || r[next(k)]);
+            if (v != r[k]) {
+              r[k] = v;
+              changed = true;
+            }
+          }
+        }
+        break;
+      }
+    }
+    return memo_.emplace(f.get(), std::move(r)).first->second;
+  }
+
+  std::size_t len_;
+  std::size_t loop_start_;
+  std::vector<AtomSet> word_;
+  std::unordered_map<const Formula*, Row> memo_;
+};
+
+}  // namespace
+
+bool lasso_satisfies(const FormulaPtr& f, const std::vector<AtomSet>& prefix,
+                     const std::vector<AtomSet>& loop) {
+  return LassoEvaluator(prefix, loop).eval(f);
+}
+
+}  // namespace decmon

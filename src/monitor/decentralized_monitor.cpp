@@ -1,0 +1,86 @@
+#include "decmon/monitor/decentralized_monitor.hpp"
+
+#include <stdexcept>
+
+#include "decmon/monitor/token.hpp"
+
+namespace decmon {
+
+DecentralizedMonitor::DecentralizedMonitor(
+    const CompiledProperty* property, MonitorNetwork* network,
+    std::vector<AtomSet> initial_letters, MonitorOptions options)
+    : property_(property) {
+  const int n = property->num_processes();
+  monitors_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    monitors_.push_back(std::make_unique<MonitorProcess>(
+        i, property, network, initial_letters, options));
+    monitors_.back()->set_verdict_callback([this](Verdict v, double now) {
+      if (v == Verdict::kFalse &&
+          (first_violation_ < 0 || now < first_violation_)) {
+        first_violation_ = now;
+      }
+      if (v == Verdict::kTrue &&
+          (first_satisfaction_ < 0 || now < first_satisfaction_)) {
+        first_satisfaction_ = now;
+      }
+    });
+  }
+}
+
+void DecentralizedMonitor::on_local_event(int proc, const Event& event,
+                                          double now) {
+  monitor(proc).on_local_event(event, now);
+}
+
+void DecentralizedMonitor::on_local_termination(int proc, double now) {
+  monitor(proc).on_local_termination(now);
+}
+
+void DecentralizedMonitor::on_monitor_message(const MonitorMessage& msg,
+                                              double now) {
+  MonitorProcess& target = monitor(msg.to);
+  if (auto* token = dynamic_cast<TokenMessage*>(msg.payload.get())) {
+    target.on_token(token->token, now);
+  } else if (auto* term =
+                 dynamic_cast<TerminationMessage*>(msg.payload.get())) {
+    target.on_peer_termination(term->process, term->last_sn, now);
+  } else {
+    throw std::invalid_argument(
+        "DecentralizedMonitor: unknown monitor message payload");
+  }
+}
+
+bool DecentralizedMonitor::all_finished() const {
+  for (const auto& m : monitors_) {
+    if (!m->finished()) return false;
+  }
+  return true;
+}
+
+SystemVerdict DecentralizedMonitor::result() const {
+  SystemVerdict out;
+  out.all_finished = all_finished();
+  out.first_violation_time = first_violation_;
+  out.first_satisfaction_time = first_satisfaction_;
+  for (const auto& m : monitors_) {
+    for (Verdict v : m->verdicts()) out.verdicts.insert(v);
+    for (int q : m->current_states()) out.states.insert(q);
+    out.per_monitor.push_back(m->stats());
+    out.aggregate += m->stats();
+  }
+  return out;
+}
+
+std::vector<AtomSet> initial_letters_of(
+    const AtomRegistry& registry, const std::vector<LocalState>& states) {
+  std::vector<AtomSet> letters;
+  letters.reserve(states.size());
+  for (std::size_t p = 0; p < states.size(); ++p) {
+    letters.push_back(
+        registry.evaluate_local(static_cast<int>(p), states[p]));
+  }
+  return letters;
+}
+
+}  // namespace decmon

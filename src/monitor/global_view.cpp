@@ -1,0 +1,19 @@
+#include "decmon/monitor/global_view.hpp"
+
+#include <sstream>
+
+namespace decmon {
+
+std::string GlobalView::to_string() const {
+  std::ostringstream os;
+  os << "gv{" << id << " q=" << q << " cut=[";
+  for (std::size_t i = 0; i < cut.size(); ++i) {
+    if (i) os << ',';
+    os << cut[i];
+  }
+  os << "]" << (waiting ? " waiting" : "") << (forked_copy ? " launchpad" : "")
+     << " pending=" << pending.size() << "}";
+  return os.str();
+}
+
+}  // namespace decmon

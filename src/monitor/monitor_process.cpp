@@ -1,0 +1,976 @@
+#include "decmon/monitor/monitor_process.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <cassert>
+#include <map>
+#include <stdexcept>
+
+namespace decmon {
+namespace {
+
+/// RAII guard for re-entrancy depth tracking.
+class DepthGuard {
+ public:
+  explicit DepthGuard(int& depth) : depth_(depth) { ++depth_; }
+  ~DepthGuard() { --depth_; }
+  DepthGuard(const DepthGuard&) = delete;
+  DepthGuard& operator=(const DepthGuard&) = delete;
+
+ private:
+  int& depth_;
+};
+
+constexpr std::uint32_t kRunning = 0xFFFFFFFFu;
+
+}  // namespace
+
+MonitorProcess::MonitorProcess(int index, const CompiledProperty* property,
+                               MonitorNetwork* network,
+                               std::vector<AtomSet> initial_letters,
+                               MonitorOptions options)
+    : index_(index),
+      n_(property->num_processes()),
+      prop_(property),
+      net_(network),
+      options_(options),
+      peer_last_sn_(static_cast<std::size_t>(n_), kRunning) {
+  if (static_cast<int>(initial_letters.size()) != n_) {
+    throw std::invalid_argument("MonitorProcess: bad initial_letters size");
+  }
+  // INIT (Alg. 1): the initial global view points at the bottom cut; the
+  // initial global state is the first letter the automaton consumes.
+  Event init;
+  init.type = EventType::kInitial;
+  init.process = index_;
+  init.sn = 0;
+  init.vc = VectorClock(static_cast<std::size_t>(n_));
+  init.letter = initial_letters[static_cast<std::size_t>(index_)];
+  history_.push_back(init);
+
+  GlobalView gv0;
+  gv0.id = next_view_id_++;
+  gv0.cut.assign(static_cast<std::size_t>(n_), 0);
+  gv0.gstate = std::move(initial_letters);
+  gv0.q = prop_->step(prop_->initial_state(), gv0.combined_letter());
+  ++stats_.global_views_created;
+  views_.push_back(std::move(gv0));
+  declare(views_.back().q, 0.0);
+  if (!prop_->is_final(views_.back().q)) {
+    DepthGuard guard(dispatch_depth_);
+    probe_outgoing(views_.back(), history_[0], /*consistent=*/true, 0.0);
+  }
+  sweep_dead_views();
+}
+
+std::size_t MonitorProcess::num_views() const {
+  std::size_t count = 0;
+  for (const GlobalView& gv : views_) {
+    if (!gv.dead) ++count;
+  }
+  return count;
+}
+
+std::set<int> MonitorProcess::current_states() const {
+  std::set<int> states;
+  for (const GlobalView& gv : views_) {
+    if (!gv.dead) states.insert(gv.q);
+  }
+  return states;
+}
+
+std::set<Verdict> MonitorProcess::verdicts() const {
+  std::set<Verdict> out = declared_;
+  for (int q : current_states()) out.insert(prop_->verdict(q));
+  return out;
+}
+
+void MonitorProcess::declare(int q, double now) {
+  const Verdict v = prop_->verdict(q);
+  if (v == Verdict::kUnknown) return;
+  const bool fresh = declared_.insert(v).second;
+  if (fresh && on_verdict_) on_verdict_(v, now);
+}
+
+// ---------------------------------------------------------------------------
+// Event path (Alg. 2)
+// ---------------------------------------------------------------------------
+
+void MonitorProcess::on_local_event(const Event& event, double now) {
+  DepthGuard guard(dispatch_depth_);
+  if (event.sn != history_.size()) {
+    throw std::logic_error("MonitorProcess: out-of-order local event");
+  }
+  history_.push_back(event);
+  ++stats_.events_processed;
+
+  // Tokens parked for this event (Alg. 2 lines 4-8). Extract first: token
+  // processing can re-park or spawn views.
+  for (auto it = w_tokens_.begin(); it != w_tokens_.end();) {
+    if (it->next_target_process == index_ &&
+        it->next_target_event <= event.sn) {
+      Token t = std::move(*it);
+      it = w_tokens_.erase(it);
+      process_token(std::move(t), now);
+    } else {
+      ++it;
+    }
+  }
+
+  // Feed every existing view; views appended during the loop were created
+  // with cuts/pending already covering this event.
+  const std::size_t count = views_.size();
+  for (std::size_t idx = 0; idx < count; ++idx) {
+    GlobalView& gv = views_[idx];
+    if (gv.dead) continue;
+    gv.pending.push_back(event);
+    if (gv.waiting) ++stats_.events_delayed;
+    drain(gv, now);
+  }
+  sample_pending();
+  merge_similar_views();
+  sweep_dead_views();
+}
+
+void MonitorProcess::drain(GlobalView& gv, double now) {
+  while (!gv.dead && !gv.waiting && !gv.pending.empty()) {
+    Event e = std::move(gv.pending.front());
+    gv.pending.pop_front();
+    process_event(gv, e, now);
+  }
+}
+
+void MonitorProcess::process_event(GlobalView& gv, const Event& e,
+                                   double now) {
+  gv.cut[static_cast<std::size_t>(index_)] = e.sn;
+  gv.gstate[static_cast<std::size_t>(index_)] = e.letter;
+  if (prop_->is_final(gv.q)) return;  // absorbing verdict
+
+  // Consistency: the event must not know more about any peer than the view
+  // does (Alg. 2 line 20).
+  bool consistent = true;
+  for (int j = 0; j < n_; ++j) {
+    if (j == index_) continue;
+    if (gv.cut[static_cast<std::size_t>(j)] <
+        e.vc[static_cast<std::size_t>(j)]) {
+      consistent = false;
+      break;
+    }
+  }
+
+  const int q_old = gv.q;
+  if (consistent) {
+    // Deterministic step on the believed global state (one letter per
+    // event; Alg. 2 lines 21-25).
+    const MonitorTransition* t = prop_->match(gv.q, gv.combined_letter());
+    if (!t) {
+      throw std::logic_error("MonitorProcess: incomplete automaton");
+    }
+    if (!t->self_loop()) {
+      gv.q = t->to;
+      declare(gv.q, now);
+    }
+  }
+  // Probe from the post-advance state AND, when the step left q_old, from
+  // q_old as well: concurrent remote events can enable a *different* branch
+  // out of q_old at a cut containing this event (e.g. the paper's running
+  // example, where the path through <e1_1, e2_2> reaches q1 although the
+  // local path went to the violation state). Design note: the thesis only
+  // probes from the new state, which loses such paths.
+  probe_outgoing(gv, e, consistent, now, q_old != gv.q ? q_old : -1);
+}
+
+std::uint64_t MonitorProcess::probe_signature(
+    const GlobalView& gv, const std::vector<int>& tids) const {
+  // Only atoms the automaton reads matter: beliefs differing in irrelevant
+  // variables describe the same probe.
+  const AtomSet relevant = prop_->automaton().relevant_atoms();
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(gv.q));
+  for (int t : tids) mix(static_cast<std::uint64_t>(t) + 1);
+  for (AtomSet s : gv.gstate) mix((s & relevant) ^ 0x5bd1e995u);
+  return h;
+}
+
+void MonitorProcess::probe_outgoing(GlobalView& gv, const Event& e,
+                                    bool consistent, double now,
+                                    int extra_from_state) {
+  // Soundness of a probe entry rests on where its source state is
+  // *certified*:
+  //   - "at-cut" entries (the view's state after a consistent step that
+  //     consumed e): start at the cut including e;
+  //   - "pre-cut" entries (the pre-advance state q_old whose other branches
+  //     remain reachable through concurrent remote events, and the view's
+  //     state on an inconsistent event, which never consumed e's cut): start
+  //     at the cut *before* e -- the walk re-applies e itself, with the
+  //     self-loop feasibility check, like any other event.
+  // Design note: the thesis starts every entry at the join max(gcut, e.VC),
+  // skipping intermediate cuts entirely; that admits firings on paths that
+  // do not exist (unsound, e.g. for X-shaped states without self-loops).
+  struct Candidate {
+    int tid;
+    bool pre_cut;
+  };
+  auto prunable = [&](int q) {
+    // Final states have no outgoing transitions; settled states (no
+    // definite verdict reachable, 7.2.2) are not worth probing.
+    return prop_->is_final(q) ||
+           (options_.prune_settled_states && prop_->verdict_settled(q));
+  };
+  std::vector<Candidate> candidates;
+  if (!prunable(gv.q)) {
+    for (int tid : prop_->outgoing(gv.q)) {
+      candidates.push_back({tid, !consistent});
+    }
+  }
+  if (extra_from_state >= 0 && !prunable(extra_from_state)) {
+    for (int tid : prop_->outgoing(extra_from_state)) {
+      candidates.push_back({tid, true});
+    }
+  }
+  if (candidates.empty()) return;
+
+  const AtomSet pre_letter =
+      history_[static_cast<std::size_t>(e.sn - (e.sn > 0 ? 1 : 0))].letter;
+
+  std::vector<TransitionEntry> remote_entries;
+  std::vector<int> tids;
+
+  if (options_.walk_mode == WalkMode::kJoinJump) {
+    // The thesis's CheckOutgoingTransitions: entries start at the join
+    // max(gcut, e.VC) with the current (possibly stale) beliefs, and a
+    // fully-believed-satisfied transition at an advanced join fires
+    // immediately. Kept for comparison; see WalkMode::kJoinJump.
+    for (const Candidate& cand : candidates) {
+      const int tid = cand.tid;
+      if (!prop_->locally_satisfied(tid, index_, e.letter)) continue;
+      TransitionEntry entry;
+      entry.transition_id = tid;
+      entry.cut = gv.cut;
+      bool advanced = false;
+      for (int j = 0; j < n_; ++j) {
+        const std::uint32_t joined =
+            std::max(entry.cut[static_cast<std::size_t>(j)],
+                     e.vc[static_cast<std::size_t>(j)]);
+        if (joined != entry.cut[static_cast<std::size_t>(j)]) advanced = true;
+        entry.cut[static_cast<std::size_t>(j)] = joined;
+      }
+      entry.gstate = gv.gstate;
+      entry.depend = VectorClock(static_cast<std::size_t>(n_));
+      for (int j = 0; j < n_; ++j) {
+        entry.depend[static_cast<std::size_t>(j)] =
+            entry.cut[static_cast<std::size_t>(j)];
+      }
+      const CompiledTransition& ct = prop_->transition(tid);
+      entry.conj.assign(static_cast<std::size_t>(n_), ConjunctEval::kTrue);
+      bool needs_walk = false;
+      for (int j = 0; j < n_; ++j) {
+        if (j == index_) continue;
+        if (!ct.local[static_cast<std::size_t>(j)].is_true() &&
+            !prop_->locally_satisfied(
+                tid, j, entry.gstate[static_cast<std::size_t>(j)])) {
+          entry.conj[static_cast<std::size_t>(j)] = ConjunctEval::kUnset;
+          needs_walk = true;
+        }
+      }
+      if (!needs_walk) {
+        if (!advanced) continue;  // the deterministic step's own transition
+        // Believed-enabled at the advanced join: resolved already, but
+        // routed through the token machinery so probe deduplication keeps
+        // repeated beliefs from spawning unboundedly.
+        entry.eval = EntryEval::kTrue;
+      } else {
+        for (int j = 0; j < n_; ++j) {
+          if (entry.conj[static_cast<std::size_t>(j)] ==
+              ConjunctEval::kUnset) {
+            entry.next_target_process = j;
+            entry.next_target_event =
+                entry.cut[static_cast<std::size_t>(j)] + 1;
+            break;
+          }
+        }
+      }
+      tids.push_back(tid);
+      remote_entries.push_back(std::move(entry));
+    }
+    if (remote_entries.empty()) return;
+  } else {
+  for (const Candidate& cand : candidates) {
+    const int tid = cand.tid;
+    const bool pre = cand.pre_cut && e.sn > 0;
+    // Skip when this process forbids the transition at every admissible
+    // local position (Alg. 3 line 7).
+    const bool sat_now = prop_->locally_satisfied(tid, index_, e.letter);
+    const bool sat_pre = prop_->locally_satisfied(tid, index_, pre_letter);
+    if (pre ? (!sat_now && !sat_pre) : !sat_now) continue;
+
+    TransitionEntry entry;
+    entry.transition_id = tid;
+    entry.cut = gv.cut;
+    entry.gstate = gv.gstate;
+    entry.depend = VectorClock(static_cast<std::size_t>(n_));
+    if (pre) {
+      entry.cut[static_cast<std::size_t>(index_)] = e.sn - 1;
+      entry.gstate[static_cast<std::size_t>(index_)] = pre_letter;
+    } else {
+      entry.depend.merge(e.vc);
+    }
+    for (int j = 0; j < n_; ++j) {
+      entry.depend[static_cast<std::size_t>(j)] =
+          std::max(entry.depend[static_cast<std::size_t>(j)],
+                   entry.cut[static_cast<std::size_t>(j)]);
+    }
+    const CompiledTransition& ct = prop_->transition(tid);
+    entry.conj.assign(static_cast<std::size_t>(n_), ConjunctEval::kTrue);
+    bool needs_walk = false;
+    for (int j = 0; j < n_; ++j) {
+      if (entry.cut[static_cast<std::size_t>(j)] <
+          entry.depend[static_cast<std::size_t>(j)]) {
+        needs_walk = true;  // lagging component: must be walked forward
+      }
+      const bool participates =
+          !ct.local[static_cast<std::size_t>(j)].is_true();
+      if (participates &&
+          !prop_->locally_satisfied(
+              tid, j, entry.gstate[static_cast<std::size_t>(j)])) {
+        entry.conj[static_cast<std::size_t>(j)] = ConjunctEval::kUnset;
+        needs_walk = true;
+      }
+    }
+    if (!needs_walk) {
+      // The guard holds at the entry's own cut -- but the transition fires
+      // at a *successor* cut (the source state holds after this one). The
+      // local successor is covered by the view's own deterministic step;
+      // remote successors need one verification step, or the pivot is lost
+      // whenever the next local event is inconsistent (design note: the
+      // thesis's "enabled transition" handling misses this case). Walk one
+      // event on a remote participant (any remote process if the guard is
+      // local-only) and let the usual completion rules decide there.
+      int j = -1;
+      for (int k : ct.participants) {
+        if (k != index_) {
+          j = k;
+          break;
+        }
+      }
+      if (j < 0) j = index_ == 0 ? (n_ > 1 ? 1 : -1) : 0;
+      if (j < 0) continue;  // single process: local steps cover everything
+      entry.conj[static_cast<std::size_t>(j)] = ConjunctEval::kUnset;
+      entry.next_target_process = j;
+      entry.next_target_event = entry.cut[static_cast<std::size_t>(j)] + 1;
+    } else {
+      // Initial target: first lagging component, else first open conjunct
+      // (Alg. 3 lines 12-13).
+      for (int j = 0; j < n_; ++j) {
+        const bool lagging = entry.cut[static_cast<std::size_t>(j)] <
+                             entry.depend[static_cast<std::size_t>(j)];
+        if (lagging ||
+            entry.conj[static_cast<std::size_t>(j)] == ConjunctEval::kUnset) {
+          entry.next_target_process = j;
+          entry.next_target_event =
+              entry.cut[static_cast<std::size_t>(j)] + 1;
+          break;
+        }
+      }
+    }
+    tids.push_back(tid);
+    remote_entries.push_back(std::move(entry));
+  }
+
+  if (remote_entries.empty()) return;
+  }  // walk-mode dispatch
+
+  // Optimization 4.3.2: skip duplicate probes -- the same (state,
+  // transitions, beliefs) signature was already probed, either by an
+  // outstanding token or by this view's previous probe ("the new event is
+  // considered to be an element in the slice being constructed"). Pivot
+  // cuts involving *new remote* events are caught by the remote monitors'
+  // own probes (Theorem 4's progress-path argument).
+  const std::uint64_t sig = probe_signature(gv, tids);
+  if (options_.dedupe_probes) {
+    if (gv.probe_sig == sig) return;
+    if (outstanding_sigs_.count(sig)) return;
+  }
+
+  Token token;
+  token.token_id =
+      (static_cast<std::uint64_t>(index_) << 32) | next_token_serial_++;
+  token.parent = index_;
+  token.parent_sn = e.sn;
+  token.parent_vc = e.vc;
+  token.entries = std::move(remote_entries);
+  ++stats_.tokens_created;
+
+  if (options_.trace) {
+    options_.trace("M" + std::to_string(index_) + " probe " +
+                   token.to_string() + " from " + gv.to_string());
+  }
+  gv.waiting = true;
+  gv.token_id = token.token_id;
+  gv.probe_sig = sig;
+  outstanding_sigs_.insert(sig);
+  gv.forked_copy = consistent;
+  if (consistent) {
+    // Fork a copy that keeps tracing the path while the original waits for
+    // the token (Alg. 2 lines 33-36).
+    GlobalView copy = gv;
+    copy.id = next_view_id_++;
+    copy.waiting = false;
+    copy.token_id = 0;
+    copy.forked_copy = false;
+    copy.probe_sig = 0;
+    ++stats_.global_views_created;
+    if (options_.max_views && views_.size() >= options_.max_views) {
+      throw std::length_error("MonitorProcess: view cap exceeded");
+    }
+    views_.push_back(std::move(copy));
+    drain(views_.back(), now);  // deque: pushing does not invalidate `gv`
+  }
+  // Dispatch: walks local targets over history (pre-cut entries re-consume
+  // the triggering event here), routes remote targets, parks only on truly
+  // future local events.
+  process_token(std::move(token), now);
+}
+
+// ---------------------------------------------------------------------------
+// Token path (Alg. 3-5)
+// ---------------------------------------------------------------------------
+
+void MonitorProcess::on_token(Token token, double now) {
+  DepthGuard guard(dispatch_depth_);
+  if (token.parent == index_) {
+    handle_returned_token(std::move(token), now);
+  } else {
+    process_token(std::move(token), now);
+  }
+  merge_similar_views();
+  sweep_dead_views();
+  check_finished(now);
+}
+
+void MonitorProcess::process_token(Token token, double now) {
+  while (true) {
+    if (token.next_target_process != index_) {
+      // Targeted elsewhere: route it. A false return means the router chose
+      // to keep it here after all (some entry targets this process); the
+      // loop continues with the updated local target.
+      if (route_token(token, now)) return;
+      continue;
+    }
+    const std::uint32_t sn = token.next_target_event;
+    if (sn >= history_.size()) {
+      if (!local_terminated_) {
+        w_tokens_.push_back(std::move(token));
+        stats_.peak_waiting_tokens = std::max<std::uint64_t>(
+            stats_.peak_waiting_tokens, w_tokens_.size());
+        return;
+      }
+      // The requested event will never occur: the awaited conjunct can
+      // never become true on this walk (Theorem 1).
+      for (TransitionEntry& entry : token.entries) {
+        if (entry.eval == EntryEval::kUnset &&
+            entry.next_target_process == index_ &&
+            entry.next_target_event >= history_.size()) {
+          entry.eval = EntryEval::kFalse;
+        }
+      }
+      if (!route_token(token, now)) {
+        throw std::logic_error(
+            "MonitorProcess: token stuck after local termination");
+      }
+      return;
+    }
+    apply_event_to_token(token, history_[sn]);
+    if (route_token(token, now)) return;
+    // Token stays here, now targeting a later local event; keep walking.
+  }
+}
+
+void MonitorProcess::apply_event_to_token(Token& token, const Event& e) {
+  std::vector<std::size_t> updated;
+  for (std::size_t idx = 0; idx < token.entries.size(); ++idx) {
+    TransitionEntry& entry = token.entries[idx];
+    if (entry.eval != EntryEval::kUnset) continue;
+    if (entry.next_target_process != index_ ||
+        entry.next_target_event != e.sn) {
+      continue;
+    }
+    entry.cut[static_cast<std::size_t>(index_)] = e.sn;
+    entry.gstate[static_cast<std::size_t>(index_)] = e.letter;
+    entry.depend.merge(e.vc);
+    for (int j = 0; j < n_; ++j) {
+      entry.depend[static_cast<std::size_t>(j)] =
+          std::max(entry.depend[static_cast<std::size_t>(j)],
+                   entry.cut[static_cast<std::size_t>(j)]);
+    }
+    const CompiledTransition& ct = prop_->transition(entry.transition_id);
+    if (!ct.local[static_cast<std::size_t>(index_)].is_true()) {
+      entry.conj[static_cast<std::size_t>(index_)] =
+          prop_->locally_satisfied(entry.transition_id, index_, e.letter)
+              ? ConjunctEval::kTrue
+              : ConjunctEval::kUnset;
+    } else {
+      // Non-participant visit (successor verification or consistency
+      // repair): nothing to evaluate here.
+      entry.conj[static_cast<std::size_t>(index_)] = ConjunctEval::kTrue;
+    }
+    updated.push_back(idx);
+  }
+
+  // Resolve or retarget each updated entry (Alg. 4 lines 13-25, with the
+  // generalized order check replacing Alg. 5's sibling-only flag rule).
+  for (std::size_t idx : updated) {
+    TransitionEntry& entry = token.entries[idx];
+    if (entry.eval != EntryEval::kUnset) continue;
+
+    // Find what still keeps the entry open: a lagging cut component (the
+    // frontier depends on events not yet included) or an open conjunct.
+    int next = -1;
+    for (int k = 0; k < n_; ++k) {
+      if (entry.cut[static_cast<std::size_t>(k)] <
+              entry.depend[static_cast<std::size_t>(k)] ||
+          entry.conj[static_cast<std::size_t>(k)] == ConjunctEval::kUnset) {
+        next = k;
+        break;
+      }
+    }
+    if (next < 0) {
+      // All conjuncts verified at a consistent cut: enabled (the pivot
+      // global state is found).
+      entry.eval = EntryEval::kTrue;
+      continue;
+    }
+
+    // The walk must advance past the current cut. A source state without
+    // any self-loop (X-shaped) leaves on *every* letter: the transition can
+    // only fire exactly one event past the creation cut, so an entry that
+    // did not complete on this event is infeasible.
+    if (prop_->self_loops(prop_->transition(entry.transition_id).from)
+            .empty()) {
+      entry.eval = EntryEval::kFalse;
+      continue;
+    }
+    // Otherwise, advancing is only a real path if the letter here keeps the
+    // source state on a self-loop; the check applies at consistent cuts
+    // (design note: this generalizes Alg. 5's flag rule, which only catches
+    // competing sibling entries). An inconsistent cut is not a global state
+    // of any path, so it is repaired, not judged.
+    bool consistent_here = true;
+    for (int k = 0; k < n_; ++k) {
+      if (entry.cut[static_cast<std::size_t>(k)] <
+          entry.depend[static_cast<std::size_t>(k)]) {
+        consistent_here = false;
+        break;
+      }
+    }
+    if (consistent_here) {
+      AtomSet letter = 0;
+      for (AtomSet s : entry.gstate) letter |= s;
+      const MonitorTransition* t =
+          prop_->match(prop_->transition(entry.transition_id).from, letter);
+      if (t && !t->self_loop()) {
+        entry.eval = EntryEval::kFalse;
+        continue;
+      }
+      // Certified stay-point: a consistent cut where the path provably can
+      // remain at the source state (used to resurrect launchpad views).
+      entry.loop_certified = true;
+      entry.loop_cut = entry.cut;
+      entry.loop_gstate = entry.gstate;
+    }
+    // A conjunct re-opens when its process's slice will move.
+    const CompiledTransition& ct = prop_->transition(entry.transition_id);
+    if (!ct.local[static_cast<std::size_t>(next)].is_true()) {
+      entry.conj[static_cast<std::size_t>(next)] = ConjunctEval::kUnset;
+    }
+    entry.next_target_process = next;
+    entry.next_target_event = entry.cut[static_cast<std::size_t>(next)] + 1;
+  }
+}
+
+bool MonitorProcess::route_token(Token& token, double now) {
+  // SendToNextProcess (4.2.0.6): (1) any enabled entry -> parent; (2) a
+  // live entry targets this process -> stay; (3) a live entry targets a
+  // third process -> go there; (4) otherwise -> parent.
+  bool any_true = false;
+  bool any_live = false;
+  for (const TransitionEntry& e : token.entries) {
+    if (e.eval == EntryEval::kTrue) any_true = true;
+    if (e.eval == EntryEval::kUnset) any_live = true;
+  }
+
+  int dest = token.parent;
+  if (!any_true && any_live) {
+    // Prefer staying, then a third process, then the parent. Among third
+    // processes, prefer the entry whose target automaton state is closest
+    // to a definite verdict (static-analysis routing, 7.2.2) -- detection
+    // latency matters most for transitions about to decide the run.
+    int third = -1;
+    int third_rank = INT_MAX;
+    int parent_target = -1;
+    bool stay = false;
+    for (const TransitionEntry& e : token.entries) {
+      if (e.eval != EntryEval::kUnset) continue;
+      if (e.next_target_process == index_) {
+        stay = true;
+      } else if (e.next_target_process == token.parent) {
+        parent_target = token.parent;
+      } else {
+        int rank = 0;
+        if (options_.prioritize_near_verdict) {
+          const int d = prop_->distance_to_verdict(
+              prop_->transition(e.transition_id).to);
+          rank = d == AutomatonAnalysis::kUnreachable ? INT_MAX - 1 : d;
+        }
+        if (third < 0 || rank < third_rank) {
+          third = e.next_target_process;
+          third_rank = rank;
+        }
+      }
+    }
+    if (stay) {
+      dest = index_;
+    } else if (third >= 0) {
+      dest = third;
+    } else if (parent_target >= 0) {
+      dest = parent_target;
+    }
+  }
+
+  // Target event at the destination: the earliest live request there.
+  std::uint32_t target_event = 0;
+  bool have_target = false;
+  for (const TransitionEntry& e : token.entries) {
+    if (e.eval != EntryEval::kUnset) continue;
+    if (e.next_target_process != dest) continue;
+    if (!have_target || e.next_target_event < target_event) {
+      target_event = e.next_target_event;
+      have_target = true;
+    }
+  }
+  token.next_target_process = dest;
+  token.next_target_event = have_target ? target_event : 0;
+
+  if (dest == index_ && !(any_true || !any_live)) {
+    return false;  // stays at this monitor (rule 2)
+  }
+  ++token.hops;
+  ++stats_.token_hops;
+  if (dest == index_) {
+    // Returning home without a hop (parent == current process).
+    handle_returned_token(std::move(token), now);
+    return true;
+  }
+  ++stats_.token_messages_sent;
+  auto payload = std::make_shared<TokenMessage>();
+  payload->token = std::move(token);
+  net_->send(MonitorMessage{index_, dest, std::move(payload)});
+  return true;
+}
+
+void MonitorProcess::handle_returned_token(Token token, double now) {
+  GlobalView* gv = find_view_by_token(token.token_id);
+  if (!gv || gv->dead) return;  // view vanished; drop the token
+
+  bool spawned_to = false;
+  std::vector<char> spawned_states(
+      static_cast<std::size_t>(prop_->automaton().num_states()), 0);
+  for (TransitionEntry& entry : token.entries) {
+    if (entry.eval != EntryEval::kTrue) continue;
+    spawn_view(entry, now);
+    spawned_to = true;
+    spawned_states[static_cast<std::size_t>(
+        prop_->transition(entry.transition_id).to)] = 1;
+  }
+  if (spawned_to && options_.prune_same_destination) {
+    // Optimization 4.3.3: transitions split from one disjunctive predicate
+    // lead to the same state; satisfying one is enough.
+    for (TransitionEntry& entry : token.entries) {
+      if (entry.eval == EntryEval::kUnset &&
+          spawned_states[static_cast<std::size_t>(
+              prop_->transition(entry.transition_id).to)]) {
+        entry.eval = EntryEval::kFalse;
+      }
+    }
+  }
+  // Remember the most advanced certified stay-point across all entries
+  // (resolved ones included) before dropping them: resurrecting far along
+  // the walk avoids re-probing the ground the token already covered.
+  const TransitionEntry* cert = nullptr;
+  for (const TransitionEntry& entry : token.entries) {
+    if (!entry.loop_certified) continue;
+    if (!cert) {
+      cert = &entry;
+      continue;
+    }
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    for (std::uint32_t x : entry.loop_cut) a += x;
+    for (std::uint32_t x : cert->loop_cut) b += x;
+    if (a > b) cert = &entry;
+  }
+  std::vector<std::uint32_t> cert_cut;
+  std::vector<AtomSet> cert_gstate;
+  if (cert) {
+    cert_cut = cert->loop_cut;
+    cert_gstate = cert->loop_gstate;
+  }
+
+  // Drop resolved entries.
+  std::erase_if(token.entries, [](const TransitionEntry& e) {
+    return e.eval != EntryEval::kUnset;
+  });
+
+  if (token.entries.empty()) {
+    gv->waiting = false;
+    outstanding_sigs_.erase(gv->probe_sig);
+    if (!gv->forked_copy && cert) {
+      // Resurrection (design note): the launchpad had no copy continuing
+      // the path (its triggering event was inconsistent), but the token
+      // certified a consistent cut where the path can stay at the source
+      // state. Resume the view there instead of killing it -- this is what
+      // preserves the '?' path of the paper's running example (path beta).
+      gv->cut = std::move(cert_cut);
+      gv->gstate = std::move(cert_gstate);
+      gv->probe_sig = 0;
+      // Rebuild the queue from history: the certified cut's local component
+      // can lie before events the launchpad already consumed.
+      gv->pending.clear();
+      for (std::size_t sn = gv->cut[static_cast<std::size_t>(index_)] + 1;
+           sn < history_.size(); ++sn) {
+        gv->pending.push_back(history_[sn]);
+      }
+      drain(*gv, now);
+    } else {
+      gv->dead = true;
+    }
+    check_finished(now);
+    return;
+  }
+  // Live entries remain (inconsistency repairs that involve the parent, or
+  // further remote visits): re-dispatch.
+  process_token(std::move(token), now);
+}
+
+void MonitorProcess::spawn_view(const TransitionEntry& entry, double now) {
+  // Dedupe pivots: distinct tokens can detect the same (state, cut) pivot;
+  // one view per pivot suffices (its continuation covers the rest).
+  {
+    std::uint64_t h = 1469598103934665603ull;
+    h ^= static_cast<std::uint64_t>(prop_->transition(entry.transition_id).to);
+    h *= 1099511628211ull;
+    for (std::uint32_t x : entry.cut) {
+      h ^= x;
+      h *= 1099511628211ull;
+    }
+    if (!spawned_memo_.insert(h).second) return;
+  }
+  if (options_.trace) {
+    options_.trace("M" + std::to_string(index_) + " spawn via " +
+                   entry.to_string());
+  }
+  GlobalView v;
+  v.id = next_view_id_++;
+  v.cut = entry.cut;
+  v.gstate = entry.gstate;
+  v.q = prop_->transition(entry.transition_id).to;
+  // The new path continues from the detected pivot cut: every local event
+  // past the cut must still be consumed, including ones the parent already
+  // processed -- rebuild from history, not from the parent's queue (a
+  // pivot's local component can lie before the parent's position).
+  for (std::size_t sn = entry.cut[static_cast<std::size_t>(index_)] + 1;
+       sn < history_.size(); ++sn) {
+    v.pending.push_back(history_[sn]);
+  }
+  ++stats_.global_views_created;
+  if (options_.max_views && views_.size() >= options_.max_views) {
+    throw std::length_error("MonitorProcess: view cap exceeded");
+  }
+  declare(v.q, now);
+  views_.push_back(std::move(v));
+  drain(views_.back(), now);
+}
+
+GlobalView* MonitorProcess::find_view_by_token(std::uint64_t token_id) {
+  for (GlobalView& gv : views_) {
+    if (gv.waiting && gv.token_id == token_id) return &gv;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Termination (4.2.0.10)
+// ---------------------------------------------------------------------------
+
+void MonitorProcess::on_local_termination(double now) {
+  DepthGuard guard(dispatch_depth_);
+  local_terminated_ = true;
+  peer_last_sn_[static_cast<std::size_t>(index_)] =
+      static_cast<std::uint32_t>(history_.size()) - 1;
+  // Announce to all peers.
+  for (int j = 0; j < n_; ++j) {
+    if (j == index_) continue;
+    auto payload = std::make_shared<TerminationMessage>();
+    payload->process = index_;
+    payload->last_sn = static_cast<std::uint32_t>(history_.size()) - 1;
+    ++stats_.termination_messages;
+    net_->send(MonitorMessage{index_, j, std::move(payload)});
+  }
+  flush_waiting_tokens(now);
+  merge_similar_views();
+  sweep_dead_views();
+  check_finished(now);
+}
+
+void MonitorProcess::on_peer_termination(int peer, std::uint32_t last_sn,
+                                         double now) {
+  DepthGuard guard(dispatch_depth_);
+  peer_last_sn_[static_cast<std::size_t>(peer)] = last_sn;
+  check_finished(now);
+}
+
+void MonitorProcess::flush_waiting_tokens(double now) {
+  std::list<Token> parked = std::move(w_tokens_);
+  w_tokens_.clear();
+  for (Token& t : parked) {
+    // Every entry waiting for a local event beyond the last one is disabled.
+    for (TransitionEntry& entry : t.entries) {
+      if (entry.eval == EntryEval::kUnset &&
+          entry.next_target_process == index_ &&
+          entry.next_target_event >= history_.size()) {
+        entry.eval = EntryEval::kFalse;
+      }
+    }
+    if (!route_token(t, now)) {
+      throw std::logic_error("MonitorProcess: unflushable token " +
+                             t.to_string() + " history=" +
+                             std::to_string(history_.size()));
+    }
+  }
+}
+
+void MonitorProcess::check_finished(double now) {
+  if (finished_) return;
+  if (!local_terminated_) return;
+  for (int j = 0; j < n_; ++j) {
+    if (peer_last_sn_[static_cast<std::size_t>(j)] == kRunning) return;
+  }
+  if (!w_tokens_.empty()) return;
+  for (const GlobalView& gv : views_) {
+    if (!gv.dead && gv.waiting) return;
+  }
+  finished_ = true;
+  stats_.finish_time = now;
+}
+
+// ---------------------------------------------------------------------------
+// Bookkeeping
+// ---------------------------------------------------------------------------
+
+void MonitorProcess::merge_similar_views() {
+  // Collect the settled (non-waiting, fully drained) live views once;
+  // everything below works on this small set.
+  std::vector<GlobalView*> settled;
+  for (GlobalView& gv : views_) {
+    if (!gv.dead && !gv.waiting && gv.pending.empty()) {
+      settled.push_back(&gv);
+    }
+  }
+  // Merge views with equal (automaton state, cut): they trace the same
+  // sub-lattice from here on (4.3.2). Only settled views merge; waiting
+  // views own live tokens.
+  std::map<std::pair<int, std::vector<std::uint32_t>>, GlobalView*> seen;
+  for (GlobalView* gv : settled) {
+    auto key = std::make_pair(gv->q, gv->cut);
+    auto [it, inserted] = seen.emplace(key, gv);
+    if (!inserted) {
+      gv->dead = true;
+      ++stats_.global_views_merged;
+    }
+  }
+  // Subsumption (the slice-merge of 4.3.2): a view is dropped when another
+  // view at the same automaton state has a componentwise-larger cut and
+  // agrees on every shared frontier letter -- the survivor continues the
+  // same slice further along.
+  if (options_.subsume_views) {
+    for (GlobalView* pa : settled) {
+      GlobalView& a = *pa;
+      if (a.dead) continue;
+      for (GlobalView* pb : settled) {
+        GlobalView& b = *pb;
+        if (&a == &b || b.dead) continue;
+        if (a.q != b.q) continue;
+        bool dominated = true;   // a.cut <= b.cut, strictly somewhere
+        bool strict = false;
+        bool frontier_agrees = true;
+        for (int j = 0; j < n_ && dominated; ++j) {
+          const auto ja = a.cut[static_cast<std::size_t>(j)];
+          const auto jb = b.cut[static_cast<std::size_t>(j)];
+          if (ja > jb) dominated = false;
+          if (ja < jb) strict = true;
+          if (ja == jb &&
+              a.gstate[static_cast<std::size_t>(j)] !=
+                  b.gstate[static_cast<std::size_t>(j)]) {
+            frontier_agrees = false;
+          }
+        }
+        if (dominated && strict && frontier_agrees) {
+          a.dead = true;
+          ++stats_.global_views_merged;
+          break;
+        }
+      }
+    }
+  }
+  // Aggressive state-level merge (4.4.1's bound): one settled view per
+  // automaton state, keeping the most advanced cut.
+  if (options_.merge_by_state) {
+    std::map<int, GlobalView*> best;
+    for (GlobalView* pgv : settled) {
+      GlobalView& gv = *pgv;
+      if (gv.dead) continue;
+      auto [it, inserted] = best.emplace(gv.q, &gv);
+      if (inserted) continue;
+      GlobalView*& keep = it->second;
+      std::uint64_t a = 0;
+      std::uint64_t b = 0;
+      for (std::uint32_t x : gv.cut) a += x;
+      for (std::uint32_t x : keep->cut) b += x;
+      if (a > b) {
+        keep->dead = true;
+        keep = &gv;
+      } else {
+        gv.dead = true;
+      }
+      ++stats_.global_views_merged;
+    }
+  }
+
+  std::uint64_t live = 0;
+  for (const GlobalView& gv : views_) {
+    if (!gv.dead) ++live;
+  }
+  stats_.peak_global_views = std::max(stats_.peak_global_views, live);
+}
+
+void MonitorProcess::sweep_dead_views() {
+  if (dispatch_depth_ > 0) return;  // references may still be on the stack
+  std::erase_if(views_, [](const GlobalView& gv) { return gv.dead; });
+}
+
+void MonitorProcess::sample_pending() {
+  std::uint64_t total = 0;
+  for (const GlobalView& gv : views_) {
+    if (gv.dead) continue;
+    total += gv.pending.size();
+  }
+  stats_.pending_sum += total;
+  ++stats_.pending_samples;
+  stats_.max_pending = std::max(stats_.max_pending, total);
+}
+
+}  // namespace decmon

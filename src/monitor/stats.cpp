@@ -1,0 +1,36 @@
+#include "decmon/monitor/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace decmon {
+
+MonitorStats& MonitorStats::operator+=(const MonitorStats& other) {
+  tokens_created += other.tokens_created;
+  token_messages_sent += other.token_messages_sent;
+  token_hops += other.token_hops;
+  termination_messages += other.termination_messages;
+  global_views_created += other.global_views_created;
+  global_views_merged += other.global_views_merged;
+  peak_global_views += other.peak_global_views;
+  peak_waiting_tokens = std::max(peak_waiting_tokens,
+                                 other.peak_waiting_tokens);
+  events_processed += other.events_processed;
+  events_delayed += other.events_delayed;
+  pending_sum += other.pending_sum;
+  pending_samples += other.pending_samples;
+  max_pending = std::max(max_pending, other.max_pending);
+  finish_time = std::max(finish_time, other.finish_time);
+  return *this;
+}
+
+std::string MonitorStats::to_string() const {
+  std::ostringstream os;
+  os << "stats{msgs=" << token_messages_sent << " tokens=" << tokens_created
+     << " hops=" << token_hops << " views=" << global_views_created
+     << " delayed=" << events_delayed << " avg_queue="
+     << average_delayed_events() << "}";
+  return os.str();
+}
+
+}  // namespace decmon

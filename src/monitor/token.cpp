@@ -1,0 +1,40 @@
+#include "decmon/monitor/token.hpp"
+
+#include <sstream>
+
+namespace decmon {
+
+bool Token::has_live_entries() const {
+  for (const TransitionEntry& e : entries) {
+    if (e.eval == EntryEval::kUnset) return true;
+  }
+  return false;
+}
+
+std::string TransitionEntry::to_string() const {
+  std::ostringstream os;
+  os << "entry{t" << transition_id << " cut=[";
+  for (std::size_t i = 0; i < cut.size(); ++i) {
+    if (i) os << ',';
+    os << cut[i];
+  }
+  os << "] eval="
+     << (eval == EntryEval::kUnset ? "?"
+                                   : eval == EntryEval::kTrue ? "T" : "F")
+     << " ->P" << next_target_process << "@" << next_target_event << "}";
+  return os.str();
+}
+
+std::string Token::to_string() const {
+  std::ostringstream os;
+  os << "token{" << token_id << " parent=P" << parent << "@" << parent_sn
+     << " ->P" << next_target_process << "@" << next_target_event << " [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i) os << ' ';
+    os << entries[i].to_string();
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace decmon

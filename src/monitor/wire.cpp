@@ -1,0 +1,193 @@
+#include "decmon/monitor/wire.hpp"
+
+namespace decmon {
+namespace {
+
+constexpr std::uint8_t kVersion = 1;
+
+/// Little-endian, bounds-checked primitive codec.
+class Writer {
+ public:
+  void u8(std::uint8_t x) { buf_.push_back(x); }
+  void u32(std::uint32_t x) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+  }
+  void u64(std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+  }
+  void vc(const VectorClock& clock) {
+    u32(static_cast<std::uint32_t>(clock.size()));
+    for (std::size_t i = 0; i < clock.size(); ++i) u32(clock[i]);
+  }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return buf_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t x = 0;
+    for (int i = 0; i < 4; ++i) x |= static_cast<std::uint32_t>(buf_[pos_++]) << (8 * i);
+    return x;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t x = 0;
+    for (int i = 0; i < 8; ++i) x |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
+    return x;
+  }
+  VectorClock vc() {
+    const std::uint32_t n = u32();
+    if (n > 4096) throw WireError("vector clock too wide");
+    VectorClock clock(n);
+    for (std::uint32_t i = 0; i < n; ++i) clock[i] = u32();
+    return clock;
+  }
+  void done() const {
+    if (pos_ != buf_.size()) throw WireError("trailing bytes");
+  }
+
+ private:
+  void need(std::size_t k) const {
+    if (pos_ + k > buf_.size()) throw WireError("truncated buffer");
+  }
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+void write_header(Writer& w, WireKind kind) {
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(kind));
+}
+
+void read_header(Reader& r, WireKind expected) {
+  const std::uint8_t version = r.u8();
+  if (version != kVersion) throw WireError("unsupported wire version");
+  const std::uint8_t kind = r.u8();
+  if (kind != static_cast<std::uint8_t>(expected)) {
+    throw WireError("unexpected message kind");
+  }
+}
+
+void write_entry(Writer& w, const TransitionEntry& e) {
+  w.u32(static_cast<std::uint32_t>(e.transition_id));
+  w.u32(static_cast<std::uint32_t>(e.cut.size()));
+  for (std::uint32_t x : e.cut) w.u32(x);
+  w.vc(e.depend);
+  for (AtomSet s : e.gstate) w.u64(s);
+  for (ConjunctEval c : e.conj) w.u8(static_cast<std::uint8_t>(c));
+  w.u8(static_cast<std::uint8_t>(e.eval));
+  w.u32(static_cast<std::uint32_t>(e.next_target_process + 1));
+  w.u32(e.next_target_event);
+  w.u8(e.loop_certified ? 1 : 0);
+  if (e.loop_certified) {
+    for (std::uint32_t x : e.loop_cut) w.u32(x);
+    for (AtomSet s : e.loop_gstate) w.u64(s);
+  }
+}
+
+TransitionEntry read_entry(Reader& r) {
+  TransitionEntry e;
+  e.transition_id = static_cast<int>(r.u32());
+  const std::uint32_t n = r.u32();
+  if (n > 4096) throw WireError("entry too wide");
+  e.cut.resize(n);
+  for (auto& x : e.cut) x = r.u32();
+  e.depend = r.vc();
+  if (e.depend.size() != n) throw WireError("depend width mismatch");
+  e.gstate.resize(n);
+  for (auto& s : e.gstate) s = r.u64();
+  e.conj.resize(n);
+  for (auto& c : e.conj) {
+    const std::uint8_t x = r.u8();
+    if (x > 2) throw WireError("bad conjunct eval");
+    c = static_cast<ConjunctEval>(x);
+  }
+  const std::uint8_t eval = r.u8();
+  if (eval > 2) throw WireError("bad entry eval");
+  e.eval = static_cast<EntryEval>(eval);
+  e.next_target_process = static_cast<int>(r.u32()) - 1;
+  e.next_target_event = r.u32();
+  e.loop_certified = r.u8() != 0;
+  if (e.loop_certified) {
+    e.loop_cut.resize(n);
+    for (auto& x : e.loop_cut) x = r.u32();
+    e.loop_gstate.resize(n);
+    for (auto& s : e.loop_gstate) s = r.u64();
+  }
+  return e;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_token(const Token& token) {
+  Writer w;
+  write_header(w, WireKind::kToken);
+  w.u64(token.token_id);
+  w.u32(static_cast<std::uint32_t>(token.parent));
+  w.u32(token.parent_sn);
+  w.vc(token.parent_vc);
+  w.u32(static_cast<std::uint32_t>(token.next_target_process + 1));
+  w.u32(token.next_target_event);
+  w.u32(static_cast<std::uint32_t>(token.hops));
+  w.u32(static_cast<std::uint32_t>(token.entries.size()));
+  for (const TransitionEntry& e : token.entries) write_entry(w, e);
+  return w.take();
+}
+
+Token decode_token(const std::vector<std::uint8_t>& buffer) {
+  Reader r(buffer);
+  read_header(r, WireKind::kToken);
+  Token t;
+  t.token_id = r.u64();
+  t.parent = static_cast<int>(r.u32());
+  t.parent_sn = r.u32();
+  t.parent_vc = r.vc();
+  t.next_target_process = static_cast<int>(r.u32()) - 1;
+  t.next_target_event = r.u32();
+  t.hops = static_cast<int>(r.u32());
+  const std::uint32_t n = r.u32();
+  if (n > 65536) throw WireError("too many entries");
+  t.entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) t.entries.push_back(read_entry(r));
+  r.done();
+  return t;
+}
+
+std::vector<std::uint8_t> encode_termination(const TerminationMessage& msg) {
+  Writer w;
+  write_header(w, WireKind::kTermination);
+  w.u32(static_cast<std::uint32_t>(msg.process));
+  w.u32(msg.last_sn);
+  return w.take();
+}
+
+TerminationMessage decode_termination(
+    const std::vector<std::uint8_t>& buffer) {
+  Reader r(buffer);
+  read_header(r, WireKind::kTermination);
+  TerminationMessage msg;
+  msg.process = static_cast<int>(r.u32());
+  msg.last_sn = r.u32();
+  r.done();
+  return msg;
+}
+
+WireKind wire_kind(const std::vector<std::uint8_t>& buffer) {
+  if (buffer.size() < 2) throw WireError("buffer too small");
+  if (buffer[0] != kVersion) throw WireError("unsupported wire version");
+  const std::uint8_t kind = buffer[1];
+  if (kind != 1 && kind != 2) throw WireError("unknown message kind");
+  return static_cast<WireKind>(kind);
+}
+
+}  // namespace decmon

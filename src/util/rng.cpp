@@ -1,0 +1,4 @@
+#include "decmon/util/rng.hpp"
+
+// Header-only today; the translation unit pins the header's ODR-visible
+// entities into the library and keeps the build list stable.

@@ -1,0 +1,136 @@
+#include "decmon/automata/buchi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "../common/random_formula.hpp"
+#include "decmon/ltl/eval.hpp"
+#include "decmon/ltl/formula.hpp"
+
+namespace decmon {
+namespace {
+
+constexpr AtomSet kA = 0b01;
+constexpr AtomSet kB = 0b10;
+
+TEST(Buchi, EventuallyAccepts) {
+  Nba nba = ltl_to_nba(f_eventually(f_atom(0)));
+  EXPECT_TRUE(nba.accepts_lasso({0, 0, kA}, {0}));
+  EXPECT_TRUE(nba.accepts_lasso({}, {kA}));
+  EXPECT_FALSE(nba.accepts_lasso({0, 0}, {0}));
+}
+
+TEST(Buchi, AlwaysAccepts) {
+  Nba nba = ltl_to_nba(f_always(f_atom(0)));
+  EXPECT_TRUE(nba.accepts_lasso({kA}, {kA}));
+  EXPECT_FALSE(nba.accepts_lasso({kA, 0}, {kA}));
+  EXPECT_FALSE(nba.accepts_lasso({kA}, {kA, 0}));
+}
+
+TEST(Buchi, UntilIsStrong) {
+  Nba nba = ltl_to_nba(f_until(f_atom(0), f_atom(1)));
+  EXPECT_TRUE(nba.accepts_lasso({kA, kA, kB}, {0}));
+  EXPECT_FALSE(nba.accepts_lasso({}, {kA}));  // b never arrives
+}
+
+TEST(Buchi, GFNeedsInfinitelyOften) {
+  Nba nba = ltl_to_nba(f_always(f_eventually(f_atom(0))));
+  EXPECT_TRUE(nba.accepts_lasso({}, {0, kA}));
+  EXPECT_FALSE(nba.accepts_lasso({kA, kA, kA}, {0}));
+}
+
+TEST(Buchi, ConjunctionOfUntilsDegeneralizes) {
+  // Two Until obligations force the degeneralization path.
+  FormulaPtr f = f_and(f_eventually(f_atom(0)), f_eventually(f_atom(1)));
+  Nba nba = ltl_to_nba(f);
+  EXPECT_TRUE(nba.accepts_lasso({kA, kB}, {0}));
+  EXPECT_TRUE(nba.accepts_lasso({kA}, {0, kB}));
+  EXPECT_FALSE(nba.accepts_lasso({kA}, {0}));
+  EXPECT_FALSE(nba.accepts_lasso({kB, kB}, {kB}));
+}
+
+TEST(Buchi, NonemptyStatesOnSafety) {
+  // G a: from the initial state some word is accepted; the automaton has no
+  // dead initial state.
+  Nba nba = ltl_to_nba(f_always(f_atom(0)));
+  auto ne = nba.nonempty_states();
+  for (int q0 : nba.initial) {
+    EXPECT_TRUE(ne[static_cast<std::size_t>(q0)]);
+  }
+}
+
+TEST(Buchi, FalseFormulaHasEmptyLanguage) {
+  // a && !a is unsatisfiable; GPVW discards all nodes.
+  Nba nba = ltl_to_nba(f_and(f_atom(0), f_not(f_atom(0))));
+  auto ne = nba.nonempty_states();
+  for (int q0 : nba.initial) {
+    EXPECT_FALSE(ne[static_cast<std::size_t>(q0)]);
+  }
+  EXPECT_FALSE(nba.accepts_lasso({kA}, {kA}));
+}
+
+TEST(Buchi, TrueFormulaAcceptsEverything) {
+  Nba nba = ltl_to_nba(f_true());
+  EXPECT_TRUE(nba.accepts_lasso({}, {0}));
+  EXPECT_TRUE(nba.accepts_lasso({kA, kB}, {kA | kB, 0}));
+}
+
+TEST(Buchi, NextShiftsObligation) {
+  Nba nba = ltl_to_nba(f_next(f_atom(0)));
+  EXPECT_TRUE(nba.accepts_lasso({0, kA}, {0}));
+  EXPECT_FALSE(nba.accepts_lasso({kA, 0}, {0}));
+}
+
+TEST(Buchi, ReleaseAllowsForeverB) {
+  Nba nba = ltl_to_nba(f_release(f_atom(0), f_atom(1)));
+  EXPECT_TRUE(nba.accepts_lasso({}, {kB}));
+  EXPECT_TRUE(nba.accepts_lasso({kB, kA | kB}, {0}));
+  EXPECT_FALSE(nba.accepts_lasso({kB}, {0}));
+}
+
+// The central randomized check: the NBA accepts a lasso word iff the direct
+// fixpoint semantics says the word satisfies the formula. This validates
+// the GPVW construction end to end with an independent oracle.
+TEST(BuchiProperty, AgreesWithLassoSemantics) {
+  std::mt19937_64 rng(20240707);
+  int checked = 0;
+  for (int iter = 0; iter < 150; ++iter) {
+    FormulaPtr f = testing::random_formula(rng, 2, 3);
+    Nba nba = ltl_to_nba(f);
+    for (int w = 0; w < 12; ++w) {
+      auto prefix = testing::random_word(rng, 2, static_cast<int>(rng() % 3));
+      auto loop = testing::random_word(rng, 2, 1 + static_cast<int>(rng() % 3));
+      const bool expected = lasso_satisfies(f, prefix, loop);
+      EXPECT_EQ(nba.accepts_lasso(prefix, loop), expected)
+          << "formula: " << f->to_string() << " prefix=" << prefix.size()
+          << " loop=" << loop.size();
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 1000);
+}
+
+// Exhaustive check on small formulas: all lassos with |prefix|<=1,
+// |loop|<=2 over 2 atoms.
+TEST(BuchiProperty, ExhaustiveSmallLassos) {
+  std::mt19937_64 rng(4242);
+  for (int iter = 0; iter < 40; ++iter) {
+    FormulaPtr f = testing::random_formula(rng, 2, 2);
+    Nba nba = ltl_to_nba(f);
+    for (int plen = 0; plen <= 1; ++plen) {
+      for (int llen = 1; llen <= 2; ++llen) {
+        for_each_lasso(2, plen, llen, [&](const std::vector<AtomSet>& prefix,
+                                          const std::vector<AtomSet>& loop) {
+          EXPECT_EQ(nba.accepts_lasso(prefix, loop),
+                    lasso_satisfies(f, prefix, loop))
+              << f->to_string();
+          return true;
+        });
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace decmon

@@ -1,0 +1,95 @@
+#include "decmon/automata/guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include "decmon/ltl/atoms.hpp"
+
+namespace decmon {
+namespace {
+
+TEST(Cube, TrueMatchesEverything) {
+  Cube t;
+  EXPECT_TRUE(t.is_true());
+  EXPECT_TRUE(t.matches(0));
+  EXPECT_TRUE(t.matches(0xFF));
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_EQ(t.to_string(), "true");
+}
+
+TEST(Cube, MatchesSemantics) {
+  Cube c{0b001, 0b010};  // a0 && !a1
+  EXPECT_TRUE(c.matches(0b001));
+  EXPECT_TRUE(c.matches(0b101));
+  EXPECT_FALSE(c.matches(0b011));  // a1 set
+  EXPECT_FALSE(c.matches(0b000));  // a0 clear
+  EXPECT_EQ(c.size(), 2);
+}
+
+TEST(Cube, ContradictionDetection) {
+  EXPECT_TRUE((Cube{0b1, 0b1}.contradictory()));
+  EXPECT_FALSE((Cube{0b1, 0b10}.contradictory()));
+  // A contradictory cube matches nothing.
+  Cube c{0b1, 0b1};
+  for (AtomSet a = 0; a < 4; ++a) EXPECT_FALSE(c.matches(a));
+}
+
+TEST(Cube, ConjoinUnionsLiterals) {
+  Cube a{0b001, 0b010};
+  Cube b{0b100, 0b000};
+  Cube c = Cube::conjoin(a, b);
+  EXPECT_EQ(c.pos, AtomSet{0b101});
+  EXPECT_EQ(c.neg, AtomSet{0b010});
+}
+
+TEST(Cube, ImpliesIsLiteralSubset) {
+  Cube strong{0b011, 0b100};  // a0 && a1 && !a2
+  Cube weak{0b001, 0};        // a0
+  EXPECT_TRUE(strong.implies(weak));
+  EXPECT_FALSE(weak.implies(strong));
+  EXPECT_TRUE(strong.implies(strong));
+  EXPECT_TRUE(strong.implies(Cube{}));  // everything implies true
+}
+
+TEST(Cube, SupportUnionsBothSides) {
+  Cube c{0b001, 0b100};
+  EXPECT_EQ(c.support(), AtomSet{0b101});
+}
+
+TEST(Cube, ToStringWithRegistry) {
+  AtomRegistry reg(2);
+  const int v = reg.declare_variable(0, "p");
+  reg.boolean_atom(0, v);               // atom 0: P0.p
+  const int w = reg.declare_variable(1, "p");
+  reg.boolean_atom(1, w);               // atom 1: P1.p
+  Cube c{0b01, 0b10};
+  EXPECT_EQ(c.to_string(&reg), "P0.p && !P1.p");
+}
+
+TEST(Guard, RestrictToProcess) {
+  AtomRegistry reg(2);
+  reg.boolean_atom(0, reg.declare_variable(0, "p"));  // atom 0
+  reg.boolean_atom(1, reg.declare_variable(1, "p"));  // atom 1
+  Cube c{0b01, 0b10};  // P0.p && !P1.p
+  Cube p0 = restrict_to_process(c, reg, 0);
+  EXPECT_EQ(p0.pos, AtomSet{0b01});
+  EXPECT_EQ(p0.neg, AtomSet{0});
+  Cube p1 = restrict_to_process(c, reg, 1);
+  EXPECT_EQ(p1.pos, AtomSet{0});
+  EXPECT_EQ(p1.neg, AtomSet{0b10});
+}
+
+TEST(Guard, LocallySatisfiedIgnoresForeignLiterals) {
+  AtomRegistry reg(2);
+  reg.boolean_atom(0, reg.declare_variable(0, "p"));  // atom 0
+  reg.boolean_atom(1, reg.declare_variable(1, "p"));  // atom 1
+  Cube c{0b11, 0};  // P0.p && P1.p
+  // P0's letter has its own bit set: locally fine even though P1's is not.
+  EXPECT_TRUE(locally_satisfied(c, 0b01, reg.owned_mask(0)));
+  EXPECT_FALSE(locally_satisfied(c, 0b00, reg.owned_mask(0)));
+  // P1's side.
+  EXPECT_TRUE(locally_satisfied(c, 0b10, reg.owned_mask(1)));
+  EXPECT_FALSE(locally_satisfied(c, 0b01, reg.owned_mask(1)));
+}
+
+}  // namespace
+}  // namespace decmon

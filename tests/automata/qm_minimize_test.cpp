@@ -1,0 +1,151 @@
+#include "decmon/automata/qm_minimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace decmon {
+namespace {
+
+// Evaluate a cover against a minterm (over the dense variables mapped
+// through atom_ids).
+bool cover_matches(const std::vector<Cube>& cover, std::uint32_t minterm,
+                   const std::vector<int>& atom_ids) {
+  AtomSet letter = 0;
+  for (std::size_t b = 0; b < atom_ids.size(); ++b) {
+    if (minterm & (1u << b)) {
+      letter |= AtomSet{1} << atom_ids[b];
+    }
+  }
+  for (const Cube& c : cover) {
+    if (c.matches(letter)) return true;
+  }
+  return false;
+}
+
+TEST(QmMinimize, EmptyOnsetYieldsEmptyCover) {
+  std::vector<char> onset(4, 0);
+  EXPECT_TRUE(minimize_cover(onset, 2, {0, 1}).empty());
+}
+
+TEST(QmMinimize, FullOnsetYieldsTrueCube) {
+  std::vector<char> onset(4, 1);
+  auto cover = minimize_cover(onset, 2, {0, 1});
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_TRUE(cover[0].is_true());
+}
+
+TEST(QmMinimize, SingleMinterm) {
+  std::vector<char> onset(4, 0);
+  onset[0b01] = 1;  // a0 && !a1
+  auto cover = minimize_cover(onset, 2, {0, 1});
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].pos, AtomSet{0b01});
+  EXPECT_EQ(cover[0].neg, AtomSet{0b10});
+}
+
+TEST(QmMinimize, SingleVariableProjection) {
+  // f = a0 (independent of a1): minterms 01 and 11.
+  std::vector<char> onset(4, 0);
+  onset[0b01] = onset[0b11] = 1;
+  auto cover = minimize_cover(onset, 2, {0, 1});
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].pos, AtomSet{0b01});
+  EXPECT_EQ(cover[0].neg, AtomSet{0});
+}
+
+TEST(QmMinimize, DisjunctionOfNegations) {
+  // f = !a0 || !a1 (the self-loop of property B with 2 processes):
+  // expect exactly 2 cubes.
+  std::vector<char> onset(4, 1);
+  onset[0b11] = 0;
+  auto cover = minimize_cover(onset, 2, {0, 1});
+  EXPECT_EQ(cover.size(), 2u);
+}
+
+TEST(QmMinimize, NegatedConjunctionOfNAtoms) {
+  // !(a0 && ... && a(k-1)) needs exactly k cubes -- the structure behind
+  // the self-loop counts in Table 5.1 (property B/E rows).
+  for (int k = 2; k <= 6; ++k) {
+    std::vector<char> onset(std::size_t{1} << k, 1);
+    onset.back() = 0;  // all atoms true
+    std::vector<int> ids;
+    for (int i = 0; i < k; ++i) ids.push_back(i);
+    auto cover = minimize_cover(onset, k, ids);
+    EXPECT_EQ(cover.size(), static_cast<std::size_t>(k)) << "k=" << k;
+  }
+}
+
+TEST(QmMinimize, ProductOfDisjunctions) {
+  // (!a0 || !a1) && (!a2 || !a3) needs 4 cubes (property A/D bottom
+  // transitions).
+  std::vector<char> onset(16, 0);
+  for (std::uint32_t m = 0; m < 16; ++m) {
+    const bool left = ((m & 0b0011) != 0b0011);
+    const bool right = ((m & 0b1100) != 0b1100);
+    onset[m] = left && right;
+  }
+  auto cover = minimize_cover(onset, 4, {0, 1, 2, 3});
+  EXPECT_EQ(cover.size(), 4u);
+}
+
+TEST(QmMinimize, XorNeedsTwoCubes) {
+  std::vector<char> onset(4, 0);
+  onset[0b01] = onset[0b10] = 1;
+  auto cover = minimize_cover(onset, 2, {0, 1});
+  EXPECT_EQ(cover.size(), 2u);
+}
+
+TEST(QmMinimize, AtomIdsRemapBits) {
+  std::vector<char> onset(4, 0);
+  onset[0b01] = onset[0b11] = 1;  // f = dense bit 0
+  auto cover = minimize_cover(onset, 2, {5, 9});
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].pos, AtomSet{1} << 5);
+}
+
+TEST(QmMinimize, RejectsOutOfRangeK) {
+  std::vector<char> onset(2, 1);
+  EXPECT_THROW(minimize_cover(onset, 21, {}), std::invalid_argument);
+}
+
+// Property: on random functions, the cover is exact (covers the on-set and
+// nothing else).
+TEST(QmMinimizeProperty, CoverIsExact) {
+  std::mt19937_64 rng(31337);
+  for (int iter = 0; iter < 300; ++iter) {
+    const int k = 1 + static_cast<int>(rng() % 5);
+    const std::size_t n = std::size_t{1} << k;
+    std::vector<char> onset(n);
+    for (auto& x : onset) x = rng() & 1;
+    std::vector<int> ids;
+    for (int i = 0; i < k; ++i) ids.push_back(i);
+    auto cover = minimize_cover(onset, k, ids);
+    for (std::uint32_t m = 0; m < n; ++m) {
+      EXPECT_EQ(cover_matches(cover, m, ids), onset[m] != 0)
+          << "k=" << k << " m=" << m;
+    }
+  }
+}
+
+// Property: the cover never exceeds the number of on-set minterms.
+TEST(QmMinimizeProperty, CoverNoLargerThanMinterms) {
+  std::mt19937_64 rng(555);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int k = 1 + static_cast<int>(rng() % 5);
+    const std::size_t n = std::size_t{1} << k;
+    std::vector<char> onset(n);
+    std::size_t count = 0;
+    for (auto& x : onset) {
+      x = rng() & 1;
+      count += static_cast<std::size_t>(x);
+    }
+    std::vector<int> ids;
+    for (int i = 0; i < k; ++i) ids.push_back(i);
+    auto cover = minimize_cover(onset, k, ids);
+    EXPECT_LE(cover.size(), std::max<std::size_t>(count, 1));
+  }
+}
+
+}  // namespace
+}  // namespace decmon

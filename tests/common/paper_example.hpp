@@ -1,0 +1,45 @@
+// Shared fixture: the paper's running example (Fig. 2.1).
+//
+//   P1: send(P2); x1 = 5; x1 = 10; recv(m2);
+//   P2: recv(m1); x2 = 15; x2 = 20; send(P1);
+//
+// with x1 = x2 = 0 initially.
+#pragma once
+
+#include "decmon/lattice/computation.hpp"
+#include "decmon/ltl/atoms.hpp"
+
+namespace decmon::testing {
+
+struct PaperExample {
+  AtomRegistry registry{2};
+  Computation computation;
+
+  PaperExample() {
+    registry.declare_variable(0, "x1");
+    registry.declare_variable(1, "x2");
+    // Register the atoms of the running properties psi and psi' (Ch. 3) up
+    // front, so event letters carry all of them: x1 >= 5, x2 >= 15,
+    // x1 == 10, x2 == 15. (Letters are baked at build time; atoms added
+    // after construction would evaluate to a constant false.)
+    registry.comparison_atom(0, 0, CmpOp::kGe, 5);
+    registry.comparison_atom(1, 0, CmpOp::kGe, 15);
+    registry.comparison_atom(0, 0, CmpOp::kEq, 10);
+    registry.comparison_atom(1, 0, CmpOp::kEq, 15);
+
+    ComputationBuilder b(2, &registry);
+    b.set_initial(0, {0});
+    b.set_initial(1, {0});
+    const int m1 = b.send(0);       // e1_0: send "hello"
+    b.receive(1, m1);               // e2_0: recv m1
+    b.internal(0, {5});             // e1_1: x1 = 5
+    b.internal(1, {15});            // e2_1: x2 = 15
+    b.internal(0, {10});            // e1_2: x1 = 10
+    b.internal(1, {20});            // e2_2: x2 = 20
+    const int m2 = b.send(1);       // e2_3: send "world"
+    b.receive(0, m2);               // e1_3: recv m2
+    computation = b.build();
+  }
+};
+
+}  // namespace decmon::testing

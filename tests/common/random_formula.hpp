@@ -1,0 +1,55 @@
+// Shared test helper: random LTL formula generation for property tests.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "decmon/ltl/formula.hpp"
+
+namespace decmon::testing {
+
+/// Generate a random LTL formula over atoms [0, num_atoms) with at most
+/// `depth` operator nestings. Distribution favours temporal operators enough
+/// to exercise U/R/X paths.
+inline FormulaPtr random_formula(std::mt19937_64& rng, int num_atoms,
+                                 int depth) {
+  std::uniform_int_distribution<int> atom_dist(0, num_atoms - 1);
+  if (depth == 0) {
+    switch (rng() % 4) {
+      case 0: return f_not(f_atom(atom_dist(rng)));
+      case 1: return f_true();
+      default: return f_atom(atom_dist(rng));
+    }
+  }
+  switch (rng() % 9) {
+    case 0: return f_not(random_formula(rng, num_atoms, depth - 1));
+    case 1:
+      return f_and(random_formula(rng, num_atoms, depth - 1),
+                   random_formula(rng, num_atoms, depth - 1));
+    case 2:
+      return f_or(random_formula(rng, num_atoms, depth - 1),
+                  random_formula(rng, num_atoms, depth - 1));
+    case 3: return f_next(random_formula(rng, num_atoms, depth - 1));
+    case 4:
+      return f_until(random_formula(rng, num_atoms, depth - 1),
+                     random_formula(rng, num_atoms, depth - 1));
+    case 5:
+      return f_release(random_formula(rng, num_atoms, depth - 1),
+                       random_formula(rng, num_atoms, depth - 1));
+    case 6: return f_eventually(random_formula(rng, num_atoms, depth - 1));
+    case 7: return f_always(random_formula(rng, num_atoms, depth - 1));
+    default: return f_atom(atom_dist(rng));
+  }
+}
+
+/// Random word of `len` letters over `num_atoms` atoms.
+inline std::vector<AtomSet> random_word(std::mt19937_64& rng, int num_atoms,
+                                        int len) {
+  std::vector<AtomSet> word;
+  word.reserve(static_cast<std::size_t>(len));
+  const AtomSet mask = (AtomSet{1} << num_atoms) - 1;
+  for (int i = 0; i < len; ++i) word.push_back(rng() & mask);
+  return word;
+}
+
+}  // namespace decmon::testing

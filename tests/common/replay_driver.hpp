@@ -1,0 +1,12 @@
+// Shared test helper: alias for the library's replay runtime (see
+// decmon/distributed/replay_runtime.hpp) -- the tests predate its promotion
+// into the library and keep the old name.
+#pragma once
+
+#include "decmon/distributed/replay_runtime.hpp"
+
+namespace decmon::testing {
+
+using ReplayDriver = decmon::ReplayRuntime;
+
+}  // namespace decmon::testing

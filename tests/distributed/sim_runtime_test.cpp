@@ -1,0 +1,195 @@
+#include "decmon/distributed/sim_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "decmon/lattice/computation.hpp"
+
+namespace decmon {
+namespace {
+
+AtomRegistry make_registry(int n) {
+  AtomRegistry reg(n);
+  for (int p = 0; p < n; ++p) {
+    const int vp = reg.declare_variable(p, "p");
+    const int vq = reg.declare_variable(p, "q");
+    reg.boolean_atom(p, vp);
+    reg.boolean_atom(p, vq);
+  }
+  return reg;
+}
+
+TraceParams small_params(int n) {
+  TraceParams p;
+  p.num_processes = n;
+  p.internal_events = 8;
+  p.seed = 7;
+  return p;
+}
+
+TEST(SimRuntime, RunsToQuiescence) {
+  AtomRegistry reg = make_registry(3);
+  SimRuntime sim(generate_trace(small_params(3)), &reg);
+  sim.run();
+  EXPECT_GT(sim.program_end_time(), 0.0);
+  EXPECT_GT(sim.program_events(), 0u);
+}
+
+TEST(SimRuntime, DeterministicAcrossRuns) {
+  AtomRegistry reg = make_registry(3);
+  SimRuntime a(generate_trace(small_params(3)), &reg);
+  SimRuntime b(generate_trace(small_params(3)), &reg);
+  a.run();
+  b.run();
+  EXPECT_EQ(a.program_events(), b.program_events());
+  EXPECT_EQ(a.program_end_time(), b.program_end_time());
+  ASSERT_EQ(a.history().size(), b.history().size());
+  for (std::size_t p = 0; p < a.history().size(); ++p) {
+    ASSERT_EQ(a.history()[p].size(), b.history()[p].size());
+    for (std::size_t i = 0; i < a.history()[p].size(); ++i) {
+      EXPECT_EQ(a.history()[p][i].vc, b.history()[p][i].vc);
+      EXPECT_EQ(a.history()[p][i].time, b.history()[p][i].time);
+    }
+  }
+}
+
+TEST(SimRuntime, EventCountMatchesTraceArithmetic) {
+  AtomRegistry reg = make_registry(4);
+  SystemTrace trace = generate_trace(small_params(4));
+  SimRuntime sim(trace, &reg);
+  sim.run();
+  EXPECT_EQ(sim.program_events(),
+            static_cast<std::uint64_t>(trace.total_events()));
+}
+
+TEST(SimRuntime, HistoryFormsAValidComputation) {
+  AtomRegistry reg = make_registry(3);
+  SimRuntime sim(generate_trace(small_params(3)), &reg);
+  sim.run();
+  Computation comp(sim.history());  // validates indexing internally
+  EXPECT_TRUE(comp.consistent(comp.top()));
+  EXPECT_TRUE(comp.consistent(comp.bottom()));
+}
+
+TEST(SimRuntime, VectorClocksAreMonotonicPerProcess) {
+  AtomRegistry reg = make_registry(3);
+  SimRuntime sim(generate_trace(small_params(3)), &reg);
+  sim.run();
+  for (const auto& hist : sim.history()) {
+    for (std::size_t i = 1; i < hist.size(); ++i) {
+      EXPECT_TRUE(hist[i - 1].vc.happened_before(hist[i].vc));
+      EXPECT_EQ(hist[i].sn, i);
+    }
+  }
+}
+
+TEST(SimRuntime, FifoDeliveryPerChannel) {
+  // Receive events from the same sender must arrive in send order: each
+  // receive's merged knowledge of the sender is non-decreasing and receives
+  // never skip a send.
+  AtomRegistry reg = make_registry(2);
+  TraceParams params = small_params(2);
+  params.comm_mu = 0.5;  // frequent communication stresses FIFO
+  SimRuntime sim(generate_trace(params), &reg);
+  sim.run();
+  for (int p = 0; p < 2; ++p) {
+    std::uint32_t last_seen = 0;
+    for (const Event& e : sim.history()[static_cast<std::size_t>(p)]) {
+      if (e.type != EventType::kReceive) continue;
+      const std::uint32_t sender_component =
+          e.vc[static_cast<std::size_t>(1 - p)];
+      EXPECT_GE(sender_component, last_seen);
+      last_seen = sender_component;
+    }
+  }
+}
+
+class CountingHooks : public MonitorHooks {
+ public:
+  void on_local_event(int, const Event&, double) override { ++events; }
+  void on_local_termination(int proc, double now) override {
+    ++terminations;
+    last_termination = now;
+    terminated_procs.push_back(proc);
+  }
+  void on_monitor_message(const MonitorMessage& msg, double now) override {
+    ++messages;
+    last_payload = msg.payload;
+    last_delivery = now;
+  }
+  int events = 0;
+  int terminations = 0;
+  int messages = 0;
+  double last_termination = -1;
+  double last_delivery = -1;
+  std::vector<int> terminated_procs;
+  std::shared_ptr<NetPayload> last_payload;
+};
+
+TEST(SimRuntime, HooksSeeEveryEventAndTermination) {
+  AtomRegistry reg = make_registry(3);
+  SystemTrace trace = generate_trace(small_params(3));
+  SimRuntime sim(trace, &reg);
+  CountingHooks hooks;
+  sim.set_hooks(&hooks);
+  sim.run();
+  EXPECT_EQ(hooks.events, trace.total_events());
+  EXPECT_EQ(hooks.terminations, 3);
+  // Termination is announced only after all inbound messages arrived.
+  EXPECT_LE(hooks.last_termination, sim.program_end_time());
+}
+
+struct TestPayload : NetPayload {
+  int value = 0;
+};
+
+TEST(SimRuntime, MonitorMessagesDeliveredWithLatency) {
+  AtomRegistry reg = make_registry(2);
+  SimRuntime sim(generate_trace(small_params(2)), &reg);
+  CountingHooks hooks;
+  sim.set_hooks(&hooks);
+  auto payload = std::make_shared<TestPayload>();
+  payload->value = 99;
+  sim.send(MonitorMessage{0, 1, payload});
+  sim.run();
+  EXPECT_EQ(hooks.messages, 1);
+  EXPECT_GT(hooks.last_delivery, 0.0);
+  auto* tp = dynamic_cast<TestPayload*>(hooks.last_payload.get());
+  ASSERT_NE(tp, nullptr);
+  EXPECT_EQ(tp->value, 99);
+  EXPECT_EQ(sim.monitor_messages_sent(), 1u);
+}
+
+TEST(SimRuntime, SelfSendsAreNotNetworkTraffic) {
+  AtomRegistry reg = make_registry(2);
+  SimRuntime sim(generate_trace(small_params(2)), &reg);
+  CountingHooks hooks;
+  sim.set_hooks(&hooks);
+  sim.send(MonitorMessage{1, 1, std::make_shared<TestPayload>()});
+  sim.run();
+  EXPECT_EQ(hooks.messages, 1);
+  EXPECT_EQ(sim.monitor_messages_sent(), 0u);
+}
+
+TEST(SimRuntime, RejectsBadDestination) {
+  AtomRegistry reg = make_registry(2);
+  SimRuntime sim(generate_trace(small_params(2)), &reg);
+  EXPECT_THROW(sim.send(MonitorMessage{0, 5, nullptr}), std::out_of_range);
+}
+
+TEST(SimRuntime, NoCommMeansNoAppMessages) {
+  AtomRegistry reg = make_registry(3);
+  TraceParams params = small_params(3);
+  params.comm_enabled = false;
+  SimRuntime sim(generate_trace(params), &reg);
+  sim.run();
+  EXPECT_EQ(sim.app_messages_sent(), 0u);
+  for (const auto& hist : sim.history()) {
+    for (const Event& e : hist) {
+      EXPECT_NE(e.type, EventType::kReceive);
+      EXPECT_NE(e.type, EventType::kSend);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace decmon

@@ -1,0 +1,124 @@
+#include "decmon/distributed/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace decmon {
+namespace {
+
+TraceParams small_params() {
+  TraceParams p;
+  p.num_processes = 3;
+  p.internal_events = 10;
+  p.seed = 42;
+  return p;
+}
+
+TEST(Trace, GenerationIsDeterministic) {
+  SystemTrace a = generate_trace(small_params());
+  SystemTrace b = generate_trace(small_params());
+  EXPECT_EQ(to_text(a), to_text(b));
+}
+
+TEST(Trace, DifferentSeedsDiffer) {
+  TraceParams p = small_params();
+  SystemTrace a = generate_trace(p);
+  p.seed = 43;
+  SystemTrace b = generate_trace(p);
+  EXPECT_NE(to_text(a), to_text(b));
+}
+
+TEST(Trace, InternalEventCountMatchesParams) {
+  SystemTrace t = generate_trace(small_params());
+  ASSERT_EQ(t.num_processes(), 3);
+  for (const ProcessTrace& pt : t.procs) {
+    EXPECT_EQ(pt.count(TraceAction::Kind::kInternal), 10);
+    EXPECT_EQ(pt.initial.size(), 2u);
+  }
+}
+
+TEST(Trace, WaitsAreNonNegativeAndOrdered) {
+  SystemTrace t = generate_trace(small_params());
+  for (const ProcessTrace& pt : t.procs) {
+    for (const TraceAction& a : pt.actions) {
+      EXPECT_GE(a.wait, 0.0);
+    }
+  }
+}
+
+TEST(Trace, CommDisabledProducesNoCommActions) {
+  TraceParams p = small_params();
+  p.comm_enabled = false;
+  SystemTrace t = generate_trace(p);
+  for (const ProcessTrace& pt : t.procs) {
+    EXPECT_EQ(pt.count(TraceAction::Kind::kComm), 0);
+  }
+  EXPECT_EQ(t.expected_receives(0), 0);
+}
+
+TEST(Trace, HigherCommMuMeansFewerCommEvents) {
+  TraceParams p = small_params();
+  p.internal_events = 60;
+  p.comm_mu = 3.0;
+  const SystemTrace frequent = generate_trace(p);
+  p.comm_mu = 15.0;
+  const SystemTrace rare = generate_trace(p);
+  int f = 0;
+  int r = 0;
+  for (int i = 0; i < 3; ++i) {
+    f += frequent.procs[static_cast<std::size_t>(i)].count(
+        TraceAction::Kind::kComm);
+    r += rare.procs[static_cast<std::size_t>(i)].count(
+        TraceAction::Kind::kComm);
+  }
+  EXPECT_GT(f, r);
+}
+
+TEST(Trace, ExpectedReceivesCountsPeersComms) {
+  SystemTrace t;
+  t.procs.resize(3);
+  for (auto& pt : t.procs) pt.initial = {0, 0};
+  TraceAction comm;
+  comm.kind = TraceAction::Kind::kComm;
+  t.procs[0].actions = {comm, comm};  // P0 broadcasts twice
+  t.procs[2].actions = {comm};        // P2 once
+  EXPECT_EQ(t.expected_receives(0), 1);
+  EXPECT_EQ(t.expected_receives(1), 3);
+  EXPECT_EQ(t.expected_receives(2), 2);
+  // Events: sends 3, receives 2 per comm action (n-1 = 2): 3 + 6 = 9.
+  EXPECT_EQ(t.total_events(), 9);
+}
+
+TEST(Trace, ForceFinalAllTrueTouchesLastInternal) {
+  SystemTrace t = generate_trace(small_params());
+  force_final_all_true(t);
+  for (const ProcessTrace& pt : t.procs) {
+    for (auto it = pt.actions.rbegin(); it != pt.actions.rend(); ++it) {
+      if (it->kind == TraceAction::Kind::kInternal) {
+        for (auto v : it->state) EXPECT_EQ(v, 1);
+        break;
+      }
+    }
+  }
+}
+
+TEST(Trace, TextRoundTrip) {
+  SystemTrace t = generate_trace(small_params());
+  SystemTrace back = trace_from_text(to_text(t));
+  EXPECT_EQ(to_text(t), to_text(back));
+}
+
+TEST(Trace, TextRejectsGarbage) {
+  EXPECT_THROW(trace_from_text("nonsense"), std::runtime_error);
+  EXPECT_THROW(trace_from_text("processes 0"), std::runtime_error);
+  EXPECT_THROW(trace_from_text("processes 1\nprocess 0 vars 1\ninit 0\nfly\n"),
+               std::runtime_error);
+}
+
+TEST(Trace, RejectsNoProcesses) {
+  TraceParams p;
+  p.num_processes = 0;
+  EXPECT_THROW(generate_trace(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace decmon

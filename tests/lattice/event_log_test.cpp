@@ -1,0 +1,104 @@
+#include "decmon/lattice/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/paper_example.hpp"
+#include "../common/random_computation.hpp"
+#include "decmon/automata/ltl3_monitor.hpp"
+#include "decmon/lattice/oracle.hpp"
+#include "decmon/ltl/parser.hpp"
+
+namespace decmon {
+namespace {
+
+using testing::PaperExample;
+
+void expect_equal(const Computation& a, const Computation& b) {
+  ASSERT_EQ(a.num_processes(), b.num_processes());
+  for (int p = 0; p < a.num_processes(); ++p) {
+    ASSERT_EQ(a.num_events(p), b.num_events(p));
+    for (std::uint32_t sn = 0; sn <= a.num_events(p); ++sn) {
+      const Event& x = a.event(p, sn);
+      const Event& y = b.event(p, sn);
+      EXPECT_EQ(x.type, y.type);
+      EXPECT_EQ(x.vc, y.vc);
+      EXPECT_EQ(x.state, y.state);
+      EXPECT_EQ(x.sn, y.sn);
+    }
+  }
+}
+
+TEST(EventLog, RoundTripPaperExample) {
+  PaperExample ex;
+  const std::string log = to_event_log(ex.computation);
+  Computation back = computation_from_event_log(log);
+  expect_equal(ex.computation, back);
+}
+
+TEST(EventLog, RoundTripRandomComputations) {
+  std::mt19937_64 rng(2);
+  AtomRegistry reg = testing::standard_registry(3);
+  for (int iter = 0; iter < 20; ++iter) {
+    Computation comp = testing::random_computation(rng, 3, reg, 6);
+    Computation back = computation_from_event_log(to_event_log(comp));
+    expect_equal(comp, back);
+  }
+}
+
+TEST(EventLog, RelabelRestoresLetters) {
+  // Letters are not serialized; relabel() recomputes them, and the oracle
+  // then agrees with the original run.
+  PaperExample ex;
+  FormulaPtr psi =
+      parse_ltl("G((x1 >= 5) -> ((x2 >= 15) U (x1 == 10)))", ex.registry);
+  MonitorAutomaton m = synthesize_monitor(psi);
+  OracleResult original = oracle_evaluate(ex.computation, m);
+
+  Computation loaded = computation_from_event_log(to_event_log(ex.computation));
+  Computation relabeled = relabel(loaded, ex.registry);
+  OracleResult after = oracle_evaluate(relabeled, m);
+  EXPECT_EQ(after.verdicts, original.verdicts);
+  EXPECT_EQ(after.final_states, original.final_states);
+}
+
+TEST(EventLog, FileRoundTrip) {
+  PaperExample ex;
+  const std::string path = ::testing::TempDir() + "decmon_event_log_test.log";
+  save_event_log(ex.computation, path);
+  Computation back = load_event_log(path, &ex.registry);
+  expect_equal(ex.computation, back);
+  // Letters restored through the registry parameter.
+  EXPECT_EQ(back.letter({2, 2}), ex.computation.letter({2, 2}));
+  std::remove(path.c_str());
+}
+
+TEST(EventLog, RejectsGarbage) {
+  EXPECT_THROW(computation_from_event_log("not a log"), std::runtime_error);
+  EXPECT_THROW(computation_from_event_log("eventlog v1\nprocesses 0\nend\n"),
+               std::runtime_error);
+  EXPECT_THROW(computation_from_event_log(
+                   "eventlog v1\nprocesses 1\nevent 0 1 internal 1 0 vars 0\n"
+                   "end\n"),
+               std::runtime_error);  // sn 1 before sn 0
+  EXPECT_THROW(computation_from_event_log(
+                   "eventlog v1\nprocesses 1\nevent 5 0 internal 0 0 vars 0\n"
+                   "end\n"),
+               std::runtime_error);  // bad process index
+  EXPECT_THROW(computation_from_event_log(
+                   "eventlog v1\nprocesses 1\nevent 0 0 warp 0 0 vars 0\nend\n"),
+               std::runtime_error);  // unknown type
+}
+
+TEST(EventLog, RejectsMissingEnd) {
+  PaperExample ex;
+  std::string log = to_event_log(ex.computation);
+  log.resize(log.size() - 4);  // drop "end\n"
+  EXPECT_THROW(computation_from_event_log(log), std::runtime_error);
+}
+
+TEST(EventLog, LoadRejectsMissingFile) {
+  EXPECT_THROW(load_event_log("/nonexistent/decmon.log"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace decmon

@@ -1,0 +1,158 @@
+#include "decmon/lattice/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "../common/paper_example.hpp"
+#include "decmon/automata/ltl3_monitor.hpp"
+#include "decmon/lattice/lattice.hpp"
+#include "decmon/ltl/parser.hpp"
+
+namespace decmon {
+namespace {
+
+using testing::PaperExample;
+
+// Brute force: enumerate every maximal lattice path, run the monitor over
+// its global-state trace, collect the verdict-state set. Exponential; only
+// for small lattices.
+std::set<int> brute_force_final_states(const Computation& comp,
+                                       const MonitorAutomaton& monitor) {
+  Lattice lat = Lattice::build(comp);
+  std::set<int> finals;
+  struct Frame {
+    int node;
+    int q;
+  };
+  std::vector<Frame> stack;
+  const int q_init = *monitor.step(monitor.initial_state(),
+                                   comp.letter(comp.bottom()));
+  stack.push_back({lat.bottom(), q_init});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    bool is_max = true;
+    for (int succ : lat.nodes()[static_cast<std::size_t>(f.node)].succ) {
+      if (succ < 0) continue;
+      is_max = false;
+      const AtomSet letter =
+          comp.letter(lat.nodes()[static_cast<std::size_t>(succ)].cut);
+      stack.push_back({succ, *monitor.step(f.q, letter)});
+    }
+    if (is_max) finals.insert(f.q);
+  }
+  return finals;
+}
+
+TEST(Oracle, PaperPropertyPsiYieldsBothFalseAndUnknown) {
+  // psi = G((x1 >= 5) -> ((x2 >= 15) U (x1 == 10))): Chapter 3 shows paths
+  // through <e1_1, x2 < 15> evaluate to FALSE while path beta stays UNKNOWN.
+  PaperExample ex;
+  FormulaPtr psi =
+      parse_ltl("G((x1 >= 5) -> ((x2 >= 15) U (x1 == 10)))", ex.registry);
+  MonitorAutomaton m = synthesize_monitor(psi);
+  OracleResult r = oracle_evaluate(ex.computation, m);
+  EXPECT_EQ(r.verdicts,
+            (std::set<Verdict>{Verdict::kFalse, Verdict::kUnknown}));
+  EXPECT_EQ(r.lattice_nodes, 17u);
+  EXPECT_GT(r.pivot_states, 0u);
+}
+
+TEST(Oracle, PaperPropertyPsiPrimeViolates) {
+  // psi' = G((x1 >= 5) -> ((x2 == 15) U (x1 == 10))): Chapter 3 claims all
+  // paths violate; a FALSE verdict must certainly be present.
+  PaperExample ex;
+  FormulaPtr psi =
+      parse_ltl("G((x1 >= 5) -> ((x2 == 15) U (x1 == 10)))", ex.registry);
+  MonitorAutomaton m = synthesize_monitor(psi);
+  OracleResult r = oracle_evaluate(ex.computation, m);
+  EXPECT_TRUE(r.verdicts.count(Verdict::kFalse));
+  // Cross-check the full verdict set against brute-force path enumeration.
+  std::set<Verdict> brute;
+  for (int q : brute_force_final_states(ex.computation, m)) {
+    brute.insert(m.verdict(q));
+  }
+  EXPECT_EQ(r.verdicts, brute);
+}
+
+TEST(Oracle, AgreesWithBruteForceOnPaperExample) {
+  PaperExample ex;
+  FormulaPtr psi =
+      parse_ltl("G((x1 >= 5) -> ((x2 >= 15) U (x1 == 10)))", ex.registry);
+  MonitorAutomaton m = synthesize_monitor(psi);
+  OracleResult r = oracle_evaluate(ex.computation, m);
+  EXPECT_EQ(r.final_states, brute_force_final_states(ex.computation, m));
+}
+
+// Randomized: DP oracle == brute-force path enumeration on small random
+// computations and random properties over the processes' boolean vars.
+TEST(OracleProperty, MatchesBruteForceOnRandomComputations) {
+  std::mt19937_64 rng(20150715);
+  const char* props[] = {
+      "F(P0.p && P1.p)",
+      "G(P0.p || P1.p)",
+      "(P0.p) U (P1.p)",
+      "G((P0.p) -> F(P1.p))",
+      "G((P0.p && P1.p) U (P0.q && P1.q))",
+      "X X (P0.p)",
+  };
+  for (int iter = 0; iter < 60; ++iter) {
+    AtomRegistry reg(2);
+    for (int p = 0; p < 2; ++p) {
+      reg.declare_variable(p, "p");
+      reg.declare_variable(p, "q");
+    }
+    FormulaPtr f = parse_ltl(props[iter % 6], reg);
+    MonitorAutomaton m = synthesize_monitor(f);
+
+    // Random computation: 2 processes, 3-5 events each, random messages.
+    ComputationBuilder b(2, &reg);
+    std::vector<std::pair<int, int>> unreceived;  // (handle, sender)
+    const int k = 3 + static_cast<int>(rng() % 3);
+    for (int e = 0; e < 2 * k; ++e) {
+      const int p = static_cast<int>(rng() % 2);
+      switch (rng() % 4) {
+        case 0:
+          unreceived.emplace_back(b.send(p), p);
+          break;
+        case 1:
+          if (!unreceived.empty()) {
+            // Deliver the oldest pending message to its peer (FIFO).
+            auto [handle, sender] = unreceived.front();
+            unreceived.erase(unreceived.begin());
+            b.receive(1 - sender, handle);
+            break;
+          }
+          [[fallthrough]];
+        default:
+          b.internal(p, {static_cast<std::int64_t>(rng() % 2),
+                         static_cast<std::int64_t>(rng() % 2)});
+      }
+    }
+    Computation comp = b.build();
+    OracleResult r = oracle_evaluate(comp, m);
+    EXPECT_EQ(r.final_states, brute_force_final_states(comp, m))
+        << props[iter % 6];
+  }
+}
+
+TEST(Oracle, ChainHasSingleVerdict) {
+  // A fully sequential computation has one path, hence one verdict.
+  AtomRegistry reg(2);
+  reg.declare_variable(0, "p");
+  reg.declare_variable(1, "p");
+  FormulaPtr f = parse_ltl("F(P1.p)", reg);
+  ComputationBuilder b(2, &reg);
+  const int m1 = b.send(0);
+  b.receive(1, m1);
+  b.internal(1, {1});  // P1.p becomes true: F(P1.p) is satisfied
+  Computation comp = b.build();
+  OracleResult r = oracle_evaluate(comp, synthesize_monitor(f));
+  EXPECT_EQ(r.verdicts, (std::set<Verdict>{Verdict::kTrue}));
+  EXPECT_EQ(r.final_states.size(), 1u);
+}
+
+}  // namespace
+}  // namespace decmon

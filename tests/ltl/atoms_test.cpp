@@ -1,0 +1,129 @@
+#include "decmon/ltl/atoms.hpp"
+
+#include <gtest/gtest.h>
+
+namespace decmon {
+namespace {
+
+TEST(Atom, ComparisonOperators) {
+  Atom a{.id = 0, .name = "x", .process = 0, .var = 0, .op = CmpOp::kLt, .rhs = 5};
+  EXPECT_TRUE(a.holds(4));
+  EXPECT_FALSE(a.holds(5));
+  a.op = CmpOp::kLe;
+  EXPECT_TRUE(a.holds(5));
+  EXPECT_FALSE(a.holds(6));
+  a.op = CmpOp::kEq;
+  EXPECT_TRUE(a.holds(5));
+  EXPECT_FALSE(a.holds(4));
+  a.op = CmpOp::kNe;
+  EXPECT_FALSE(a.holds(5));
+  EXPECT_TRUE(a.holds(4));
+  a.op = CmpOp::kGe;
+  EXPECT_TRUE(a.holds(5));
+  EXPECT_FALSE(a.holds(4));
+  a.op = CmpOp::kGt;
+  EXPECT_FALSE(a.holds(5));
+  EXPECT_TRUE(a.holds(6));
+}
+
+TEST(Atom, HoldsInTreatsMissingVariableAsZero) {
+  Atom a{.id = 0, .name = "p", .process = 0, .var = 3, .op = CmpOp::kNe, .rhs = 0};
+  LocalState s{1, 2};  // var 3 missing
+  EXPECT_FALSE(a.holds_in(s));
+  s = {0, 0, 0, 7};
+  EXPECT_TRUE(a.holds_in(s));
+}
+
+TEST(AtomRegistry, DeclareVariableIsIdempotent) {
+  AtomRegistry reg(2);
+  const int v1 = reg.declare_variable(0, "x");
+  const int v2 = reg.declare_variable(0, "x");
+  EXPECT_EQ(v1, v2);
+  EXPECT_EQ(reg.num_variables(0), 1);
+  const int v3 = reg.declare_variable(1, "x");  // same name, other process
+  EXPECT_EQ(v3, 0);
+  EXPECT_EQ(reg.num_variables(1), 1);
+}
+
+TEST(AtomRegistry, AtomInterningIsIdempotent) {
+  AtomRegistry reg(2);
+  const int x = reg.declare_variable(0, "x");
+  const int a1 = reg.comparison_atom(0, x, CmpOp::kGe, 5);
+  const int a2 = reg.comparison_atom(0, x, CmpOp::kGe, 5);
+  EXPECT_EQ(a1, a2);
+  const int a3 = reg.comparison_atom(0, x, CmpOp::kGe, 6);
+  EXPECT_NE(a1, a3);
+  EXPECT_EQ(reg.num_atoms(), 2);
+}
+
+TEST(AtomRegistry, ResolveBooleanFollowsConvention) {
+  AtomRegistry reg(3);
+  auto id = reg.resolve_boolean("P2.ready");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(reg.atom(*id).process, 2);
+  EXPECT_EQ(reg.atom(*id).op, CmpOp::kNe);
+  EXPECT_EQ(reg.atom(*id).rhs, 0);
+  EXPECT_FALSE(reg.resolve_boolean("P5.ready").has_value());  // out of range
+  EXPECT_FALSE(reg.resolve_boolean("Q1.x").has_value());
+  EXPECT_FALSE(reg.resolve_boolean("P.x").has_value());
+}
+
+TEST(AtomRegistry, ResolveBareRejectsAmbiguous) {
+  AtomRegistry reg(2);
+  reg.declare_variable(0, "x");
+  auto pv = reg.resolve_bare("x");
+  ASSERT_TRUE(pv.has_value());
+  EXPECT_EQ(pv->first, 0);
+  reg.declare_variable(1, "x");  // now ambiguous
+  EXPECT_FALSE(reg.resolve_bare("x").has_value());
+  EXPECT_FALSE(reg.resolve_bare("nope").has_value());
+}
+
+TEST(AtomRegistry, EvaluateGlobalState) {
+  AtomRegistry reg(2);
+  const int x = reg.declare_variable(0, "x");
+  const int y = reg.declare_variable(1, "y");
+  const int a0 = reg.comparison_atom(0, x, CmpOp::kGe, 5);   // bit 0
+  const int a1 = reg.comparison_atom(1, y, CmpOp::kEq, 3);   // bit 1
+  GlobalState g{{7}, {3}};
+  EXPECT_EQ(reg.evaluate(g), AtomSet{0b11});
+  g = {{4}, {3}};
+  EXPECT_EQ(reg.evaluate(g), AtomSet{0b10});
+  g = {{4}, {0}};
+  EXPECT_EQ(reg.evaluate(g), AtomSet{0b00});
+  (void)a0;
+  (void)a1;
+}
+
+TEST(AtomRegistry, EvaluateLocalOnlyTouchesOwnedAtoms) {
+  AtomRegistry reg(2);
+  const int x = reg.declare_variable(0, "x");
+  const int y = reg.declare_variable(1, "y");
+  reg.comparison_atom(0, x, CmpOp::kGe, 5);  // bit 0
+  reg.comparison_atom(1, y, CmpOp::kEq, 3);  // bit 1
+  EXPECT_EQ(reg.evaluate_local(0, {9}), AtomSet{0b01});
+  EXPECT_EQ(reg.evaluate_local(1, {3}), AtomSet{0b10});
+  EXPECT_EQ(reg.evaluate_local(1, {9}), AtomSet{0b00});
+}
+
+TEST(AtomRegistry, OwnedMask) {
+  AtomRegistry reg(3);
+  const int x = reg.declare_variable(0, "x");
+  const int y = reg.declare_variable(2, "y");
+  reg.comparison_atom(0, x, CmpOp::kGe, 1);
+  reg.comparison_atom(2, y, CmpOp::kGe, 1);
+  reg.comparison_atom(0, x, CmpOp::kLt, 9);
+  EXPECT_EQ(reg.owned_mask(0), AtomSet{0b101});
+  EXPECT_EQ(reg.owned_mask(1), AtomSet{0});
+  EXPECT_EQ(reg.owned_mask(2), AtomSet{0b010});
+}
+
+TEST(AtomRegistry, ShrinkingProcessCountThrows) {
+  AtomRegistry reg(3);
+  EXPECT_THROW(reg.set_num_processes(2), std::invalid_argument);
+  reg.set_num_processes(5);
+  EXPECT_EQ(reg.num_processes(), 5);
+}
+
+}  // namespace
+}  // namespace decmon

@@ -1,0 +1,127 @@
+#include "decmon/ltl/formula.hpp"
+
+#include <gtest/gtest.h>
+
+namespace decmon {
+namespace {
+
+TEST(Formula, HashConsingSharesNodes) {
+  FormulaPtr a1 = f_atom(0);
+  FormulaPtr a2 = f_atom(0);
+  EXPECT_EQ(a1.get(), a2.get());
+  FormulaPtr c1 = f_and(f_atom(0), f_atom(1));
+  FormulaPtr c2 = f_and(f_atom(0), f_atom(1));
+  EXPECT_EQ(c1.get(), c2.get());
+}
+
+TEST(Formula, AndIsOrderCanonical) {
+  // Commuted conjunctions fold to the same node.
+  EXPECT_EQ(f_and(f_atom(0), f_atom(1)).get(),
+            f_and(f_atom(1), f_atom(0)).get());
+  EXPECT_EQ(f_or(f_atom(0), f_atom(1)).get(),
+            f_or(f_atom(1), f_atom(0)).get());
+}
+
+TEST(Formula, ConstantFolding) {
+  FormulaPtr a = f_atom(0);
+  EXPECT_TRUE(f_and(f_true(), a) == a);
+  EXPECT_TRUE(f_and(a, f_false())->is_false());
+  EXPECT_TRUE(f_or(a, f_true())->is_true());
+  EXPECT_TRUE(f_or(f_false(), a) == a);
+  EXPECT_TRUE(f_and(a, a) == a);
+  EXPECT_TRUE(f_or(a, a) == a);
+  EXPECT_TRUE(f_not(f_not(a)) == a);
+  EXPECT_TRUE(f_not(f_true())->is_false());
+  EXPECT_TRUE(f_until(a, f_true())->is_true());
+  EXPECT_TRUE(f_until(f_false(), a) == a);
+  EXPECT_TRUE(f_release(f_true(), a) == a);
+}
+
+TEST(Formula, AtomMaskCollectsAtoms) {
+  FormulaPtr f = f_until(f_atom(0), f_and(f_atom(2), f_not(f_atom(5))));
+  EXPECT_EQ(f->atom_mask(), (AtomSet{1} << 0) | (AtomSet{1} << 2) |
+                                (AtomSet{1} << 5));
+}
+
+TEST(Formula, TreeSizeCountsNodes) {
+  // a U (b && !c): U, a, &&, b, !, c = 6 nodes.
+  FormulaPtr f = f_until(f_atom(0), f_and(f_atom(1), f_not(f_atom(2))));
+  EXPECT_EQ(f->tree_size(), 6u);
+}
+
+TEST(Formula, IsLiteral) {
+  EXPECT_TRUE(f_atom(0)->is_literal());
+  EXPECT_TRUE(f_not(f_atom(0))->is_literal());
+  EXPECT_FALSE(f_and(f_atom(0), f_atom(1))->is_literal());
+  EXPECT_FALSE(f_true()->is_literal());
+}
+
+TEST(Nnf, PushesNegationThroughAnd) {
+  FormulaPtr f = f_not(f_and(f_atom(0), f_atom(1)));
+  FormulaPtr n = to_nnf(f);
+  EXPECT_EQ(n->op(), LtlOp::kOr);
+  EXPECT_TRUE(n->lhs()->is_literal());
+  EXPECT_TRUE(n->rhs()->is_literal());
+}
+
+TEST(Nnf, UntilReleaseDuality) {
+  FormulaPtr f = f_not(f_until(f_atom(0), f_atom(1)));
+  FormulaPtr n = to_nnf(f);
+  EXPECT_EQ(n->op(), LtlOp::kRelease);
+  EXPECT_EQ(n->lhs(), f_not(f_atom(0)));
+  EXPECT_EQ(n->rhs(), f_not(f_atom(1)));
+
+  FormulaPtr g = f_not(f_release(f_atom(0), f_atom(1)));
+  FormulaPtr m = to_nnf(g);
+  EXPECT_EQ(m->op(), LtlOp::kUntil);
+}
+
+TEST(Nnf, NextCommutesWithNegation) {
+  FormulaPtr f = f_not(f_next(f_atom(0)));
+  FormulaPtr n = to_nnf(f);
+  EXPECT_EQ(n->op(), LtlOp::kNext);
+  EXPECT_EQ(n->lhs(), f_not(f_atom(0)));
+}
+
+TEST(Nnf, FixpointOnNnfInput) {
+  FormulaPtr f =
+      f_until(f_not(f_atom(0)), f_and(f_atom(1), f_not(f_atom(2))));
+  EXPECT_EQ(to_nnf(f), f);
+}
+
+TEST(Formula, DerivedOperators) {
+  FormulaPtr a = f_atom(0);
+  FormulaPtr b = f_atom(1);
+  // a -> b == !a || b
+  EXPECT_EQ(f_implies(a, b), f_or(f_not(a), b));
+  // F a == true U a ; G a == false R a
+  EXPECT_EQ(f_eventually(a)->op(), LtlOp::kUntil);
+  EXPECT_TRUE(f_eventually(a)->lhs()->is_true());
+  EXPECT_EQ(f_always(a)->op(), LtlOp::kRelease);
+  EXPECT_TRUE(f_always(a)->lhs()->is_false());
+}
+
+TEST(Formula, AndAllOrAll) {
+  EXPECT_TRUE(f_and_all({})->is_true());
+  EXPECT_TRUE(f_or_all({})->is_false());
+  FormulaPtr f = f_and_all({f_atom(0), f_atom(1), f_atom(2)});
+  EXPECT_EQ(f->op(), LtlOp::kAnd);
+  EXPECT_EQ(f->atom_mask(), AtomSet{0b111});
+}
+
+TEST(Formula, ToStringRoundsReasonably) {
+  FormulaPtr f = f_until(f_atom(0), f_and(f_atom(1), f_not(f_atom(2))));
+  const std::string s = f->to_string();
+  EXPECT_NE(s.find("U"), std::string::npos);
+  EXPECT_NE(s.find("a0"), std::string::npos);
+  EXPECT_NE(s.find("!a2"), std::string::npos);
+}
+
+TEST(Formula, ToStringUsesFAndGAbbreviations) {
+  EXPECT_EQ(f_eventually(f_atom(0))->to_string(), "F a0");
+  EXPECT_EQ(f_always(f_atom(0))->to_string(), "G a0");
+  EXPECT_EQ(f_always(f_eventually(f_atom(0)))->to_string(), "G (F a0)");
+}
+
+}  // namespace
+}  // namespace decmon

@@ -1,0 +1,141 @@
+#include "decmon/ltl/eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/random_formula.hpp"
+#include "decmon/ltl/formula.hpp"
+
+namespace decmon {
+namespace {
+
+constexpr AtomSet kA = 0b01;
+constexpr AtomSet kB = 0b10;
+
+TEST(LassoEval, AtomsAndBooleans) {
+  FormulaPtr a = f_atom(0);
+  EXPECT_TRUE(lasso_satisfies(a, {}, {kA}));
+  EXPECT_FALSE(lasso_satisfies(a, {}, {0}));
+  EXPECT_TRUE(lasso_satisfies(f_not(a), {0}, {kA}));
+  EXPECT_TRUE(lasso_satisfies(f_and(a, f_atom(1)), {}, {kA | kB}));
+  EXPECT_FALSE(lasso_satisfies(f_and(a, f_atom(1)), {}, {kA}));
+  EXPECT_TRUE(lasso_satisfies(f_or(a, f_atom(1)), {}, {kB}));
+}
+
+TEST(LassoEval, NextLooksOnePosition) {
+  FormulaPtr xa = f_next(f_atom(0));
+  EXPECT_TRUE(lasso_satisfies(xa, {0}, {kA}));
+  EXPECT_FALSE(lasso_satisfies(xa, {kA}, {0}));
+  // X at the end of the prefix wraps into the loop.
+  EXPECT_TRUE(lasso_satisfies(xa, {0}, {kA, 0}));
+  // X at the end of the loop wraps to the loop start.
+  EXPECT_TRUE(lasso_satisfies(f_next(xa), {}, {kA, 0}));
+}
+
+TEST(LassoEval, EventuallyOnLoop) {
+  FormulaPtr fa = f_eventually(f_atom(0));
+  EXPECT_TRUE(lasso_satisfies(fa, {0, 0}, {0, kA}));
+  EXPECT_FALSE(lasso_satisfies(fa, {0, 0}, {0, 0}));
+  // a only in the prefix still counts.
+  EXPECT_TRUE(lasso_satisfies(fa, {kA}, {0}));
+}
+
+TEST(LassoEval, AlwaysOnLoop) {
+  FormulaPtr ga = f_always(f_atom(0));
+  EXPECT_TRUE(lasso_satisfies(ga, {kA}, {kA, kA}));
+  EXPECT_FALSE(lasso_satisfies(ga, {kA}, {kA, 0}));
+  // Violation only in prefix.
+  EXPECT_FALSE(lasso_satisfies(ga, {0}, {kA}));
+}
+
+TEST(LassoEval, UntilStrongRequiresGoal) {
+  FormulaPtr u = f_until(f_atom(0), f_atom(1));
+  EXPECT_TRUE(lasso_satisfies(u, {kA, kA}, {kB}));
+  EXPECT_TRUE(lasso_satisfies(u, {kB}, {0}));  // goal immediately
+  // a forever but b never: U fails (strong until).
+  EXPECT_FALSE(lasso_satisfies(u, {}, {kA}));
+  // a breaks before b arrives.
+  EXPECT_FALSE(lasso_satisfies(u, {kA, 0}, {kB}));
+}
+
+TEST(LassoEval, ReleaseDualOfUntil) {
+  // a R b: b holds until (and including when) a joins; b forever also ok.
+  FormulaPtr r = f_release(f_atom(0), f_atom(1));
+  EXPECT_TRUE(lasso_satisfies(r, {}, {kB}));            // b forever
+  EXPECT_TRUE(lasso_satisfies(r, {kB, kA | kB}, {0}));  // released by a
+  EXPECT_FALSE(lasso_satisfies(r, {kB}, {0}));          // b stops, no a
+}
+
+TEST(LassoEval, GFInfinitelyOften) {
+  FormulaPtr gfa = f_always(f_eventually(f_atom(0)));
+  EXPECT_TRUE(lasso_satisfies(gfa, {0}, {0, kA}));
+  EXPECT_FALSE(lasso_satisfies(gfa, {kA, kA}, {0}));  // finitely often
+}
+
+TEST(LassoEval, FGStabilization) {
+  FormulaPtr fga = f_eventually(f_always(f_atom(0)));
+  EXPECT_TRUE(lasso_satisfies(fga, {0, 0}, {kA}));
+  EXPECT_FALSE(lasso_satisfies(fga, {kA}, {kA, 0}));
+}
+
+TEST(LassoEval, NonStarvation) {
+  // G(r -> F g) with r = atom0, g = atom1.
+  FormulaPtr f = f_always(f_implies(f_atom(0), f_eventually(f_atom(1))));
+  EXPECT_TRUE(lasso_satisfies(f, {kA}, {kB}));        // request then grant
+  EXPECT_TRUE(lasso_satisfies(f, {}, {0}));           // no requests
+  EXPECT_FALSE(lasso_satisfies(f, {kA}, {0}));        // starved
+  EXPECT_TRUE(lasso_satisfies(f, {}, {kA, kB}));      // repeated cycle
+}
+
+TEST(LassoEval, PositionOfLoopMatters) {
+  // F a on the same letters but different prefix/loop split.
+  FormulaPtr fa = f_eventually(f_atom(0));
+  EXPECT_TRUE(lasso_satisfies(fa, {kA, 0}, {0}));
+  EXPECT_FALSE(lasso_satisfies(fa, {0, 0}, {0}));
+}
+
+// Property: semantic equivalences hold on random formulas and lassos.
+TEST(LassoEvalProperty, Dualities) {
+  std::mt19937_64 rng(2024);
+  for (int iter = 0; iter < 400; ++iter) {
+    FormulaPtr f = testing::random_formula(rng, 2, 3);
+    auto prefix = testing::random_word(rng, 2, static_cast<int>(rng() % 3));
+    auto loop = testing::random_word(rng, 2, 1 + static_cast<int>(rng() % 3));
+    const bool v = lasso_satisfies(f, prefix, loop);
+    // not f <=> !v
+    EXPECT_EQ(lasso_satisfies(f_not(f), prefix, loop), !v);
+    // f && f <=> f ; f || f <=> f
+    EXPECT_EQ(lasso_satisfies(f_and(f, f), prefix, loop), v);
+    // G f == !F!f
+    EXPECT_EQ(lasso_satisfies(f_always(f), prefix, loop),
+              !lasso_satisfies(f_eventually(f_not(f)), prefix, loop));
+    // f U g == g || (f && X(f U g)) -- expansion law
+    FormulaPtr g = testing::random_formula(rng, 2, 2);
+    FormulaPtr u = f_until(f, g);
+    FormulaPtr expanded = f_or(g, f_and(f, f_next(u)));
+    EXPECT_EQ(lasso_satisfies(u, prefix, loop),
+              lasso_satisfies(expanded, prefix, loop));
+  }
+}
+
+// Property: unrolling the loop once does not change satisfaction.
+TEST(LassoEvalProperty, LoopUnrollingInvariant) {
+  std::mt19937_64 rng(99);
+  for (int iter = 0; iter < 300; ++iter) {
+    FormulaPtr f = testing::random_formula(rng, 2, 3);
+    auto prefix = testing::random_word(rng, 2, static_cast<int>(rng() % 3));
+    auto loop = testing::random_word(rng, 2, 1 + static_cast<int>(rng() % 3));
+    // (prefix, loop) == (prefix + loop, loop)
+    auto prefix2 = prefix;
+    prefix2.insert(prefix2.end(), loop.begin(), loop.end());
+    EXPECT_EQ(lasso_satisfies(f, prefix, loop),
+              lasso_satisfies(f, prefix2, loop));
+    // (prefix, loop) == (prefix, loop + loop)
+    auto loop2 = loop;
+    loop2.insert(loop2.end(), loop.begin(), loop.end());
+    EXPECT_EQ(lasso_satisfies(f, prefix, loop),
+              lasso_satisfies(f, prefix, loop2));
+  }
+}
+
+}  // namespace
+}  // namespace decmon

@@ -1,0 +1,159 @@
+#include "decmon/ltl/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "decmon/ltl/formula.hpp"
+
+namespace decmon {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() : reg_(4) {
+    x1_ = reg_.declare_variable(0, "x1");
+    x2_ = reg_.declare_variable(1, "x2");
+  }
+  AtomRegistry reg_;
+  int x1_ = -1;
+  int x2_ = -1;
+};
+
+TEST_F(ParserTest, BooleanPropositions) {
+  FormulaPtr f = parse_ltl("P0.p && P1.p", reg_);
+  EXPECT_EQ(f->op(), LtlOp::kAnd);
+  // Both atoms registered, owned by the right processes.
+  ASSERT_EQ(reg_.num_atoms(), 2);
+  EXPECT_EQ(reg_.atom(0).process, 0);
+  EXPECT_EQ(reg_.atom(1).process, 1);
+}
+
+TEST_F(ParserTest, SameAtomResolvesOnce) {
+  parse_ltl("P0.p || P0.p", reg_);
+  EXPECT_EQ(reg_.num_atoms(), 1);
+}
+
+TEST_F(ParserTest, ComparisonAtoms) {
+  FormulaPtr f = parse_ltl("x1 >= 5 && x2 < 15", reg_);
+  ASSERT_EQ(reg_.num_atoms(), 2);
+  EXPECT_EQ(reg_.atom(0).op, CmpOp::kGe);
+  EXPECT_EQ(reg_.atom(0).rhs, 5);
+  EXPECT_EQ(reg_.atom(0).process, 0);
+  EXPECT_EQ(reg_.atom(1).op, CmpOp::kLt);
+  EXPECT_EQ(reg_.atom(1).process, 1);
+  EXPECT_EQ(f->op(), LtlOp::kAnd);
+}
+
+TEST_F(ParserTest, PaperRunningExample) {
+  // psi = G((x1 >= 5) -> ((x2 >= 15) U (x1 == 10)))
+  FormulaPtr f = parse_ltl("G((x1 >= 5) -> ((x2 >= 15) U (x1 == 10)))", reg_);
+  EXPECT_EQ(f->op(), LtlOp::kRelease);  // G x == false R x
+  EXPECT_EQ(reg_.num_atoms(), 3);
+}
+
+TEST_F(ParserTest, TemporalOperators) {
+  EXPECT_EQ(parse_ltl("X P0.p", reg_)->op(), LtlOp::kNext);
+  EXPECT_EQ(parse_ltl("F P0.p", reg_)->op(), LtlOp::kUntil);
+  EXPECT_EQ(parse_ltl("G P0.p", reg_)->op(), LtlOp::kRelease);
+  EXPECT_EQ(parse_ltl("P0.p U P1.p", reg_)->op(), LtlOp::kUntil);
+  EXPECT_EQ(parse_ltl("P0.p R P1.p", reg_)->op(), LtlOp::kRelease);
+  EXPECT_EQ(parse_ltl("<> P0.p", reg_)->op(), LtlOp::kUntil);
+  EXPECT_EQ(parse_ltl("[] P0.p", reg_)->op(), LtlOp::kRelease);
+}
+
+TEST_F(ParserTest, WeakUntilExpansion) {
+  // a W b == (a U b) || G a
+  FormulaPtr f = parse_ltl("P0.p W P1.p", reg_);
+  EXPECT_EQ(f->op(), LtlOp::kOr);
+}
+
+TEST_F(ParserTest, PrecedenceAndBindsTighterThanOr) {
+  FormulaPtr f = parse_ltl("P0.p || P1.p && P2.p", reg_);
+  EXPECT_EQ(f->op(), LtlOp::kOr);
+  FormulaPtr same = parse_ltl("P0.p || (P1.p && P2.p)", reg_);
+  EXPECT_EQ(f, same);
+}
+
+TEST_F(ParserTest, PrecedenceUntilBindsTighterThanAnd) {
+  FormulaPtr f = parse_ltl("P0.p U P1.p && P2.p U P3.p", reg_);
+  EXPECT_EQ(f->op(), LtlOp::kAnd);
+  EXPECT_EQ(f, parse_ltl("(P0.p U P1.p) && (P2.p U P3.p)", reg_));
+}
+
+TEST_F(ParserTest, UntilIsRightAssociative) {
+  EXPECT_EQ(parse_ltl("P0.p U P1.p U P2.p", reg_),
+            parse_ltl("P0.p U (P1.p U P2.p)", reg_));
+}
+
+TEST_F(ParserTest, ImplicationIsRightAssociative) {
+  EXPECT_EQ(parse_ltl("P0.p -> P1.p -> P2.p", reg_),
+            parse_ltl("P0.p -> (P1.p -> P2.p)", reg_));
+}
+
+TEST_F(ParserTest, IffDesugars) {
+  FormulaPtr f = parse_ltl("P0.p <-> P1.p", reg_);
+  EXPECT_EQ(f->op(), LtlOp::kAnd);
+}
+
+TEST_F(ParserTest, Constants) {
+  EXPECT_TRUE(parse_ltl("true", reg_)->is_true());
+  EXPECT_TRUE(parse_ltl("false", reg_)->is_false());
+  EXPECT_TRUE(parse_ltl("true && ! false", reg_)->is_true());
+}
+
+TEST_F(ParserTest, SingleAmpersandAndPipeAccepted) {
+  EXPECT_EQ(parse_ltl("P0.p & P1.p", reg_),
+            parse_ltl("P0.p && P1.p", reg_));
+  EXPECT_EQ(parse_ltl("P0.p | P1.p", reg_),
+            parse_ltl("P0.p || P1.p", reg_));
+}
+
+TEST_F(ParserTest, ErrorsOnTrailingInput) {
+  EXPECT_THROW(parse_ltl("P0.p P1.p", reg_), ParseError);
+}
+
+TEST_F(ParserTest, ErrorsOnUnbalancedParens) {
+  EXPECT_THROW(parse_ltl("(P0.p && P1.p", reg_), ParseError);
+}
+
+TEST_F(ParserTest, ErrorsOnUnknownVariable) {
+  EXPECT_THROW(parse_ltl("zz >= 3", reg_), ParseError);
+}
+
+TEST_F(ParserTest, ErrorsOnBadProcessIndex) {
+  // Only 4 processes declared; P9 is out of range.
+  EXPECT_THROW(parse_ltl("P9.p", reg_), ParseError);
+}
+
+TEST_F(ParserTest, ErrorsOnEmptyInput) {
+  EXPECT_THROW(parse_ltl("", reg_), ParseError);
+  EXPECT_THROW(parse_ltl("   ", reg_), ParseError);
+}
+
+TEST_F(ParserTest, ErrorsOnMissingComparisonRhs) {
+  EXPECT_THROW(parse_ltl("x1 >=", reg_), ParseError);
+  EXPECT_THROW(parse_ltl("x1 >= P0.p", reg_), ParseError);
+}
+
+TEST_F(ParserTest, ErrorCarriesPosition) {
+  try {
+    parse_ltl("P0.p &&", reg_);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_GE(e.position(), 7u);
+  }
+}
+
+TEST_F(ParserTest, DottedComparison) {
+  FormulaPtr f = parse_ltl("P0.x1 == 10", reg_);
+  EXPECT_EQ(f->op(), LtlOp::kAtom);
+  EXPECT_EQ(reg_.atom(f->atom()).process, 0);
+  EXPECT_EQ(reg_.atom(f->atom()).op, CmpOp::kEq);
+}
+
+TEST_F(ParserTest, NegativeConstants) {
+  FormulaPtr f = parse_ltl("x1 > -5", reg_);
+  EXPECT_EQ(reg_.atom(f->atom()).rhs, -5);
+}
+
+}  // namespace
+}  // namespace decmon

@@ -1,0 +1,290 @@
+// Direct unit tests of one MonitorProcess replica: token creation, routing
+// rules, parking, termination flush, probe suppression, statistics. A
+// capturing fake network makes every send observable.
+#include "decmon/monitor/monitor_process.hpp"
+
+#include <gtest/gtest.h>
+
+#include "decmon/automata/ltl3_monitor.hpp"
+#include "decmon/core/properties.hpp"
+#include "decmon/ltl/parser.hpp"
+
+namespace decmon {
+namespace {
+
+class CapturingNetwork : public MonitorNetwork {
+ public:
+  void send(MonitorMessage msg) override { sent.push_back(std::move(msg)); }
+  double now() const override { return t; }
+
+  std::vector<MonitorMessage> sent;
+  double t = 0.0;
+
+  std::vector<Token> tokens_to(int proc, int parent = -1) {
+    std::vector<Token> out;
+    for (const MonitorMessage& m : sent) {
+      if (m.to != proc) continue;
+      if (auto* tok = dynamic_cast<TokenMessage*>(m.payload.get())) {
+        if (parent >= 0 && tok->token.parent != parent) continue;
+        out.push_back(tok->token);
+      }
+    }
+    return out;
+  }
+  int terminations() const {
+    int n = 0;
+    for (const MonitorMessage& m : sent) {
+      if (dynamic_cast<TerminationMessage*>(m.payload.get())) ++n;
+    }
+    return n;
+  }
+};
+
+Event make_event(int proc, std::uint32_t sn, VectorClock vc, AtomSet letter,
+                 EventType type = EventType::kInternal) {
+  Event e;
+  e.type = type;
+  e.process = proc;
+  e.sn = sn;
+  e.vc = std::move(vc);
+  e.letter = letter;
+  return e;
+}
+
+struct Fixture {
+  AtomRegistry reg;
+  MonitorAutomaton automaton;
+  CompiledProperty prop;
+  CapturingNetwork net;
+
+  Fixture(const std::string& formula, int n)
+      : reg(paper::make_registry(n)),
+        automaton(synthesize_monitor(parse_ltl(formula, reg))),
+        prop(&automaton, &reg) {}
+};
+
+// Atoms for n=2: P0.p=bit0, P0.q=bit1, P1.p=bit2, P1.q=bit3.
+
+TEST(MonitorProcessUnit, NoProbeWhenLocallyForbidden) {
+  // F(P0.p && P1.p): M0's local p is false, so M0 forbids the transition
+  // and sends nothing.
+  Fixture f("F(P0.p && P1.p)", 2);
+  MonitorProcess m(0, &f.prop, &f.net, {0, 0});
+  m.on_local_event(make_event(0, 1, VectorClock{1, 0}, 0), 1.0);
+  EXPECT_TRUE(f.net.sent.empty());
+  EXPECT_EQ(m.stats().tokens_created, 0u);
+}
+
+TEST(MonitorProcessUnit, ProbeSentWhenLocalConjunctHolds) {
+  Fixture f("F(P0.p && P1.p)", 2);
+  MonitorProcess m(0, &f.prop, &f.net, {0, 0});
+  m.on_local_event(make_event(0, 1, VectorClock{1, 0}, 0b01), 1.0);
+  auto tokens = f.net.tokens_to(1);
+  ASSERT_EQ(tokens.size(), 1u);
+  const Token& t = tokens[0];
+  EXPECT_EQ(t.parent, 0);
+  EXPECT_EQ(t.parent_sn, 1u);
+  ASSERT_EQ(t.entries.size(), 1u);
+  // The entry asks P1 for its next event.
+  EXPECT_EQ(t.next_target_process, 1);
+  EXPECT_EQ(t.next_target_event, 1u);
+  EXPECT_EQ(m.stats().token_messages_sent, 1u);
+}
+
+TEST(MonitorProcessUnit, DuplicateProbesSuppressed) {
+  // Two consecutive events with the same letter and state: the second probe
+  // is deduplicated (4.3.2) while the first token is outstanding.
+  Fixture f("F(P0.p && P1.p)", 2);
+  MonitorProcess m(0, &f.prop, &f.net, {0, 0});
+  m.on_local_event(make_event(0, 1, VectorClock{1, 0}, 0b01), 1.0);
+  m.on_local_event(make_event(0, 2, VectorClock{2, 0}, 0b01), 2.0);
+  EXPECT_EQ(f.net.tokens_to(1).size(), 1u);
+  // With dedup off, the second probe goes out too.
+  CapturingNetwork net2;
+  MonitorOptions options;
+  options.dedupe_probes = false;
+  MonitorProcess m2(0, &f.prop, &net2, {0, 0}, options);
+  m2.on_local_event(make_event(0, 1, VectorClock{1, 0}, 0b01), 1.0);
+  m2.on_local_event(make_event(0, 2, VectorClock{2, 0}, 0b01), 2.0);
+  EXPECT_EQ(net2.tokens_to(1).size(), 2u);
+}
+
+TEST(MonitorProcessUnit, VisitingTokenWalksHistoryAndAnswers) {
+  // M1 receives a token from M0 asking for P1.p; the satisfying event is
+  // already in M1's history, so the token returns immediately.
+  Fixture f("F(P0.p && P1.p)", 2);
+  MonitorProcess m0(0, &f.prop, &f.net, {0, 0});
+  m0.on_local_event(make_event(0, 1, VectorClock{1, 0}, 0b01), 1.0);
+  Token probe = f.net.tokens_to(1).at(0);
+
+  CapturingNetwork net1;
+  MonitorProcess m1(1, &f.prop, &net1, {0, 0});
+  m1.on_local_event(make_event(1, 1, VectorClock{0, 1}, 0b100), 1.5);
+  m1.on_token(probe, 2.0);
+  // Filter to the reply: M1 also launches its own probe towards P0.
+  auto replies = net1.tokens_to(0, /*parent=*/0);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].entries.at(0).eval, EntryEval::kTrue);
+  EXPECT_EQ(replies[0].entries.at(0).cut, (std::vector<std::uint32_t>{1, 1}));
+}
+
+TEST(MonitorProcessUnit, VisitingTokenParksForFutureEvent) {
+  Fixture f("F(P0.p && P1.p)", 2);
+  MonitorProcess m0(0, &f.prop, &f.net, {0, 0});
+  m0.on_local_event(make_event(0, 1, VectorClock{1, 0}, 0b01), 1.0);
+  Token probe = f.net.tokens_to(1).at(0);
+
+  CapturingNetwork net1;
+  MonitorProcess m1(1, &f.prop, &net1, {0, 0});
+  m1.on_token(probe, 2.0);  // P1 has no events yet
+  EXPECT_EQ(m1.num_waiting_tokens(), 1u);
+  EXPECT_TRUE(net1.tokens_to(0).empty());
+  // The event arrives: the token wakes and answers.
+  m1.on_local_event(make_event(1, 1, VectorClock{0, 1}, 0b100), 3.0);
+  EXPECT_EQ(m1.num_waiting_tokens(), 0u);
+  ASSERT_EQ(net1.tokens_to(0, /*parent=*/0).size(), 1u);
+  EXPECT_EQ(net1.tokens_to(0, 0).at(0).entries.at(0).eval, EntryEval::kTrue);
+}
+
+TEST(MonitorProcessUnit, TerminationFlushesParkedTokens) {
+  // Theorem 1 / Lemma 1: the awaited event never happens; termination sends
+  // the token home with the entry disabled.
+  Fixture f("F(P0.p && P1.p)", 2);
+  MonitorProcess m0(0, &f.prop, &f.net, {0, 0});
+  m0.on_local_event(make_event(0, 1, VectorClock{1, 0}, 0b01), 1.0);
+  Token probe = f.net.tokens_to(1).at(0);
+
+  CapturingNetwork net1;
+  MonitorProcess m1(1, &f.prop, &net1, {0, 0});
+  m1.on_token(probe, 2.0);
+  ASSERT_EQ(m1.num_waiting_tokens(), 1u);
+  m1.on_local_termination(3.0);
+  EXPECT_EQ(m1.num_waiting_tokens(), 0u);
+  ASSERT_EQ(net1.tokens_to(0, /*parent=*/0).size(), 1u);
+  EXPECT_EQ(net1.tokens_to(0, 0).at(0).entries.at(0).eval,
+            EntryEval::kFalse);
+  EXPECT_EQ(net1.terminations(), 1);
+}
+
+TEST(MonitorProcessUnit, ReturnedEnabledTokenSpawnsAndDeclares) {
+  Fixture f("F(P0.p && P1.p)", 2);
+  MonitorProcess m0(0, &f.prop, &f.net, {0, 0});
+  m0.on_local_event(make_event(0, 1, VectorClock{1, 0}, 0b01), 1.0);
+  Token probe = f.net.tokens_to(1).at(0);
+  // Simulate M1's answer: the entry enabled at cut {1,1}.
+  probe.entries[0].cut = {1, 1};
+  probe.entries[0].gstate = {0b01, 0b100};
+  probe.entries[0].conj = {ConjunctEval::kTrue, ConjunctEval::kTrue};
+  probe.entries[0].eval = EntryEval::kTrue;
+  probe.next_target_process = 0;
+  m0.on_token(probe, 3.0);
+  EXPECT_TRUE(m0.declared().count(Verdict::kTrue));
+  EXPECT_TRUE(m0.verdicts().count(Verdict::kTrue));
+}
+
+TEST(MonitorProcessUnit, SettledStateProbesPruned) {
+  // G F (p0 && p1): no finite trace ever decides it. Minimization would
+  // collapse the monitor to one state; an *unminimized* monitor keeps
+  // several '?' states with outgoing transitions between them -- all
+  // settled, so the 7.2.2 pruning drops every probe.
+  AtomRegistry reg = paper::make_registry(2);
+  SynthesisOptions synth;
+  synth.minimize = false;
+  MonitorAutomaton automaton =
+      synthesize_monitor(parse_ltl("G(F(P0.p && P1.p))", reg), synth);
+  ASSERT_GT(automaton.num_states(), 1);
+  CompiledProperty prop(&automaton, &reg);
+  for (int q = 0; q < automaton.num_states(); ++q) {
+    EXPECT_TRUE(prop.verdict_settled(q));
+  }
+
+  CapturingNetwork net;
+  MonitorProcess m(0, &prop, &net, {0, 0});
+  m.on_local_event(make_event(0, 1, VectorClock{1, 0}, 0b01), 1.0);
+  m.on_local_event(make_event(0, 2, VectorClock{2, 0}, 0b00), 2.0);
+  EXPECT_EQ(m.stats().tokens_created, 0u);
+  EXPECT_TRUE(net.sent.empty());
+
+  // With pruning off, probes do go out.
+  CapturingNetwork net2;
+  MonitorOptions options;
+  options.prune_settled_states = false;
+  MonitorProcess m2(0, &prop, &net2, {0, 0}, options);
+  m2.on_local_event(make_event(0, 1, VectorClock{1, 0}, 0b01), 1.0);
+  m2.on_local_event(make_event(0, 2, VectorClock{2, 0}, 0b00), 2.0);
+  EXPECT_GT(m2.stats().tokens_created, 0u);
+}
+
+TEST(MonitorProcessUnit, FinishesAfterAllTermination) {
+  Fixture f("F(P0.p && P1.p)", 2);
+  MonitorProcess m(0, &f.prop, &f.net, {0, 0});
+  EXPECT_FALSE(m.finished());
+  m.on_local_event(make_event(0, 1, VectorClock{1, 0}, 0), 1.0);
+  m.on_local_termination(2.0);
+  EXPECT_FALSE(m.finished());  // peer still running
+  m.on_peer_termination(1, 0, 3.0);
+  EXPECT_TRUE(m.finished());
+  EXPECT_DOUBLE_EQ(m.stats().finish_time, 3.0);
+}
+
+TEST(MonitorProcessUnit, RejectsOutOfOrderEvents) {
+  Fixture f("F(P0.p && P1.p)", 2);
+  MonitorProcess m(0, &f.prop, &f.net, {0, 0});
+  EXPECT_THROW(
+      m.on_local_event(make_event(0, 5, VectorClock{5, 0}, 0), 1.0),
+      std::logic_error);
+}
+
+TEST(MonitorProcessUnit, ImmediateVerdictAtInitialState) {
+  // G(P0.p && P1.p) with an all-false initial state: violated at INIT.
+  Fixture f("G(P0.p && P1.p)", 2);
+  MonitorProcess m(0, &f.prop, &f.net, {0, 0});
+  EXPECT_TRUE(m.declared().count(Verdict::kFalse));
+}
+
+TEST(MonitorProcessUnit, VerdictCallbackFires) {
+  Fixture f("F(P0.p)", 2);
+  MonitorProcess m(0, &f.prop, &f.net, {0, 0});
+  Verdict seen = Verdict::kUnknown;
+  double at = -1;
+  m.set_verdict_callback([&](Verdict v, double now) {
+    seen = v;
+    at = now;
+  });
+  m.on_local_event(make_event(0, 1, VectorClock{1, 0}, 0b01), 4.5);
+  EXPECT_EQ(seen, Verdict::kTrue);
+  EXPECT_DOUBLE_EQ(at, 4.5);
+}
+
+TEST(MonitorProcessUnit, EventsQueueBehindOutstandingToken) {
+  Fixture f("F(P0.p && P1.p)", 2);
+  MonitorProcess m(0, &f.prop, &f.net, {0, 0});
+  m.on_local_event(make_event(0, 1, VectorClock{1, 0}, 0b01), 1.0);
+  ASSERT_EQ(f.net.tokens_to(1).size(), 1u);
+  // While the token is away, further events are delayed for the launchpad
+  // view (its forked copy keeps processing them).
+  m.on_local_event(make_event(0, 2, VectorClock{2, 0}, 0b00), 2.0);
+  m.on_local_event(make_event(0, 3, VectorClock{3, 0}, 0b00), 3.0);
+  EXPECT_GT(m.stats().events_delayed, 0u);
+}
+
+TEST(MonitorProcessUnit, StatsAggregate) {
+  MonitorStats a;
+  a.tokens_created = 3;
+  a.global_views_created = 5;
+  a.max_pending = 7;
+  MonitorStats b;
+  b.tokens_created = 2;
+  b.global_views_created = 1;
+  b.max_pending = 4;
+  b.finish_time = 9.0;
+  a += b;
+  EXPECT_EQ(a.tokens_created, 5u);
+  EXPECT_EQ(a.global_views_created, 6u);
+  EXPECT_EQ(a.max_pending, 7u);
+  EXPECT_DOUBLE_EQ(a.finish_time, 9.0);
+  EXPECT_NE(a.to_string().find("tokens=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace decmon

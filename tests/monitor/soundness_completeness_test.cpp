@@ -1,0 +1,226 @@
+// The headline correctness tests: the decentralized monitor's verdict set
+// must equal the oracle's verdict set (Equations 3.1 / 3.2) on every
+// computation, for every asynchronous delivery schedule.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "../common/paper_example.hpp"
+#include "../common/random_computation.hpp"
+#include "../common/replay_driver.hpp"
+#include "decmon/automata/ltl3_monitor.hpp"
+#include "decmon/lattice/oracle.hpp"
+#include "decmon/ltl/parser.hpp"
+#include "decmon/monitor/decentralized_monitor.hpp"
+#include "decmon/monitor/predicate.hpp"
+
+namespace decmon {
+namespace {
+
+using testing::PaperExample;
+using testing::ReplayDriver;
+
+std::vector<AtomSet> initial_letters(const Computation& comp) {
+  std::vector<AtomSet> letters;
+  for (int p = 0; p < comp.num_processes(); ++p) {
+    letters.push_back(comp.event(p, 0).letter);
+  }
+  return letters;
+}
+
+/// Run the decentralized monitor over `comp` under schedule `seed`.
+SystemVerdict run_decentralized(const Computation& comp,
+                                const CompiledProperty& prop,
+                                std::uint64_t seed,
+                                MonitorOptions options = {}) {
+  ReplayDriver driver;
+  DecentralizedMonitor dm(&prop, &driver, initial_letters(comp), options);
+  driver.run(comp, dm, seed);
+  return dm.result();
+}
+
+std::string show(const std::set<Verdict>& vs) {
+  std::string s;
+  for (Verdict v : vs) s += to_string(v) + " ";
+  return s;
+}
+
+// The correctness contract (see DESIGN.md):
+//  * completeness: every oracle verdict appears in the monitor's set -- in
+//    particular every violation/satisfaction is detected;
+//  * soundness of definite verdicts: a declared TRUE/FALSE corresponds to a
+//    real lattice path (no false alarms).
+// The monitor may additionally report '?' for a genuine partial path even
+// when every complete path is definite (surviving stale views); exact
+// equality is tracked as a rate.
+::testing::AssertionResult contract_holds(const OracleResult& oracle,
+                                          const SystemVerdict& monitor) {
+  for (Verdict v : oracle.verdicts) {
+    if (!monitor.verdicts.count(v)) {
+      return ::testing::AssertionFailure()
+             << "incompleteness: oracle verdict " << to_string(v)
+             << " missing; oracle={" << show(oracle.verdicts) << "} monitor={"
+             << show(monitor.verdicts) << "}";
+    }
+  }
+  for (Verdict v : monitor.verdicts) {
+    if (v != Verdict::kUnknown && !oracle.verdicts.count(v)) {
+      return ::testing::AssertionFailure()
+             << "unsound definite verdict " << to_string(v) << "; oracle={"
+             << show(oracle.verdicts) << "} monitor={"
+             << show(monitor.verdicts) << "}";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(Decentralized, PaperExampleVerdictSet) {
+  PaperExample ex;
+  FormulaPtr psi =
+      parse_ltl("G((x1 >= 5) -> ((x2 >= 15) U (x1 == 10)))", ex.registry);
+  MonitorAutomaton m = synthesize_monitor(psi);
+  CompiledProperty prop(&m, &ex.registry);
+  OracleResult oracle = oracle_evaluate(ex.computation, m);
+  ASSERT_EQ(oracle.verdicts,
+            (std::set<Verdict>{Verdict::kFalse, Verdict::kUnknown}));
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    SystemVerdict v = run_decentralized(ex.computation, prop, seed);
+    EXPECT_TRUE(v.all_finished) << "seed " << seed;
+    EXPECT_EQ(v.verdicts, oracle.verdicts) << "seed " << seed;
+  }
+}
+
+TEST(Decentralized, PaperExamplePsiPrime) {
+  PaperExample ex;
+  FormulaPtr psi =
+      parse_ltl("G((x1 >= 5) -> ((x2 == 15) U (x1 == 10)))", ex.registry);
+  MonitorAutomaton m = synthesize_monitor(psi);
+  CompiledProperty prop(&m, &ex.registry);
+  OracleResult oracle = oracle_evaluate(ex.computation, m);
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    SystemVerdict v = run_decentralized(ex.computation, prop, seed);
+    EXPECT_TRUE(v.all_finished);
+    EXPECT_EQ(v.verdicts, oracle.verdicts) << "seed " << seed;
+  }
+}
+
+TEST(Decentralized, DeadlockFreedomOnPaperExample) {
+  // Theorem 1: monitors of a terminating program terminate; no waiting
+  // tokens or views survive.
+  PaperExample ex;
+  FormulaPtr psi =
+      parse_ltl("G((x1 >= 5) -> ((x2 >= 15) U (x1 == 10)))", ex.registry);
+  MonitorAutomaton m = synthesize_monitor(psi);
+  CompiledProperty prop(&m, &ex.registry);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    ReplayDriver driver;
+    DecentralizedMonitor dm(&prop, &driver, initial_letters(ex.computation));
+    driver.run(ex.computation, dm, seed);
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_TRUE(dm.monitor(i).finished());
+      EXPECT_EQ(dm.monitor(i).num_waiting_tokens(), 0u);
+    }
+  }
+}
+
+// The central randomized test: verdict-set equality with the oracle over
+// random computations, random properties, random schedules.
+TEST(DecentralizedProperty, VerdictSetEqualsOracleTwoProcs) {
+  std::mt19937_64 rng(424242);
+  AtomRegistry reg = testing::standard_registry(2);
+  const auto props = testing::property_suite_2();
+  std::vector<CompiledProperty> compiled;
+  std::vector<MonitorAutomaton> automata;
+  automata.reserve(props.size());
+  for (const auto& text : props) {
+    automata.push_back(synthesize_monitor(parse_ltl(text, reg)));
+  }
+  for (const auto& m : automata) compiled.emplace_back(&m, &reg);
+
+  int exact = 0;
+  const int iterations = 150;
+  for (int iter = 0; iter < iterations; ++iter) {
+    Computation comp =
+        testing::random_computation(rng, 2, reg, 3 + static_cast<int>(rng() % 4));
+    const std::size_t pi = iter % props.size();
+    OracleResult oracle = oracle_evaluate(comp, automata[pi]);
+    SystemVerdict v = run_decentralized(comp, compiled[pi], rng());
+    EXPECT_TRUE(v.all_finished);
+    EXPECT_TRUE(contract_holds(oracle, v)) << "property: " << props[pi];
+    if (v.verdicts == oracle.verdicts) ++exact;
+  }
+  // Exact verdict-set equality should be the common case, not the
+  // exception (regression canary for over-approximation).
+  EXPECT_GE(exact, iterations * 7 / 10) << "exact " << exact;
+}
+
+TEST(DecentralizedProperty, VerdictSetEqualsOracleThreeProcs) {
+  std::mt19937_64 rng(777);
+  AtomRegistry reg = testing::standard_registry(3);
+  const auto props = testing::property_suite_3();
+  std::vector<MonitorAutomaton> automata;
+  for (const auto& text : props) {
+    automata.push_back(synthesize_monitor(parse_ltl(text, reg)));
+  }
+  std::vector<CompiledProperty> compiled;
+  for (const auto& m : automata) compiled.emplace_back(&m, &reg);
+
+  int exact = 0;
+  const int iterations = 60;
+  for (int iter = 0; iter < iterations; ++iter) {
+    Computation comp = testing::random_computation(rng, 3, reg, 3);
+    const std::size_t pi = iter % props.size();
+    OracleResult oracle = oracle_evaluate(comp, automata[pi]);
+    SystemVerdict v = run_decentralized(comp, compiled[pi], rng());
+    EXPECT_TRUE(v.all_finished);
+    EXPECT_TRUE(contract_holds(oracle, v)) << props[pi];
+    if (v.verdicts == oracle.verdicts) ++exact;
+  }
+  EXPECT_GE(exact, iterations * 6 / 10) << "exact " << exact;
+}
+
+// Schedule independence: the same computation and property produce the same
+// verdict set under every delivery schedule.
+TEST(DecentralizedProperty, ScheduleIndependence) {
+  std::mt19937_64 rng(1001);
+  AtomRegistry reg = testing::standard_registry(2);
+  FormulaPtr f = parse_ltl("G((P0.p) U (P1.p))", reg);
+  MonitorAutomaton m = synthesize_monitor(f);
+  CompiledProperty prop(&m, &reg);
+  for (int iter = 0; iter < 10; ++iter) {
+    Computation comp = testing::random_computation(rng, 2, reg, 4);
+    OracleResult oracle = oracle_evaluate(comp, m);
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+      SystemVerdict v = run_decentralized(comp, prop, seed);
+      EXPECT_TRUE(contract_holds(oracle, v)) << "schedule seed " << seed;
+    }
+  }
+}
+
+// Optimizations off must not change verdicts (they are pure overhead
+// reductions).
+TEST(DecentralizedProperty, OptimizationsPreserveVerdicts) {
+  std::mt19937_64 rng(31);
+  AtomRegistry reg = testing::standard_registry(2);
+  const auto props = testing::property_suite_2();
+  for (int iter = 0; iter < 40; ++iter) {
+    Computation comp = testing::random_computation(rng, 2, reg, 4);
+    MonitorAutomaton m =
+        synthesize_monitor(parse_ltl(props[iter % props.size()], reg));
+    CompiledProperty prop(&m, &reg);
+    const std::uint64_t seed = rng();
+    MonitorOptions plain;
+    plain.dedupe_probes = false;
+    plain.prune_same_destination = false;
+    SystemVerdict with = run_decentralized(comp, prop, seed);
+    SystemVerdict without = run_decentralized(comp, prop, seed, plain);
+    // Optimizations are overhead reductions: definite verdicts must agree.
+    for (Verdict v : {Verdict::kTrue, Verdict::kFalse}) {
+      EXPECT_EQ(with.verdicts.count(v), without.verdicts.count(v))
+          << to_string(v);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace decmon

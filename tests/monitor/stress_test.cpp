@@ -1,0 +1,134 @@
+// Stress and robustness: long monitored runs at the paper's largest scale,
+// memory boundedness, determinism, trace hook, and liveness under hostile
+// communication patterns.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "decmon/core/properties.hpp"
+#include "decmon/core/session.hpp"
+
+namespace decmon {
+namespace {
+
+TEST(Stress, LongRunFiveProcessesDrains) {
+  AtomRegistry reg = paper::make_registry(5);
+  MonitorAutomaton automaton =
+      paper::build_automaton(paper::Property::kD, 5, reg);
+  MonitorSession session(std::move(reg), std::move(automaton));
+  TraceParams params = paper::experiment_params(paper::Property::kD, 5, 404,
+                                                3.0, true,
+                                                /*internal_events=*/60);
+  SystemTrace trace = generate_trace(params);
+  RunResult r = session.run(trace);
+  EXPECT_TRUE(r.verdict.all_finished);
+  EXPECT_EQ(r.program_events,
+            static_cast<std::uint64_t>(trace.total_events()));
+}
+
+TEST(Stress, PeakViewsStayBounded) {
+  // Memory claim (4.4.2): live views do not grow with the event count.
+  AtomRegistry reg = paper::make_registry(3);
+  MonitorAutomaton automaton =
+      paper::build_automaton(paper::Property::kC, 3, reg);
+  MonitorSession session(std::move(reg), std::move(automaton));
+  std::uint64_t prev_peak = 0;
+  for (int events : {20, 40, 80}) {
+    TraceParams params =
+        paper::experiment_params(paper::Property::kC, 3, 7, 3.0, true, events);
+    RunResult r = session.run(generate_trace(params));
+    std::uint64_t peak = 0;
+    for (const MonitorStats& s : r.verdict.per_monitor) {
+      peak = std::max(peak, s.peak_global_views);
+    }
+    // Allow some growth but nothing near linear in the events.
+    if (prev_peak > 0) {
+      EXPECT_LE(peak, prev_peak * 3 + 20) << events;
+    }
+    prev_peak = peak;
+  }
+}
+
+TEST(Stress, ViewCapGuardsRunaway) {
+  AtomRegistry reg = paper::make_registry(3);
+  MonitorAutomaton automaton =
+      paper::build_automaton(paper::Property::kF, 3, reg);
+  MonitorSession session(std::move(reg), std::move(automaton));
+  TraceParams params =
+      paper::experiment_params(paper::Property::kF, 3, 9, 3.0, true, 20);
+  MonitorOptions tight;
+  tight.max_views = 2;  // absurdly small: must trip
+  EXPECT_THROW(session.run(generate_trace(params), SimConfig{}, tight),
+               std::length_error);
+}
+
+TEST(Stress, HeavyCommunicationStillDrains) {
+  // Communication every ~0.5s: receives dominate, views churn through
+  // inconsistency repair constantly.
+  AtomRegistry reg = paper::make_registry(4);
+  MonitorAutomaton automaton =
+      paper::build_automaton(paper::Property::kA, 4, reg);
+  MonitorSession session(std::move(reg), std::move(automaton));
+  TraceParams params =
+      paper::experiment_params(paper::Property::kA, 4, 5, 0.5, true, 15);
+  RunResult r = session.run(generate_trace(params));
+  EXPECT_TRUE(r.verdict.all_finished);
+}
+
+TEST(Stress, HighLatencyNetworkStillDrains) {
+  // Token replies arrive long after the program finished.
+  AtomRegistry reg = paper::make_registry(3);
+  MonitorAutomaton automaton =
+      paper::build_automaton(paper::Property::kD, 3, reg);
+  MonitorSession session(std::move(reg), std::move(automaton));
+  SimConfig slow;
+  slow.mon_latency_mu = 30.0;  // monitor messages are 10x slower than events
+  slow.mon_latency_sigma = 10.0;
+  TraceParams params =
+      paper::experiment_params(paper::Property::kD, 3, 6, 3.0, true, 12);
+  RunResult r = session.run(generate_trace(params), slow);
+  EXPECT_TRUE(r.verdict.all_finished);
+  EXPECT_GT(r.monitor_end, r.program_end);  // drain continues after program
+}
+
+TEST(Stress, TraceHookReceivesLines) {
+  AtomRegistry reg = paper::make_registry(2);
+  MonitorAutomaton automaton =
+      paper::build_automaton(paper::Property::kB, 2, reg);
+  MonitorSession session(std::move(reg), std::move(automaton));
+  TraceParams params =
+      paper::experiment_params(paper::Property::kB, 2, 3, 3.0, true, 10);
+  MonitorOptions options;
+  std::vector<std::string> lines;
+  options.trace = [&lines](const std::string& s) { lines.push_back(s); };
+  session.run(generate_trace(params), SimConfig{}, options);
+  ASSERT_FALSE(lines.empty());
+  bool saw_probe = false;
+  for (const std::string& l : lines) {
+    if (l.find("probe") != std::string::npos) saw_probe = true;
+  }
+  EXPECT_TRUE(saw_probe);
+}
+
+TEST(Stress, RepeatedRunsShareNoState) {
+  // Back-to-back runs through one session are independent and identical.
+  AtomRegistry reg = paper::make_registry(3);
+  MonitorAutomaton automaton =
+      paper::build_automaton(paper::Property::kE, 3, reg);
+  MonitorSession session(std::move(reg), std::move(automaton));
+  TraceParams params =
+      paper::experiment_params(paper::Property::kE, 3, 12, 3.0, true, 20);
+  SystemTrace trace = generate_trace(params);
+  force_final_all_true(trace);
+  RunResult first = session.run(trace);
+  for (int i = 0; i < 3; ++i) {
+    RunResult again = session.run(trace);
+    EXPECT_EQ(again.verdict.verdicts, first.verdict.verdicts);
+    EXPECT_EQ(again.monitor_messages, first.monitor_messages);
+    EXPECT_EQ(again.total_global_views, first.total_global_views);
+  }
+}
+
+}  // namespace
+}  // namespace decmon

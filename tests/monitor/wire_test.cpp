@@ -1,0 +1,169 @@
+#include "decmon/monitor/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace decmon {
+namespace {
+
+Token sample_token() {
+  Token t;
+  t.token_id = (std::uint64_t{2} << 32) | 17;
+  t.parent = 2;
+  t.parent_sn = 9;
+  t.parent_vc = VectorClock{3, 1, 9};
+  t.next_target_process = 0;
+  t.next_target_event = 4;
+  t.hops = 5;
+
+  TransitionEntry e1;
+  e1.transition_id = 7;
+  e1.cut = {3, 1, 9};
+  e1.depend = VectorClock{3, 1, 9};
+  e1.gstate = {0b01, 0b10, 0b11};
+  e1.conj = {ConjunctEval::kTrue, ConjunctEval::kUnset, ConjunctEval::kFalse};
+  e1.eval = EntryEval::kUnset;
+  e1.next_target_process = 0;
+  e1.next_target_event = 4;
+  e1.loop_certified = true;
+  e1.loop_cut = {2, 1, 8};
+  e1.loop_gstate = {0, 0b10, 0b01};
+
+  TransitionEntry e2;
+  e2.transition_id = 12;
+  e2.cut = {5, 5, 5};
+  e2.depend = VectorClock{5, 5, 5};
+  e2.gstate = {0, 0, 0};
+  e2.conj = {ConjunctEval::kUnset, ConjunctEval::kUnset,
+             ConjunctEval::kUnset};
+  e2.eval = EntryEval::kFalse;
+  e2.next_target_process = -1;  // unset target must survive the trip
+  e2.next_target_event = 0;
+
+  t.entries = {e1, e2};
+  return t;
+}
+
+void expect_equal(const Token& a, const Token& b) {
+  EXPECT_EQ(a.token_id, b.token_id);
+  EXPECT_EQ(a.parent, b.parent);
+  EXPECT_EQ(a.parent_sn, b.parent_sn);
+  EXPECT_EQ(a.parent_vc, b.parent_vc);
+  EXPECT_EQ(a.next_target_process, b.next_target_process);
+  EXPECT_EQ(a.next_target_event, b.next_target_event);
+  EXPECT_EQ(a.hops, b.hops);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    const TransitionEntry& x = a.entries[i];
+    const TransitionEntry& y = b.entries[i];
+    EXPECT_EQ(x.transition_id, y.transition_id);
+    EXPECT_EQ(x.cut, y.cut);
+    EXPECT_EQ(x.depend, y.depend);
+    EXPECT_EQ(x.gstate, y.gstate);
+    EXPECT_EQ(x.conj, y.conj);
+    EXPECT_EQ(x.eval, y.eval);
+    EXPECT_EQ(x.next_target_process, y.next_target_process);
+    EXPECT_EQ(x.next_target_event, y.next_target_event);
+    EXPECT_EQ(x.loop_certified, y.loop_certified);
+    EXPECT_EQ(x.loop_cut, y.loop_cut);
+    EXPECT_EQ(x.loop_gstate, y.loop_gstate);
+  }
+}
+
+TEST(Wire, TokenRoundTrip) {
+  Token t = sample_token();
+  auto bytes = encode_token(t);
+  EXPECT_EQ(wire_kind(bytes), WireKind::kToken);
+  expect_equal(t, decode_token(bytes));
+}
+
+TEST(Wire, EmptyTokenRoundTrip) {
+  Token t;
+  t.parent_vc = VectorClock(2);
+  auto bytes = encode_token(t);
+  expect_equal(t, decode_token(bytes));
+}
+
+TEST(Wire, TerminationRoundTrip) {
+  TerminationMessage msg;
+  msg.process = 3;
+  msg.last_sn = 42;
+  auto bytes = encode_termination(msg);
+  EXPECT_EQ(wire_kind(bytes), WireKind::kTermination);
+  TerminationMessage back = decode_termination(bytes);
+  EXPECT_EQ(back.process, 3);
+  EXPECT_EQ(back.last_sn, 42u);
+}
+
+TEST(Wire, RejectsTruncation) {
+  auto bytes = encode_token(sample_token());
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, bytes.size() / 2,
+                          bytes.size() - 1}) {
+    std::vector<std::uint8_t> shorter(bytes.begin(),
+                                      bytes.begin() + static_cast<long>(cut));
+    EXPECT_THROW(decode_token(shorter), WireError) << "cut at " << cut;
+  }
+}
+
+TEST(Wire, RejectsTrailingGarbage) {
+  auto bytes = encode_token(sample_token());
+  bytes.push_back(0xAB);
+  EXPECT_THROW(decode_token(bytes), WireError);
+}
+
+TEST(Wire, RejectsWrongKind) {
+  auto token_bytes = encode_token(sample_token());
+  EXPECT_THROW(decode_termination(token_bytes), WireError);
+  TerminationMessage msg;
+  msg.process = 1;
+  EXPECT_THROW(decode_token(encode_termination(msg)), WireError);
+}
+
+TEST(Wire, RejectsBadVersion) {
+  auto bytes = encode_token(sample_token());
+  bytes[0] = 99;
+  EXPECT_THROW(decode_token(bytes), WireError);
+  EXPECT_THROW(wire_kind(bytes), WireError);
+}
+
+// Fuzz: random byte flips must raise WireError or decode to *something*,
+// never crash or loop.
+TEST(WireFuzz, RandomCorruptionIsSafe) {
+  std::mt19937_64 rng(0xF00D);
+  const auto original = encode_token(sample_token());
+  for (int iter = 0; iter < 2000; ++iter) {
+    auto bytes = original;
+    const int flips = 1 + static_cast<int>(rng() % 4);
+    for (int f = 0; f < flips; ++f) {
+      bytes[rng() % bytes.size()] ^=
+          static_cast<std::uint8_t>(1u << (rng() % 8));
+    }
+    try {
+      Token t = decode_token(bytes);
+      (void)t;
+    } catch (const WireError&) {
+      // expected for most corruptions
+    }
+  }
+}
+
+// Fuzz: random buffers never crash the decoder.
+TEST(WireFuzz, RandomBuffersAreSafe) {
+  std::mt19937_64 rng(0xBEEF);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<std::uint8_t> bytes(rng() % 64);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    try {
+      decode_token(bytes);
+    } catch (const WireError&) {
+    }
+    try {
+      decode_termination(bytes);
+    } catch (const WireError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace decmon

@@ -1,0 +1,79 @@
+// ltl2mon: synthesize an LTL3 monitor automaton from a formula and print
+// its statistics, monitorability class, and (optionally) its DOT graph --
+// the command-line face of the synthesis pipeline (the role the external
+// monitor generator of [1] plays in the paper's toolchain).
+//
+//   ltl2mon <processes> <formula> [--dot] [--no-minimize] [--nba]
+//
+// Variables follow the P<k>.<name> convention; comparison atoms may use any
+// variable declared through a formula occurrence, e.g.:
+//   ltl2mon 2 "G((P0.p) U (P1.p && P1.q))" --dot
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "decmon/decmon.hpp"
+
+int main(int argc, char** argv) {
+  using namespace decmon;
+  if (argc < 3) {
+    std::cerr << "usage: " << argv[0]
+              << " <processes> <formula> [--dot] [--no-minimize] [--nba]\n";
+    return 2;
+  }
+  const int n = std::atoi(argv[1]);
+  if (n < 1 || n > 32) {
+    std::cerr << "process count out of range\n";
+    return 2;
+  }
+  const std::string text = argv[2];
+  bool dot = false;
+  bool nba = false;
+  SynthesisOptions options;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dot") == 0) dot = true;
+    else if (std::strcmp(argv[i], "--no-minimize") == 0) options.minimize = false;
+    else if (std::strcmp(argv[i], "--nba") == 0) nba = true;
+    else {
+      std::cerr << "unknown flag " << argv[i] << "\n";
+      return 2;
+    }
+  }
+
+  AtomRegistry reg(n);
+  FormulaPtr formula;
+  try {
+    formula = parse_ltl(text, reg);
+  } catch (const ParseError& e) {
+    std::cerr << "parse error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cout << "formula:        " << formula->to_string(&reg) << "\n";
+  std::cout << "atoms:          " << reg.num_atoms();
+  for (const Atom& a : reg.atoms()) std::cout << "  [" << a.name << "]";
+  std::cout << "\n";
+
+  if (nba) {
+    Nba buchi = ltl_to_nba(formula);
+    std::cout << "NBA states:     " << buchi.num_states << "\n";
+    if (dot) std::cout << buchi.to_dot(&reg);
+  }
+
+  MonitorAutomaton m = synthesize_monitor(formula, options);
+  std::cout << "monitor states: " << m.num_states() << "\n";
+  std::cout << "transitions:    " << m.count_total() << " ("
+            << m.count_outgoing() << " outgoing, " << m.count_self_loops()
+            << " self-loops)\n";
+  std::cout << "class:          " << to_string(classify(m)) << "\n";
+  AutomatonAnalysis analysis = analyze_automaton(m);
+  std::cout << "init distance:  ";
+  const int d = analysis.distance_to_verdict[static_cast<std::size_t>(
+      m.initial_state())];
+  if (d == AutomatonAnalysis::kUnreachable) {
+    std::cout << "no verdict reachable\n";
+  } else {
+    std::cout << d << " transition(s) to the nearest verdict\n";
+  }
+  if (dot) std::cout << m.to_dot(&reg);
+  return 0;
+}
