@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augmented_time_ablation.dir/augmented_time_ablation.cpp.o"
+  "CMakeFiles/augmented_time_ablation.dir/augmented_time_ablation.cpp.o.d"
+  "augmented_time_ablation"
+  "augmented_time_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augmented_time_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

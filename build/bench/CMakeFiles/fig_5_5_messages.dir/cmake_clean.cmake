@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_5_5_messages.dir/fig_5_5_messages.cpp.o"
+  "CMakeFiles/fig_5_5_messages.dir/fig_5_5_messages.cpp.o.d"
+  "fig_5_5_messages"
+  "fig_5_5_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_5_5_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_5_6_delay_time.dir/fig_5_6_delay_time.cpp.o"
+  "CMakeFiles/fig_5_6_delay_time.dir/fig_5_6_delay_time.cpp.o.d"
+  "fig_5_6_delay_time"
+  "fig_5_6_delay_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_5_6_delay_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

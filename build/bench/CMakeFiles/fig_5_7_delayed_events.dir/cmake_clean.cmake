@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_5_7_delayed_events.dir/fig_5_7_delayed_events.cpp.o"
+  "CMakeFiles/fig_5_7_delayed_events.dir/fig_5_7_delayed_events.cpp.o.d"
+  "fig_5_7_delayed_events"
+  "fig_5_7_delayed_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_5_7_delayed_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_5_7_delayed_events.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_5_7_delayed_events.
+# This may be replaced when dependencies are built.

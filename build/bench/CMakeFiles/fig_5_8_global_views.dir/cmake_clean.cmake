@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_5_8_global_views.dir/fig_5_8_global_views.cpp.o"
+  "CMakeFiles/fig_5_8_global_views.dir/fig_5_8_global_views.cpp.o.d"
+  "fig_5_8_global_views"
+  "fig_5_8_global_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_5_8_global_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_5_8_global_views.
+# This may be replaced when dependencies are built.

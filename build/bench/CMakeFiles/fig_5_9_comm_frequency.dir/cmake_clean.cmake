@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_5_9_comm_frequency.dir/fig_5_9_comm_frequency.cpp.o"
+  "CMakeFiles/fig_5_9_comm_frequency.dir/fig_5_9_comm_frequency.cpp.o.d"
+  "fig_5_9_comm_frequency"
+  "fig_5_9_comm_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_5_9_comm_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_5_9_comm_frequency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_5_1_transitions.dir/table_5_1_transitions.cpp.o"
+  "CMakeFiles/table_5_1_transitions.dir/table_5_1_transitions.cpp.o.d"
+  "table_5_1_transitions"
+  "table_5_1_transitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_5_1_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_network.dir/device_network.cpp.o"
+  "CMakeFiles/device_network.dir/device_network.cpp.o.d"
+  "device_network"
+  "device_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

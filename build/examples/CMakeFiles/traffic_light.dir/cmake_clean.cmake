@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_light.dir/traffic_light.cpp.o"
+  "CMakeFiles/traffic_light.dir/traffic_light.cpp.o.d"
+  "traffic_light"
+  "traffic_light.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_light.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

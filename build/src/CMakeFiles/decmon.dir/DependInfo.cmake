@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/analysis.cpp" "src/CMakeFiles/decmon.dir/automata/analysis.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/automata/analysis.cpp.o.d"
+  "/root/repo/src/automata/buchi.cpp" "src/CMakeFiles/decmon.dir/automata/buchi.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/automata/buchi.cpp.o.d"
+  "/root/repo/src/automata/guard.cpp" "src/CMakeFiles/decmon.dir/automata/guard.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/automata/guard.cpp.o.d"
+  "/root/repo/src/automata/ltl3_monitor.cpp" "src/CMakeFiles/decmon.dir/automata/ltl3_monitor.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/automata/ltl3_monitor.cpp.o.d"
+  "/root/repo/src/automata/monitor_automaton.cpp" "src/CMakeFiles/decmon.dir/automata/monitor_automaton.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/automata/monitor_automaton.cpp.o.d"
+  "/root/repo/src/automata/moore_minimize.cpp" "src/CMakeFiles/decmon.dir/automata/moore_minimize.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/automata/moore_minimize.cpp.o.d"
+  "/root/repo/src/automata/qm_minimize.cpp" "src/CMakeFiles/decmon.dir/automata/qm_minimize.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/automata/qm_minimize.cpp.o.d"
+  "/root/repo/src/core/properties.cpp" "src/CMakeFiles/decmon.dir/core/properties.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/core/properties.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/CMakeFiles/decmon.dir/core/session.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/core/session.cpp.o.d"
+  "/root/repo/src/distributed/event.cpp" "src/CMakeFiles/decmon.dir/distributed/event.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/distributed/event.cpp.o.d"
+  "/root/repo/src/distributed/process.cpp" "src/CMakeFiles/decmon.dir/distributed/process.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/distributed/process.cpp.o.d"
+  "/root/repo/src/distributed/replay_runtime.cpp" "src/CMakeFiles/decmon.dir/distributed/replay_runtime.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/distributed/replay_runtime.cpp.o.d"
+  "/root/repo/src/distributed/sim_runtime.cpp" "src/CMakeFiles/decmon.dir/distributed/sim_runtime.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/distributed/sim_runtime.cpp.o.d"
+  "/root/repo/src/distributed/thread_runtime.cpp" "src/CMakeFiles/decmon.dir/distributed/thread_runtime.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/distributed/thread_runtime.cpp.o.d"
+  "/root/repo/src/distributed/trace.cpp" "src/CMakeFiles/decmon.dir/distributed/trace.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/distributed/trace.cpp.o.d"
+  "/root/repo/src/lattice/augmented_time.cpp" "src/CMakeFiles/decmon.dir/lattice/augmented_time.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/lattice/augmented_time.cpp.o.d"
+  "/root/repo/src/lattice/computation.cpp" "src/CMakeFiles/decmon.dir/lattice/computation.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/lattice/computation.cpp.o.d"
+  "/root/repo/src/lattice/event_log.cpp" "src/CMakeFiles/decmon.dir/lattice/event_log.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/lattice/event_log.cpp.o.d"
+  "/root/repo/src/lattice/lattice.cpp" "src/CMakeFiles/decmon.dir/lattice/lattice.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/lattice/lattice.cpp.o.d"
+  "/root/repo/src/lattice/oracle.cpp" "src/CMakeFiles/decmon.dir/lattice/oracle.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/lattice/oracle.cpp.o.d"
+  "/root/repo/src/lattice/slicer.cpp" "src/CMakeFiles/decmon.dir/lattice/slicer.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/lattice/slicer.cpp.o.d"
+  "/root/repo/src/ltl/atoms.cpp" "src/CMakeFiles/decmon.dir/ltl/atoms.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/ltl/atoms.cpp.o.d"
+  "/root/repo/src/ltl/formula.cpp" "src/CMakeFiles/decmon.dir/ltl/formula.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/ltl/formula.cpp.o.d"
+  "/root/repo/src/ltl/parser.cpp" "src/CMakeFiles/decmon.dir/ltl/parser.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/ltl/parser.cpp.o.d"
+  "/root/repo/src/ltl/simplify.cpp" "src/CMakeFiles/decmon.dir/ltl/simplify.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/ltl/simplify.cpp.o.d"
+  "/root/repo/src/monitor/centralized_monitor.cpp" "src/CMakeFiles/decmon.dir/monitor/centralized_monitor.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/monitor/centralized_monitor.cpp.o.d"
+  "/root/repo/src/monitor/decentralized_monitor.cpp" "src/CMakeFiles/decmon.dir/monitor/decentralized_monitor.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/monitor/decentralized_monitor.cpp.o.d"
+  "/root/repo/src/monitor/global_view.cpp" "src/CMakeFiles/decmon.dir/monitor/global_view.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/monitor/global_view.cpp.o.d"
+  "/root/repo/src/monitor/monitor_process.cpp" "src/CMakeFiles/decmon.dir/monitor/monitor_process.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/monitor/monitor_process.cpp.o.d"
+  "/root/repo/src/monitor/predicate.cpp" "src/CMakeFiles/decmon.dir/monitor/predicate.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/monitor/predicate.cpp.o.d"
+  "/root/repo/src/monitor/stats.cpp" "src/CMakeFiles/decmon.dir/monitor/stats.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/monitor/stats.cpp.o.d"
+  "/root/repo/src/monitor/token.cpp" "src/CMakeFiles/decmon.dir/monitor/token.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/monitor/token.cpp.o.d"
+  "/root/repo/src/monitor/wire.cpp" "src/CMakeFiles/decmon.dir/monitor/wire.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/monitor/wire.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/decmon.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/decmon.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/util/strings.cpp.o.d"
+  "/root/repo/src/util/vector_clock.cpp" "src/CMakeFiles/decmon.dir/util/vector_clock.cpp.o" "gcc" "src/CMakeFiles/decmon.dir/util/vector_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/automata/analysis_test.cpp" "tests/CMakeFiles/automata_tests.dir/automata/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/automata_tests.dir/automata/analysis_test.cpp.o.d"
+  "/root/repo/tests/automata/buchi_test.cpp" "tests/CMakeFiles/automata_tests.dir/automata/buchi_test.cpp.o" "gcc" "tests/CMakeFiles/automata_tests.dir/automata/buchi_test.cpp.o.d"
+  "/root/repo/tests/automata/guard_test.cpp" "tests/CMakeFiles/automata_tests.dir/automata/guard_test.cpp.o" "gcc" "tests/CMakeFiles/automata_tests.dir/automata/guard_test.cpp.o.d"
+  "/root/repo/tests/automata/ltl3_monitor_test.cpp" "tests/CMakeFiles/automata_tests.dir/automata/ltl3_monitor_test.cpp.o" "gcc" "tests/CMakeFiles/automata_tests.dir/automata/ltl3_monitor_test.cpp.o.d"
+  "/root/repo/tests/automata/qm_minimize_test.cpp" "tests/CMakeFiles/automata_tests.dir/automata/qm_minimize_test.cpp.o" "gcc" "tests/CMakeFiles/automata_tests.dir/automata/qm_minimize_test.cpp.o.d"
+  "/root/repo/tests/automata/synthesis_sweep_test.cpp" "tests/CMakeFiles/automata_tests.dir/automata/synthesis_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/automata_tests.dir/automata/synthesis_sweep_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/decmon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

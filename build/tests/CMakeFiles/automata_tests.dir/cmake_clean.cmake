@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automata_tests.dir/automata/analysis_test.cpp.o"
+  "CMakeFiles/automata_tests.dir/automata/analysis_test.cpp.o.d"
+  "CMakeFiles/automata_tests.dir/automata/buchi_test.cpp.o"
+  "CMakeFiles/automata_tests.dir/automata/buchi_test.cpp.o.d"
+  "CMakeFiles/automata_tests.dir/automata/guard_test.cpp.o"
+  "CMakeFiles/automata_tests.dir/automata/guard_test.cpp.o.d"
+  "CMakeFiles/automata_tests.dir/automata/ltl3_monitor_test.cpp.o"
+  "CMakeFiles/automata_tests.dir/automata/ltl3_monitor_test.cpp.o.d"
+  "CMakeFiles/automata_tests.dir/automata/qm_minimize_test.cpp.o"
+  "CMakeFiles/automata_tests.dir/automata/qm_minimize_test.cpp.o.d"
+  "CMakeFiles/automata_tests.dir/automata/synthesis_sweep_test.cpp.o"
+  "CMakeFiles/automata_tests.dir/automata/synthesis_sweep_test.cpp.o.d"
+  "automata_tests"
+  "automata_tests.pdb"
+  "automata_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automata_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_tests.dir/distributed/sim_runtime_test.cpp.o"
+  "CMakeFiles/distributed_tests.dir/distributed/sim_runtime_test.cpp.o.d"
+  "CMakeFiles/distributed_tests.dir/distributed/thread_runtime_test.cpp.o"
+  "CMakeFiles/distributed_tests.dir/distributed/thread_runtime_test.cpp.o.d"
+  "CMakeFiles/distributed_tests.dir/distributed/trace_test.cpp.o"
+  "CMakeFiles/distributed_tests.dir/distributed/trace_test.cpp.o.d"
+  "distributed_tests"
+  "distributed_tests.pdb"
+  "distributed_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

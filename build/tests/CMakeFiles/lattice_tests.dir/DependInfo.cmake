@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lattice/augmented_time_test.cpp" "tests/CMakeFiles/lattice_tests.dir/lattice/augmented_time_test.cpp.o" "gcc" "tests/CMakeFiles/lattice_tests.dir/lattice/augmented_time_test.cpp.o.d"
+  "/root/repo/tests/lattice/computation_test.cpp" "tests/CMakeFiles/lattice_tests.dir/lattice/computation_test.cpp.o" "gcc" "tests/CMakeFiles/lattice_tests.dir/lattice/computation_test.cpp.o.d"
+  "/root/repo/tests/lattice/event_log_test.cpp" "tests/CMakeFiles/lattice_tests.dir/lattice/event_log_test.cpp.o" "gcc" "tests/CMakeFiles/lattice_tests.dir/lattice/event_log_test.cpp.o.d"
+  "/root/repo/tests/lattice/oracle_test.cpp" "tests/CMakeFiles/lattice_tests.dir/lattice/oracle_test.cpp.o" "gcc" "tests/CMakeFiles/lattice_tests.dir/lattice/oracle_test.cpp.o.d"
+  "/root/repo/tests/lattice/slicer_test.cpp" "tests/CMakeFiles/lattice_tests.dir/lattice/slicer_test.cpp.o" "gcc" "tests/CMakeFiles/lattice_tests.dir/lattice/slicer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/decmon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

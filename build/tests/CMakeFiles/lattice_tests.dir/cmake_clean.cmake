@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_tests.dir/lattice/augmented_time_test.cpp.o"
+  "CMakeFiles/lattice_tests.dir/lattice/augmented_time_test.cpp.o.d"
+  "CMakeFiles/lattice_tests.dir/lattice/computation_test.cpp.o"
+  "CMakeFiles/lattice_tests.dir/lattice/computation_test.cpp.o.d"
+  "CMakeFiles/lattice_tests.dir/lattice/event_log_test.cpp.o"
+  "CMakeFiles/lattice_tests.dir/lattice/event_log_test.cpp.o.d"
+  "CMakeFiles/lattice_tests.dir/lattice/oracle_test.cpp.o"
+  "CMakeFiles/lattice_tests.dir/lattice/oracle_test.cpp.o.d"
+  "CMakeFiles/lattice_tests.dir/lattice/slicer_test.cpp.o"
+  "CMakeFiles/lattice_tests.dir/lattice/slicer_test.cpp.o.d"
+  "lattice_tests"
+  "lattice_tests.pdb"
+  "lattice_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

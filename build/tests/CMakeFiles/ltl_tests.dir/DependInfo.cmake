@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ltl/atoms_test.cpp" "tests/CMakeFiles/ltl_tests.dir/ltl/atoms_test.cpp.o" "gcc" "tests/CMakeFiles/ltl_tests.dir/ltl/atoms_test.cpp.o.d"
+  "/root/repo/tests/ltl/formula_test.cpp" "tests/CMakeFiles/ltl_tests.dir/ltl/formula_test.cpp.o" "gcc" "tests/CMakeFiles/ltl_tests.dir/ltl/formula_test.cpp.o.d"
+  "/root/repo/tests/ltl/lasso_eval_test.cpp" "tests/CMakeFiles/ltl_tests.dir/ltl/lasso_eval_test.cpp.o" "gcc" "tests/CMakeFiles/ltl_tests.dir/ltl/lasso_eval_test.cpp.o.d"
+  "/root/repo/tests/ltl/parser_fuzz_test.cpp" "tests/CMakeFiles/ltl_tests.dir/ltl/parser_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/ltl_tests.dir/ltl/parser_fuzz_test.cpp.o.d"
+  "/root/repo/tests/ltl/parser_test.cpp" "tests/CMakeFiles/ltl_tests.dir/ltl/parser_test.cpp.o" "gcc" "tests/CMakeFiles/ltl_tests.dir/ltl/parser_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/decmon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

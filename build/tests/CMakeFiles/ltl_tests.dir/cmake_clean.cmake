@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltl_tests.dir/ltl/atoms_test.cpp.o"
+  "CMakeFiles/ltl_tests.dir/ltl/atoms_test.cpp.o.d"
+  "CMakeFiles/ltl_tests.dir/ltl/formula_test.cpp.o"
+  "CMakeFiles/ltl_tests.dir/ltl/formula_test.cpp.o.d"
+  "CMakeFiles/ltl_tests.dir/ltl/lasso_eval_test.cpp.o"
+  "CMakeFiles/ltl_tests.dir/ltl/lasso_eval_test.cpp.o.d"
+  "CMakeFiles/ltl_tests.dir/ltl/parser_fuzz_test.cpp.o"
+  "CMakeFiles/ltl_tests.dir/ltl/parser_fuzz_test.cpp.o.d"
+  "CMakeFiles/ltl_tests.dir/ltl/parser_test.cpp.o"
+  "CMakeFiles/ltl_tests.dir/ltl/parser_test.cpp.o.d"
+  "ltl_tests"
+  "ltl_tests.pdb"
+  "ltl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

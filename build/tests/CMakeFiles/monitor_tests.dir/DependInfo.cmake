@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/monitor/centralized_test.cpp" "tests/CMakeFiles/monitor_tests.dir/monitor/centralized_test.cpp.o" "gcc" "tests/CMakeFiles/monitor_tests.dir/monitor/centralized_test.cpp.o.d"
+  "/root/repo/tests/monitor/monitor_process_test.cpp" "tests/CMakeFiles/monitor_tests.dir/monitor/monitor_process_test.cpp.o" "gcc" "tests/CMakeFiles/monitor_tests.dir/monitor/monitor_process_test.cpp.o.d"
+  "/root/repo/tests/monitor/predicate_test.cpp" "tests/CMakeFiles/monitor_tests.dir/monitor/predicate_test.cpp.o" "gcc" "tests/CMakeFiles/monitor_tests.dir/monitor/predicate_test.cpp.o.d"
+  "/root/repo/tests/monitor/soundness_completeness_test.cpp" "tests/CMakeFiles/monitor_tests.dir/monitor/soundness_completeness_test.cpp.o" "gcc" "tests/CMakeFiles/monitor_tests.dir/monitor/soundness_completeness_test.cpp.o.d"
+  "/root/repo/tests/monitor/stress_test.cpp" "tests/CMakeFiles/monitor_tests.dir/monitor/stress_test.cpp.o" "gcc" "tests/CMakeFiles/monitor_tests.dir/monitor/stress_test.cpp.o.d"
+  "/root/repo/tests/monitor/sweep_test.cpp" "tests/CMakeFiles/monitor_tests.dir/monitor/sweep_test.cpp.o" "gcc" "tests/CMakeFiles/monitor_tests.dir/monitor/sweep_test.cpp.o.d"
+  "/root/repo/tests/monitor/walk_mode_test.cpp" "tests/CMakeFiles/monitor_tests.dir/monitor/walk_mode_test.cpp.o" "gcc" "tests/CMakeFiles/monitor_tests.dir/monitor/walk_mode_test.cpp.o.d"
+  "/root/repo/tests/monitor/wire_test.cpp" "tests/CMakeFiles/monitor_tests.dir/monitor/wire_test.cpp.o" "gcc" "tests/CMakeFiles/monitor_tests.dir/monitor/wire_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/decmon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

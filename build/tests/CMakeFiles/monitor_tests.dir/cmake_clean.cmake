@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_tests.dir/monitor/centralized_test.cpp.o"
+  "CMakeFiles/monitor_tests.dir/monitor/centralized_test.cpp.o.d"
+  "CMakeFiles/monitor_tests.dir/monitor/monitor_process_test.cpp.o"
+  "CMakeFiles/monitor_tests.dir/monitor/monitor_process_test.cpp.o.d"
+  "CMakeFiles/monitor_tests.dir/monitor/predicate_test.cpp.o"
+  "CMakeFiles/monitor_tests.dir/monitor/predicate_test.cpp.o.d"
+  "CMakeFiles/monitor_tests.dir/monitor/soundness_completeness_test.cpp.o"
+  "CMakeFiles/monitor_tests.dir/monitor/soundness_completeness_test.cpp.o.d"
+  "CMakeFiles/monitor_tests.dir/monitor/stress_test.cpp.o"
+  "CMakeFiles/monitor_tests.dir/monitor/stress_test.cpp.o.d"
+  "CMakeFiles/monitor_tests.dir/monitor/sweep_test.cpp.o"
+  "CMakeFiles/monitor_tests.dir/monitor/sweep_test.cpp.o.d"
+  "CMakeFiles/monitor_tests.dir/monitor/walk_mode_test.cpp.o"
+  "CMakeFiles/monitor_tests.dir/monitor/walk_mode_test.cpp.o.d"
+  "CMakeFiles/monitor_tests.dir/monitor/wire_test.cpp.o"
+  "CMakeFiles/monitor_tests.dir/monitor/wire_test.cpp.o.d"
+  "monitor_tests"
+  "monitor_tests.pdb"
+  "monitor_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

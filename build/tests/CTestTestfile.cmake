@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/ltl_tests[1]_include.cmake")
+include("/root/repo/build/tests/automata_tests[1]_include.cmake")
+include("/root/repo/build/tests/distributed_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/monitor_tests[1]_include.cmake")
+include("/root/repo/build/tests/lattice_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltl2mon.dir/ltl2mon.cpp.o"
+  "CMakeFiles/ltl2mon.dir/ltl2mon.cpp.o.d"
+  "ltl2mon"
+  "ltl2mon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltl2mon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

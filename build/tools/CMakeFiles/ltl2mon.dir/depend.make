@@ -1,0 +1,2 @@
+# Empty dependencies file for ltl2mon.
+# This may be replaced when dependencies are built.

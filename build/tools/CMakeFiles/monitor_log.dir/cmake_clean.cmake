@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_log.dir/monitor_log.cpp.o"
+  "CMakeFiles/monitor_log.dir/monitor_log.cpp.o.d"
+  "monitor_log"
+  "monitor_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

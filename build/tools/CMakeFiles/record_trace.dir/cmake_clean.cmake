@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_trace.dir/record_trace.cpp.o"
+  "CMakeFiles/record_trace.dir/record_trace.cpp.o.d"
+  "record_trace"
+  "record_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
