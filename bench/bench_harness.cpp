@@ -1,0 +1,367 @@
+// Machine-readable benchmark harness: runs the Chapter-5 `run_cell` grid
+// (properties A-F x process counts x communication settings) plus a micro
+// suite of core-component timings, and emits a single flat JSON file
+// (BENCH_core.json) so every PR records a comparable performance trajectory.
+//
+// Usage: bench_harness [--quick] [--out FILE] [--baseline FILE]
+//   --quick     shrink the grid and repetition counts (CI smoke run)
+//   --out       output path (default: BENCH_core.json)
+//   --baseline  a previously emitted BENCH_core.json; its metrics are
+//               embedded under "baseline" and per-metric speedups for the
+//               time-valued entries are computed under "speedup"
+//
+// Schema (decmon-bench-core-v1): every metric is "name": number.
+//   micro.*.ns        nanoseconds per operation
+//   micro.*.ms        milliseconds per operation
+//   cell.<P>.n<k>.<comm|nocomm>.wall_ms          end-to-end monitored run
+//   cell.<P>.n<k>.<comm|nocomm>.monitor_messages (Fig. 5.4/5.5 metric)
+//   cell.<P>.n<k>.<comm|nocomm>.global_views     (Fig. 5.8 metric)
+//   cell.<P>.n<k>.<comm|nocomm>.peak_views       aggregate peak live views
+//   cell.<P>.n<k>.<comm|nocomm>.token_hops       total token hops
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "decmon/decmon.hpp"
+
+namespace {
+
+using namespace decmon;
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Ordered metric list: insertion order is emission order.
+struct Metrics {
+  std::vector<std::pair<std::string, double>> entries;
+  void put(const std::string& name, double value) {
+    entries.emplace_back(name, value);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Micro suite (the hand-rolled equivalents of bench/micro_core.cpp, timed
+// with best-of-three chrono loops so the output is plain numbers).
+// ---------------------------------------------------------------------------
+
+template <typename Fn>
+double best_of(int runs, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    const double ms = fn();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+void micro_suite(Metrics& out, bool quick) {
+  const int kRuns = 3;
+
+  {  // Automaton stepping (the BM_AutomatonStep workload: property F, n=4).
+    AtomRegistry reg = paper::make_registry(4);
+    MonitorAutomaton m = paper::build_automaton(paper::Property::kF, 4, reg);
+    std::mt19937_64 rng(7);
+    std::vector<AtomSet> letters;
+    for (int i = 0; i < 256; ++i) letters.push_back(rng() & 0xFF);
+    const std::int64_t iters = quick ? (1 << 18) : (1 << 21);
+    volatile int sink = 0;
+    const double ms = best_of(kRuns, [&] {
+      int q = m.initial_state();
+      const auto t0 = Clock::now();
+      for (std::int64_t i = 0; i < iters; ++i) {
+        q = *m.step(q, letters[static_cast<std::size_t>(i & 255)]);
+      }
+      sink = q;
+      return elapsed_ms(t0);
+    });
+    (void)sink;
+    out.put("micro.BM_AutomatonStep.ns",
+            ms * 1e6 / static_cast<double>(iters));
+  }
+
+  {  // Per-process conjunct checks (the token walk's inner loop: D, n=5).
+    AtomRegistry reg = paper::make_registry(5);
+    MonitorAutomaton m = paper::build_automaton(paper::Property::kD, 5, reg);
+    CompiledProperty prop(&m, &reg);
+    std::mt19937_64 rng(11);
+    std::vector<AtomSet> letters;
+    for (int i = 0; i < 256; ++i) letters.push_back(rng() & 0x3FF);
+    const int tids = m.num_transitions();
+    const std::int64_t iters = quick ? (1 << 16) : (1 << 19);
+    volatile int sink = 0;
+    const double ms = best_of(kRuns, [&] {
+      int acc = 0;
+      const auto t0 = Clock::now();
+      for (std::int64_t i = 0; i < iters; ++i) {
+        const int tid = static_cast<int>(i % tids);
+        const int proc = static_cast<int>(i % 5);
+        acc += prop.locally_satisfied(
+            tid, proc, letters[static_cast<std::size_t>(i & 255)]);
+      }
+      sink = acc;
+      return elapsed_ms(t0);
+    });
+    (void)sink;
+    out.put("micro.BM_LocallySatisfied.ns",
+            ms * 1e6 / static_cast<double>(iters));
+  }
+
+  {  // Vector clock comparison, n=16.
+    VectorClock a(16), b(16);
+    std::mt19937_64 rng(1);
+    for (std::size_t i = 0; i < 16; ++i) {
+      a[i] = static_cast<std::uint32_t>(rng() % 100);
+      b[i] = static_cast<std::uint32_t>(rng() % 100);
+    }
+    const std::int64_t iters = quick ? (1 << 18) : (1 << 21);
+    volatile int sink = 0;
+    const double ms = best_of(kRuns, [&] {
+      int acc = 0;
+      const auto t0 = Clock::now();
+      for (std::int64_t i = 0; i < iters; ++i) {
+        acc += static_cast<int>(a.compare(b));
+      }
+      sink = acc;
+      return elapsed_ms(t0);
+    });
+    (void)sink;
+    out.put("micro.BM_VectorClockCompare.ns",
+            ms * 1e6 / static_cast<double>(iters));
+  }
+
+  {  // Monitor synthesis, property D.
+    const int n = quick ? 2 : 3;
+    const int iters = quick ? 3 : 10;
+    const double ms = best_of(kRuns, [&] {
+      const auto t0 = Clock::now();
+      for (int i = 0; i < iters; ++i) {
+        AtomRegistry reg = paper::make_registry(n);
+        FormulaPtr f = paper::formula(paper::Property::kD, n, reg);
+        MonitorAutomaton m = synthesize_monitor(f);
+        if (m.num_states() == 0) std::abort();
+      }
+      return elapsed_ms(t0);
+    });
+    out.put("micro.BM_MonitorSynthesis.ms", ms / iters);
+  }
+
+  {  // Whole monitored run, property C, n=4 (BM_MonitoredRun workload).
+    AtomRegistry reg = paper::make_registry(4);
+    MonitorAutomaton automaton =
+        paper::build_automaton(paper::Property::kC, 4, reg);
+    MonitorSession session(std::move(reg), std::move(automaton));
+    TraceParams params = paper::experiment_params(paper::Property::kC, 4, 9);
+    SystemTrace trace = generate_trace(params);
+    const int iters = quick ? 2 : 10;
+    const double ms = best_of(kRuns, [&] {
+      const auto t0 = Clock::now();
+      for (int i = 0; i < iters; ++i) {
+        RunResult r = session.run(trace);
+        if (r.program_events == 0) std::abort();
+      }
+      return elapsed_ms(t0);
+    });
+    out.put("micro.BM_MonitoredRun_C_n4.ms", ms / iters);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The run_cell grid (bench_common.hpp's cell, instrumented with wall clock
+// and the aggregate stats the figure benches do not report).
+// ---------------------------------------------------------------------------
+
+void run_cell_metrics(Metrics& out, paper::Property prop, int n,
+                      double comm_mu, bool comm_enabled, int replications,
+                      std::uint64_t base_seed = 2015) {
+  AtomRegistry reg = paper::make_registry(n);
+  MonitorAutomaton automaton = paper::build_automaton(prop, n, reg);
+  MonitorSession session(std::move(reg), std::move(automaton));
+
+  double wall_ms = 0;
+  double monitor_messages = 0;
+  double global_views = 0;
+  double peak_views = 0;
+  double token_hops = 0;
+  for (int r = 0; r < replications; ++r) {
+    TraceParams params = paper::experiment_params(
+        prop, n, base_seed + static_cast<std::uint64_t>(r), comm_mu,
+        comm_enabled);
+    SystemTrace trace = generate_trace(params);
+    force_final_all_true(trace);
+    const auto t0 = Clock::now();
+    RunResult run = session.run(trace);
+    wall_ms += elapsed_ms(t0);
+    monitor_messages += static_cast<double>(run.monitor_messages);
+    global_views += static_cast<double>(run.total_global_views);
+    peak_views +=
+        static_cast<double>(run.verdict.aggregate.peak_global_views);
+    token_hops += static_cast<double>(run.verdict.aggregate.token_hops);
+  }
+  const double k = static_cast<double>(replications);
+  const std::string base = "cell." + paper::name(prop) + ".n" +
+                           std::to_string(n) + "." +
+                           (comm_enabled ? "comm" : "nocomm");
+  out.put(base + ".wall_ms", wall_ms / k);
+  out.put(base + ".monitor_messages", monitor_messages / k);
+  out.put(base + ".global_views", global_views / k);
+  out.put(base + ".peak_views", peak_views / k);
+  out.put(base + ".token_hops", token_hops / k);
+}
+
+void cell_grid(Metrics& out, bool quick) {
+  const int reps = quick ? 1 : 3;
+  std::vector<paper::Property> props;
+  std::vector<int> ns;
+  if (quick) {
+    props = {paper::Property::kA, paper::Property::kD};
+    ns = {3};
+  } else {
+    props.assign(std::begin(paper::kAllProperties),
+                 std::end(paper::kAllProperties));
+    ns = {3, 5};
+  }
+  for (paper::Property p : props) {
+    for (int n : ns) {
+      run_cell_metrics(out, p, n, 3.0, /*comm_enabled=*/true, reps);
+      if (!quick) {
+        run_cell_metrics(out, p, n, 3.0, /*comm_enabled=*/false, reps);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSON in/out (flat "name": number pairs; no external JSON dependency).
+// ---------------------------------------------------------------------------
+
+/// Parse the "metrics" object of a previously emitted file. Accepts exactly
+/// the format write_json produces: one `"name": value[,]` pair per line.
+std::vector<std::pair<std::string, double>> parse_baseline(
+    const std::string& path) {
+  std::vector<std::pair<std::string, double>> result;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_harness: cannot read baseline %s\n",
+                 path.c_str());
+    return result;
+  }
+  std::string line;
+  bool in_metrics = false;
+  while (std::getline(in, line)) {
+    if (line.find("\"metrics\"") != std::string::npos) {
+      in_metrics = true;
+      continue;
+    }
+    if (!in_metrics) continue;
+    if (line.find('}') != std::string::npos) break;
+    const auto q0 = line.find('"');
+    const auto q1 = line.find('"', q0 + 1);
+    const auto colon = line.find(':', q1 + 1);
+    if (q0 == std::string::npos || q1 == std::string::npos ||
+        colon == std::string::npos) {
+      continue;
+    }
+    const std::string name = line.substr(q0 + 1, q1 - q0 - 1);
+    result.emplace_back(name, std::stod(line.substr(colon + 1)));
+  }
+  return result;
+}
+
+void write_object(std::ostream& os, const char* key,
+                  const std::vector<std::pair<std::string, double>>& entries,
+                  bool trailing_comma) {
+  os << "  \"" << key << "\": {\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", entries[i].second);
+    os << "    \"" << entries[i].first << "\": " << buf
+       << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  os << "  }" << (trailing_comma ? "," : "") << "\n";
+}
+
+bool is_time_metric(const std::string& name) {
+  const auto dot = name.rfind('.');
+  const std::string suffix = dot == std::string::npos ? "" : name.substr(dot);
+  return suffix == ".ns" || suffix == ".ms" || suffix == ".wall_ms";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_core.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_harness [--quick] [--out FILE] "
+                   "[--baseline FILE]\n");
+      return 2;
+    }
+  }
+
+  Metrics metrics;
+  std::printf("bench_harness: micro suite (%s)...\n",
+              quick ? "quick" : "full");
+  micro_suite(metrics, quick);
+  std::printf("bench_harness: run_cell grid...\n");
+  cell_grid(metrics, quick);
+
+  std::vector<std::pair<std::string, double>> baseline;
+  std::vector<std::pair<std::string, double>> speedup;
+  if (!baseline_path.empty()) {
+    baseline = parse_baseline(baseline_path);
+    for (const auto& [name, value] : metrics.entries) {
+      if (!is_time_metric(name) || value <= 0) continue;
+      for (const auto& [bname, bvalue] : baseline) {
+        if (bname == name) {
+          speedup.emplace_back(name, bvalue / value);
+          break;
+        }
+      }
+    }
+  }
+
+  std::ofstream os(out_path);
+  if (!os) {
+    std::fprintf(stderr, "bench_harness: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  os << "{\n"
+     << "  \"schema\": \"decmon-bench-core-v1\",\n"
+     << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n";
+  const bool have_baseline = !baseline.empty();
+  write_object(os, "metrics", metrics.entries, have_baseline);
+  if (have_baseline) {
+    write_object(os, "baseline", baseline, true);
+    write_object(os, "speedup", speedup, false);
+  }
+  os << "}\n";
+  os.close();
+
+  for (const auto& [name, value] : metrics.entries) {
+    std::printf("  %-44s %12.4f\n", name.c_str(), value);
+  }
+  for (const auto& [name, value] : speedup) {
+    std::printf("  speedup %-36s %11.2fx\n", name.c_str(), value);
+  }
+  std::printf("bench_harness: wrote %s (%zu metrics)\n", out_path.c_str(),
+              metrics.entries.size());
+  return 0;
+}

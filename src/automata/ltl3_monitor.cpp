@@ -135,6 +135,7 @@ MonitorAutomaton synthesize_monitor(const FormulaPtr& formula,
       throw std::logic_error("synthesize_monitor: invalid automaton: " + *err);
     }
   }
+  m.build_dispatch();
   return m;
 }
 

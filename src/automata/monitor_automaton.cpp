@@ -18,6 +18,7 @@ std::string to_string(Verdict v) {
 int MonitorAutomaton::add_state(Verdict v) {
   verdicts_.push_back(v);
   out_.emplace_back();
+  dispatch_built_ = false;
   return static_cast<int>(verdicts_.size()) - 1;
 }
 
@@ -32,22 +33,72 @@ int MonitorAutomaton::add_transition(int from, int to, Cube guard) {
   t.guard = guard;
   transitions_.push_back(t);
   out_[static_cast<std::size_t>(from)].push_back(t.id);
+  relevant_mask_ |= guard.support();
+  dispatch_built_ = false;
   return t.id;
 }
 
-std::optional<int> MonitorAutomaton::step(int q, AtomSet letter) const {
-  const MonitorTransition* t = matching_transition(q, letter);
-  if (!t) return std::nullopt;
-  return t->to;
-}
-
-const MonitorTransition* MonitorAutomaton::matching_transition(
+const MonitorTransition* MonitorAutomaton::matching_transition_linear(
     int q, AtomSet letter) const {
   for (int id : out_.at(static_cast<std::size_t>(q))) {
     const MonitorTransition& t = transitions_[static_cast<std::size_t>(id)];
     if (t.guard.matches(letter)) return &t;
   }
   return nullptr;
+}
+
+void MonitorAutomaton::build_dispatch() {
+  if (dispatch_built_) return;
+  const int k = std::popcount(relevant_mask_);
+  if (k > kMaxDispatchAtoms) return;  // linear fallback stays in use
+  dispatch_bits_ = k;
+  dispatch_atom_pos_.clear();
+  for (int i = 0; i < 64; ++i) {
+    if (relevant_mask_ & (AtomSet{1} << i)) {
+      dispatch_atom_pos_.push_back(static_cast<std::uint8_t>(i));
+    }
+  }
+  // One compression lane per byte the relevant mask covers: lane tables map
+  // a raw letter byte to its packed contribution, so compress_letter is one
+  // lookup per covered byte instead of one shift per relevant atom.
+  compress_lanes_.clear();
+  for (int byte = 0; byte < 8; ++byte) {
+    if (((relevant_mask_ >> (8 * byte)) & 0xFF) == 0) continue;
+    CompressLane lane;
+    lane.shift = static_cast<std::uint8_t>(8 * byte);
+    for (int v = 0; v < 256; ++v) {
+      std::uint16_t packed = 0;
+      for (int b = 0; b < k; ++b) {
+        const int pos = dispatch_atom_pos_[static_cast<std::size_t>(b)];
+        if (pos >= 8 * byte && pos < 8 * (byte + 1) &&
+            (v & (1 << (pos - 8 * byte)))) {
+          packed |= static_cast<std::uint16_t>(1u << b);
+        }
+      }
+      lane.table[static_cast<std::size_t>(v)] = packed;
+    }
+    compress_lanes_.push_back(lane);
+  }
+  const std::size_t letters = std::size_t{1} << k;
+  dispatch_.assign(static_cast<std::size_t>(num_states()) * letters, -1);
+  dispatch_to_.assign(static_cast<std::size_t>(num_states()) * letters, -1);
+  for (int q = 0; q < num_states(); ++q) {
+    for (std::size_t m = 0; m < letters; ++m) {
+      AtomSet letter = 0;
+      for (int b = 0; b < k; ++b) {
+        if (m & (std::size_t{1} << b)) {
+          letter |= AtomSet{1} << dispatch_atom_pos_[static_cast<std::size_t>(b)];
+        }
+      }
+      // First match in insertion order: exactly matching_transition_linear.
+      const MonitorTransition* t = matching_transition_linear(q, letter);
+      dispatch_[(static_cast<std::size_t>(q) << k) | m] =
+          t ? static_cast<std::int32_t>(t->id) : -1;
+      dispatch_to_[(static_cast<std::size_t>(q) << k) | m] =
+          t ? static_cast<std::int32_t>(t->to) : -1;
+    }
+  }
+  dispatch_built_ = true;
 }
 
 int MonitorAutomaton::run(const std::vector<AtomSet>& trace) const {
@@ -60,12 +111,6 @@ int MonitorAutomaton::run(const std::vector<AtomSet>& trace) const {
     q = *next;
   }
   return q;
-}
-
-AtomSet MonitorAutomaton::relevant_atoms() const {
-  AtomSet mask = 0;
-  for (const MonitorTransition& t : transitions_) mask |= t.guard.support();
-  return mask;
 }
 
 int MonitorAutomaton::count_self_loops() const {

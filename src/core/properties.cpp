@@ -251,6 +251,7 @@ MonitorAutomaton build_automaton(Property p, int n,
   if (auto err = m.validate()) {
     throw std::logic_error("paper::build_automaton: " + *err);
   }
+  m.build_dispatch();
   return m;
 }
 

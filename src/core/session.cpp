@@ -18,9 +18,14 @@ double RunResult::delay_time_percent_per_view() const {
 MonitorSession::MonitorSession(AtomRegistry registry,
                                MonitorAutomaton automaton)
     : registry_(std::make_unique<AtomRegistry>(std::move(registry))),
-      automaton_(std::make_unique<MonitorAutomaton>(std::move(automaton))),
-      property_(std::make_unique<CompiledProperty>(automaton_.get(),
-                                                   registry_.get())) {}
+      automaton_(std::make_unique<MonitorAutomaton>(std::move(automaton))) {
+  // Hot-path prerequisite: every match/step in the monitored run goes
+  // through the dense dispatch table (no-op when the builder already did
+  // this or the automaton has too many relevant atoms).
+  automaton_->build_dispatch();
+  property_ =
+      std::make_unique<CompiledProperty>(automaton_.get(), registry_.get());
+}
 
 MonitorSession MonitorSession::from_text(const std::string& property,
                                          AtomRegistry registry,

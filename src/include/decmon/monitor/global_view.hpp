@@ -1,15 +1,13 @@
 // Global views: one per lattice path a monitor traces (§4.2). A view holds
 // the frontier cut it believes in, the believed local letters, the current
-// automaton state and a queue of local events that arrived while the view
-// was waiting for a token to return.
+// automaton state and a cursor into the monitor's shared local-event
+// history marking the next event this view has yet to consume.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
-#include "decmon/distributed/event.hpp"
 #include "decmon/ltl/atoms.hpp"
 
 namespace decmon {
@@ -26,8 +24,8 @@ struct GlobalView {
   /// Current monitor automaton state.
   int q = 0;
 
-  /// True while a token created by this view is outstanding; local events
-  /// queue in `pending` meanwhile (the paper's waiting status).
+  /// True while a token created by this view is outstanding; the cursor
+  /// stalls meanwhile (the paper's waiting status).
   bool waiting = false;
   std::uint64_t token_id = 0;
 
@@ -35,8 +33,11 @@ struct GlobalView {
   /// pure launchpad that dies once its token resolves (keepAfterFork).
   bool forked_copy = false;
 
-  /// Local events not yet applied to this view.
-  std::deque<Event> pending;
+  /// Cursor into MonitorProcess::history_: the sn of the next local event
+  /// this view has not consumed yet. Views never copy events -- the event
+  /// backlog of a view is exactly history_[next_sn, history_.size()), and
+  /// the invariant next_sn <= history_.size() always holds.
+  std::uint32_t next_sn = 0;
 
   /// Probe-deduplication signature (optimization §4.3.2).
   std::uint64_t probe_sig = 0;

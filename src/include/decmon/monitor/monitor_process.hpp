@@ -151,8 +151,8 @@ class MonitorProcess {
   bool route_token(Token& token, double now);
   /// Handle a token created here that has come home.
   void handle_returned_token(Token token, double now);
-  /// Create the view for an enabled entry's pivot cut; its local event
-  /// queue is rebuilt from history past the cut.
+  /// Create the view for an enabled entry's pivot cut; its cursor starts
+  /// just past the cut's local component, replaying the shared history.
   void spawn_view(const TransitionEntry& entry, double now);
 
   // -- bookkeeping --
@@ -172,7 +172,9 @@ class MonitorProcess {
   MonitorNetwork* net_;
   MonitorOptions options_;
 
-  std::vector<Event> history_;  ///< local events by sn (0 = initial)
+  /// Local events by sn (0 = initial). Shared, append-only: views index
+  /// into it with their next_sn cursors instead of holding event copies.
+  std::vector<Event> history_;
   /// Deque: views are pushed while references to existing views are live on
   /// the dispatch stack; deque growth never invalidates references.
   std::deque<GlobalView> views_;

@@ -19,6 +19,9 @@ struct CompiledTransition {
   int from = -1;
   int to = -1;
   bool self_loop = false;
+  /// Does the source state have any self-loop? Cached so the token walk's
+  /// feasibility check (X-shaped source states) is a field read.
+  bool from_has_self_loop = false;
   Cube guard;
   std::vector<Cube> local;        ///< [proc]: the literals proc owns
   std::vector<int> participants;  ///< processes with non-empty local cubes
@@ -53,14 +56,31 @@ class CompiledProperty {
   /// Deterministic step on a full letter; never fails for complete automata.
   int step(int q, AtomSet letter) const;
 
-  /// The transition taken by `step` (nullptr when none matches).
+  /// The transition taken by `step` (nullptr when none matches). O(1) when
+  /// the automaton's dispatch table is built.
   const MonitorTransition* match(int q, AtomSet letter) const {
     return automaton_->matching_transition(q, letter);
   }
 
   /// Do `proc`'s literals of transition `tid` hold for this local letter?
-  /// (If proc does not participate, trivially true.)
-  bool locally_satisfied(int tid, int proc, AtomSet local_letter) const;
+  /// (If proc does not participate, trivially true.) The per-(transition,
+  /// process) cubes are memoized in one flat array at construction, so this
+  /// is two masked compares with no pointer chasing -- it is the innermost
+  /// conjunct check of every probe and token walk.
+  bool locally_satisfied(int tid, int proc, AtomSet local_letter) const {
+    return local_flat_[static_cast<std::size_t>(tid) *
+                           static_cast<std::size_t>(num_processes_) +
+                       static_cast<std::size_t>(proc)]
+        .matches(local_letter);
+  }
+
+  /// All atoms any guard reads (cached; the probe-signature mask).
+  AtomSet relevant_atoms() const { return relevant_atoms_; }
+
+  /// Does state `q` have at least one self-loop?
+  bool has_self_loop(int q) const {
+    return has_self_loop_[static_cast<std::size_t>(q)] != 0;
+  }
 
   /// Does the whole guard hold for the combined letter?
   bool fully_satisfied(int tid, AtomSet letter) const {
@@ -87,9 +107,13 @@ class CompiledProperty {
   const MonitorAutomaton* automaton_;
   const AtomRegistry* registry_;
   AutomatonAnalysis analysis_;
+  int num_processes_ = 0;
+  AtomSet relevant_atoms_ = 0;
   std::vector<CompiledTransition> transitions_;
+  std::vector<Cube> local_flat_;  ///< [tid * n + proc] split guards
   std::vector<std::vector<int>> outgoing_;
   std::vector<std::vector<int>> self_loops_;
+  std::vector<char> has_self_loop_;  ///< [q]
 };
 
 }  // namespace decmon

@@ -12,7 +12,7 @@ std::string GlobalView::to_string() const {
     os << cut[i];
   }
   os << "]" << (waiting ? " waiting" : "") << (forked_copy ? " launchpad" : "")
-     << " pending=" << pending.size() << "}";
+     << " next_sn=" << next_sn << "}";
   return os.str();
 }
 

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <climits>
 #include <cassert>
-#include <map>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace decmon {
 namespace {
@@ -52,6 +52,7 @@ MonitorProcess::MonitorProcess(int index, const CompiledProperty* property,
   gv0.id = next_view_id_++;
   gv0.cut.assign(static_cast<std::size_t>(n_), 0);
   gv0.gstate = std::move(initial_letters);
+  gv0.next_sn = static_cast<std::uint32_t>(history_.size());  // consumed sn 0
   gv0.q = prop_->step(prop_->initial_state(), gv0.combined_letter());
   ++stats_.global_views_created;
   views_.push_back(std::move(gv0));
@@ -117,13 +118,13 @@ void MonitorProcess::on_local_event(const Event& event, double now) {
     }
   }
 
-  // Feed every existing view; views appended during the loop were created
-  // with cuts/pending already covering this event.
+  // Advance every existing view's cursor over the shared history; no event
+  // is copied anywhere. Views appended during the loop were created with
+  // cuts/cursors already covering this event and drained at spawn.
   const std::size_t count = views_.size();
   for (std::size_t idx = 0; idx < count; ++idx) {
     GlobalView& gv = views_[idx];
     if (gv.dead) continue;
-    gv.pending.push_back(event);
     if (gv.waiting) ++stats_.events_delayed;
     drain(gv, now);
   }
@@ -133,9 +134,11 @@ void MonitorProcess::on_local_event(const Event& event, double now) {
 }
 
 void MonitorProcess::drain(GlobalView& gv, double now) {
-  while (!gv.dead && !gv.waiting && !gv.pending.empty()) {
-    Event e = std::move(gv.pending.front());
-    gv.pending.pop_front();
+  // history_ only grows at the top of on_local_event -- never during a
+  // dispatch -- so the reference into it stays valid across process_event
+  // (which can spawn views, walk tokens and recurse back into drain).
+  while (!gv.dead && !gv.waiting && gv.next_sn < history_.size()) {
+    const Event& e = history_[gv.next_sn++];
     process_event(gv, e, now);
   }
 }
@@ -184,7 +187,7 @@ std::uint64_t MonitorProcess::probe_signature(
     const GlobalView& gv, const std::vector<int>& tids) const {
   // Only atoms the automaton reads matter: beliefs differing in irrelevant
   // variables describe the same probe.
-  const AtomSet relevant = prop_->automaton().relevant_atoms();
+  const AtomSet relevant = prop_->relevant_atoms();
   std::uint64_t h = 1469598103934665603ull;
   auto mix = [&h](std::uint64_t x) {
     h ^= x;
@@ -549,8 +552,7 @@ void MonitorProcess::apply_event_to_token(Token& token, const Event& e) {
     // any self-loop (X-shaped) leaves on *every* letter: the transition can
     // only fire exactly one event past the creation cut, so an entry that
     // did not complete on this event is infeasible.
-    if (prop_->self_loops(prop_->transition(entry.transition_id).from)
-            .empty()) {
+    if (!prop_->transition(entry.transition_id).from_has_self_loop) {
       entry.eval = EntryEval::kFalse;
       continue;
     }
@@ -677,6 +679,8 @@ void MonitorProcess::handle_returned_token(Token token, double now) {
   if (!gv || gv->dead) return;  // view vanished; drop the token
 
   bool spawned_to = false;
+  // Local, not member scratch: spawn_view can re-enter this function
+  // through drain -> probe_outgoing -> process_token -> route_token.
   std::vector<char> spawned_states(
       static_cast<std::size_t>(prop_->automaton().num_states()), 0);
   for (TransitionEntry& entry : token.entries) {
@@ -737,13 +741,10 @@ void MonitorProcess::handle_returned_token(Token token, double now) {
       gv->cut = std::move(cert_cut);
       gv->gstate = std::move(cert_gstate);
       gv->probe_sig = 0;
-      // Rebuild the queue from history: the certified cut's local component
-      // can lie before events the launchpad already consumed.
-      gv->pending.clear();
-      for (std::size_t sn = gv->cut[static_cast<std::size_t>(index_)] + 1;
-           sn < history_.size(); ++sn) {
-        gv->pending.push_back(history_[sn]);
-      }
+      // Rewind the cursor to the certified cut: its local component can lie
+      // before events the launchpad already consumed, and the shared history
+      // replays them without any copying.
+      gv->next_sn = gv->cut[static_cast<std::size_t>(index_)] + 1;
       drain(*gv, now);
     } else {
       gv->dead = true;
@@ -780,12 +781,10 @@ void MonitorProcess::spawn_view(const TransitionEntry& entry, double now) {
   v.q = prop_->transition(entry.transition_id).to;
   // The new path continues from the detected pivot cut: every local event
   // past the cut must still be consumed, including ones the parent already
-  // processed -- rebuild from history, not from the parent's queue (a
-  // pivot's local component can lie before the parent's position).
-  for (std::size_t sn = entry.cut[static_cast<std::size_t>(index_)] + 1;
-       sn < history_.size(); ++sn) {
-    v.pending.push_back(history_[sn]);
-  }
+  // processed -- the cursor starts at the pivot's local component, not at
+  // the parent's position, and drain() replays the shared history from
+  // there.
+  v.next_sn = entry.cut[static_cast<std::size_t>(index_)] + 1;
   ++stats_.global_views_created;
   if (options_.max_views && views_.size() >= options_.max_views) {
     throw std::length_error("MonitorProcess: view cap exceeded");
@@ -876,18 +875,28 @@ void MonitorProcess::merge_similar_views() {
   // everything below works on this small set.
   std::vector<GlobalView*> settled;
   for (GlobalView& gv : views_) {
-    if (!gv.dead && !gv.waiting && gv.pending.empty()) {
+    if (!gv.dead && !gv.waiting && gv.next_sn >= history_.size()) {
       settled.push_back(&gv);
     }
   }
   // Merge views with equal (automaton state, cut): they trace the same
   // sub-lattice from here on (4.3.2). Only settled views merge; waiting
-  // views own live tokens.
-  std::map<std::pair<int, std::vector<std::uint32_t>>, GlobalView*> seen;
+  // views own live tokens. Keys are a precomputed FNV-1a hash of (q, cut)
+  // -- no per-view key vector is materialized. A 64-bit hash collision
+  // between distinct keys would only *skip* a merge (verified below), never
+  // merge distinct views.
+  std::unordered_map<std::uint64_t, GlobalView*> seen;
+  seen.reserve(settled.size());
   for (GlobalView* gv : settled) {
-    auto key = std::make_pair(gv->q, gv->cut);
-    auto [it, inserted] = seen.emplace(key, gv);
-    if (!inserted) {
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t x) {
+      h ^= x;
+      h *= 1099511628211ull;
+    };
+    mix(static_cast<std::uint64_t>(gv->q));
+    for (std::uint32_t x : gv->cut) mix(x + 1);
+    auto [it, inserted] = seen.emplace(h, gv);
+    if (!inserted && it->second->q == gv->q && it->second->cut == gv->cut) {
       gv->dead = true;
       ++stats_.global_views_merged;
     }
@@ -927,15 +936,19 @@ void MonitorProcess::merge_similar_views() {
     }
   }
   // Aggressive state-level merge (4.4.1's bound): one settled view per
-  // automaton state, keeping the most advanced cut.
+  // automaton state, keeping the most advanced cut. Indexed by state id --
+  // the automaton is small, so a flat array beats any map.
   if (options_.merge_by_state) {
-    std::map<int, GlobalView*> best;
+    std::vector<GlobalView*> best(
+        static_cast<std::size_t>(prop_->automaton().num_states()), nullptr);
     for (GlobalView* pgv : settled) {
       GlobalView& gv = *pgv;
       if (gv.dead) continue;
-      auto [it, inserted] = best.emplace(gv.q, &gv);
-      if (inserted) continue;
-      GlobalView*& keep = it->second;
+      GlobalView*& keep = best[static_cast<std::size_t>(gv.q)];
+      if (!keep) {
+        keep = &gv;
+        continue;
+      }
       std::uint64_t a = 0;
       std::uint64_t b = 0;
       for (std::uint32_t x : gv.cut) a += x;
@@ -963,10 +976,12 @@ void MonitorProcess::sweep_dead_views() {
 }
 
 void MonitorProcess::sample_pending() {
+  // A view's backlog is the tail of the shared history past its cursor.
   std::uint64_t total = 0;
+  const std::uint32_t end = static_cast<std::uint32_t>(history_.size());
   for (const GlobalView& gv : views_) {
     if (gv.dead) continue;
-    total += gv.pending.size();
+    total += end - gv.next_sn;
   }
   stats_.pending_sum += total;
   ++stats_.pending_samples;

@@ -8,12 +8,17 @@ CompiledProperty::CompiledProperty(const MonitorAutomaton* automaton,
                                    const AtomRegistry* registry)
     : automaton_(automaton),
       registry_(registry),
-      analysis_(analyze_automaton(*automaton)) {
-  const int n = registry->num_processes();
+      analysis_(analyze_automaton(*automaton)),
+      num_processes_(registry->num_processes()),
+      relevant_atoms_(automaton->relevant_atoms()) {
+  const int n = num_processes_;
   const int states = automaton->num_states();
   outgoing_.resize(static_cast<std::size_t>(states));
   self_loops_.resize(static_cast<std::size_t>(states));
+  has_self_loop_.assign(static_cast<std::size_t>(states), 0);
   transitions_.reserve(static_cast<std::size_t>(automaton->num_transitions()));
+  local_flat_.reserve(static_cast<std::size_t>(automaton->num_transitions()) *
+                      static_cast<std::size_t>(n));
   for (const MonitorTransition& t : automaton->transitions()) {
     CompiledTransition ct;
     ct.id = t.id;
@@ -26,16 +31,21 @@ CompiledProperty::CompiledProperty(const MonitorAutomaton* automaton,
       Cube local = restrict_to_process(t.guard, *registry, p);
       if (!local.is_true()) ct.participants.push_back(p);
       ct.local.push_back(local);
+      local_flat_.push_back(local);
     }
     if ((ct.local.size() == static_cast<std::size_t>(n)) == false) {
       throw std::logic_error("CompiledProperty: bad split");
     }
     if (ct.self_loop) {
       self_loops_[static_cast<std::size_t>(t.from)].push_back(t.id);
+      has_self_loop_[static_cast<std::size_t>(t.from)] = 1;
     } else {
       outgoing_[static_cast<std::size_t>(t.from)].push_back(t.id);
     }
     transitions_.push_back(std::move(ct));
+  }
+  for (CompiledTransition& ct : transitions_) {
+    ct.from_has_self_loop = has_self_loop_[static_cast<std::size_t>(ct.from)] != 0;
   }
 }
 
@@ -45,12 +55,6 @@ int CompiledProperty::step(int q, AtomSet letter) const {
     throw std::logic_error("CompiledProperty::step: incomplete automaton");
   }
   return t->to;
-}
-
-bool CompiledProperty::locally_satisfied(int tid, int proc,
-                                         AtomSet local_letter) const {
-  const CompiledTransition& t = transition(tid);
-  return t.local[static_cast<std::size_t>(proc)].matches(local_letter);
 }
 
 }  // namespace decmon

@@ -1,0 +1,64 @@
+// Regenerates tests/monitor/equivalence_goldens.inc: the recorded behaviour
+// of the decentralized monitor on the paper's properties A-F at n in {3, 5}
+// over three trace seeds. The golden table pins verdict sets and the
+// monitor_messages / global_views_created / token_hops counters so hot-path
+// refactors can prove byte-identical behaviour against the seed
+// implementation.
+//
+// Usage: golden_gen > tests/monitor/equivalence_goldens.inc
+//
+// The workload must stay in lockstep with RunGolden() in
+// tests/monitor/equivalence_golden_test.cpp.
+#include <cstdio>
+#include <string>
+
+#include "decmon/decmon.hpp"
+
+using namespace decmon;
+
+namespace {
+
+std::string verdict_set_string(const std::set<Verdict>& vs) {
+  std::string s;
+  for (Verdict v : vs) {
+    switch (v) {
+      case Verdict::kUnknown: s += '?'; break;
+      case Verdict::kTrue: s += 'T'; break;
+      case Verdict::kFalse: s += 'F'; break;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "// Recorded goldens for the monitor hot path. Regenerate with:\n"
+      "//   build/tools/golden_gen > tests/monitor/equivalence_goldens.inc\n"
+      "// Columns: property, n, seed, verdict set, monitor_messages,\n"
+      "// global_views_created, token_hops.\n");
+  for (paper::Property prop : paper::kAllProperties) {
+    for (int n : {3, 5}) {
+      for (std::uint64_t seed : {2015ull, 2016ull, 2017ull}) {
+        AtomRegistry reg = paper::make_registry(n);
+        MonitorAutomaton automaton = paper::build_automaton(prop, n, reg);
+        MonitorSession session(std::move(reg), std::move(automaton));
+        TraceParams params = paper::experiment_params(prop, n, seed);
+        SystemTrace trace = generate_trace(params);
+        force_final_all_true(trace);
+        RunResult run = session.run(trace);
+        std::printf("{\"%s\", %d, %llu, \"%s\", %llu, %llu, %llu},\n",
+                    paper::name(prop).c_str(), n,
+                    static_cast<unsigned long long>(seed),
+                    verdict_set_string(run.verdict.verdicts).c_str(),
+                    static_cast<unsigned long long>(run.monitor_messages),
+                    static_cast<unsigned long long>(
+                        run.verdict.aggregate.global_views_created),
+                    static_cast<unsigned long long>(
+                        run.verdict.aggregate.token_hops));
+      }
+    }
+  }
+  return 0;
+}
