@@ -62,115 +62,130 @@ double best_of(int runs, Fn&& fn) {
   return best;
 }
 
-void micro_suite(Metrics& out, bool quick) {
-  const int kRuns = 3;
+// Each micro lives in its own noinline function: when they shared one
+// frame, unrelated header churn (inline-storage objects growing a sibling
+// block's locals) shifted stack layout and loop alignment enough to move
+// the 3-5ns workloads by 30%+. Isolated frames keep the numbers about the
+// workload, not the binary layout.
+constexpr int kMicroRuns = 3;
 
-  {  // Automaton stepping (the BM_AutomatonStep workload: property F, n=4).
-    AtomRegistry reg = paper::make_registry(4);
-    MonitorAutomaton m = paper::build_automaton(paper::Property::kF, 4, reg);
-    std::mt19937_64 rng(7);
-    std::vector<AtomSet> letters;
-    for (int i = 0; i < 256; ++i) letters.push_back(rng() & 0xFF);
-    const std::int64_t iters = quick ? (1 << 18) : (1 << 21);
-    volatile int sink = 0;
-    const double ms = best_of(kRuns, [&] {
-      int q = m.initial_state();
-      const auto t0 = Clock::now();
-      for (std::int64_t i = 0; i < iters; ++i) {
-        q = *m.step(q, letters[static_cast<std::size_t>(i & 255)]);
-      }
-      sink = q;
-      return elapsed_ms(t0);
-    });
-    (void)sink;
-    out.put("micro.BM_AutomatonStep.ns",
-            ms * 1e6 / static_cast<double>(iters));
-  }
-
-  {  // Per-process conjunct checks (the token walk's inner loop: D, n=5).
-    AtomRegistry reg = paper::make_registry(5);
-    MonitorAutomaton m = paper::build_automaton(paper::Property::kD, 5, reg);
-    CompiledProperty prop(&m, &reg);
-    std::mt19937_64 rng(11);
-    std::vector<AtomSet> letters;
-    for (int i = 0; i < 256; ++i) letters.push_back(rng() & 0x3FF);
-    const int tids = m.num_transitions();
-    const std::int64_t iters = quick ? (1 << 16) : (1 << 19);
-    volatile int sink = 0;
-    const double ms = best_of(kRuns, [&] {
-      int acc = 0;
-      const auto t0 = Clock::now();
-      for (std::int64_t i = 0; i < iters; ++i) {
-        const int tid = static_cast<int>(i % tids);
-        const int proc = static_cast<int>(i % 5);
-        acc += prop.locally_satisfied(
-            tid, proc, letters[static_cast<std::size_t>(i & 255)]);
-      }
-      sink = acc;
-      return elapsed_ms(t0);
-    });
-    (void)sink;
-    out.put("micro.BM_LocallySatisfied.ns",
-            ms * 1e6 / static_cast<double>(iters));
-  }
-
-  {  // Vector clock comparison, n=16.
-    VectorClock a(16), b(16);
-    std::mt19937_64 rng(1);
-    for (std::size_t i = 0; i < 16; ++i) {
-      a[i] = static_cast<std::uint32_t>(rng() % 100);
-      b[i] = static_cast<std::uint32_t>(rng() % 100);
+[[gnu::noinline]] void micro_automaton_step(Metrics& out, bool quick) {
+  // Automaton stepping (the BM_AutomatonStep workload: property F, n=4).
+  AtomRegistry reg = paper::make_registry(4);
+  MonitorAutomaton m = paper::build_automaton(paper::Property::kF, 4, reg);
+  std::mt19937_64 rng(7);
+  std::vector<AtomSet> letters;
+  for (int i = 0; i < 256; ++i) letters.push_back(rng() & 0xFF);
+  const std::int64_t iters = quick ? (1 << 18) : (1 << 21);
+  volatile int sink = 0;
+  const double ms = best_of(kMicroRuns, [&] {
+    int q = m.initial_state();
+    const auto t0 = Clock::now();
+    for (std::int64_t i = 0; i < iters; ++i) {
+      q = *m.step(q, letters[static_cast<std::size_t>(i & 255)]);
     }
-    const std::int64_t iters = quick ? (1 << 18) : (1 << 21);
-    volatile int sink = 0;
-    const double ms = best_of(kRuns, [&] {
-      int acc = 0;
-      const auto t0 = Clock::now();
-      for (std::int64_t i = 0; i < iters; ++i) {
-        acc += static_cast<int>(a.compare(b));
-      }
-      sink = acc;
-      return elapsed_ms(t0);
-    });
-    (void)sink;
-    out.put("micro.BM_VectorClockCompare.ns",
-            ms * 1e6 / static_cast<double>(iters));
-  }
+    sink = q;
+    return elapsed_ms(t0);
+  });
+  (void)sink;
+  out.put("micro.BM_AutomatonStep.ns", ms * 1e6 / static_cast<double>(iters));
+}
 
-  {  // Monitor synthesis, property D.
-    const int n = quick ? 2 : 3;
-    const int iters = quick ? 3 : 10;
-    const double ms = best_of(kRuns, [&] {
-      const auto t0 = Clock::now();
-      for (int i = 0; i < iters; ++i) {
-        AtomRegistry reg = paper::make_registry(n);
-        FormulaPtr f = paper::formula(paper::Property::kD, n, reg);
-        MonitorAutomaton m = synthesize_monitor(f);
-        if (m.num_states() == 0) std::abort();
-      }
-      return elapsed_ms(t0);
-    });
-    out.put("micro.BM_MonitorSynthesis.ms", ms / iters);
-  }
+[[gnu::noinline]] void micro_locally_satisfied(Metrics& out, bool quick) {
+  // Per-process conjunct checks (the token walk's inner loop: D, n=5).
+  AtomRegistry reg = paper::make_registry(5);
+  MonitorAutomaton m = paper::build_automaton(paper::Property::kD, 5, reg);
+  CompiledProperty prop(&m, &reg);
+  std::mt19937_64 rng(11);
+  std::vector<AtomSet> letters;
+  for (int i = 0; i < 256; ++i) letters.push_back(rng() & 0x3FF);
+  const int tids = m.num_transitions();
+  const std::int64_t iters = quick ? (1 << 16) : (1 << 19);
+  volatile int sink = 0;
+  const double ms = best_of(kMicroRuns, [&] {
+    int acc = 0;
+    const auto t0 = Clock::now();
+    for (std::int64_t i = 0; i < iters; ++i) {
+      const int tid = static_cast<int>(i % tids);
+      const int proc = static_cast<int>(i % 5);
+      acc += prop.locally_satisfied(
+          tid, proc, letters[static_cast<std::size_t>(i & 255)]);
+    }
+    sink = acc;
+    return elapsed_ms(t0);
+  });
+  (void)sink;
+  out.put("micro.BM_LocallySatisfied.ns",
+          ms * 1e6 / static_cast<double>(iters));
+}
 
-  {  // Whole monitored run, property C, n=4 (BM_MonitoredRun workload).
-    AtomRegistry reg = paper::make_registry(4);
-    MonitorAutomaton automaton =
-        paper::build_automaton(paper::Property::kC, 4, reg);
-    MonitorSession session(std::move(reg), std::move(automaton));
-    TraceParams params = paper::experiment_params(paper::Property::kC, 4, 9);
-    SystemTrace trace = generate_trace(params);
-    const int iters = quick ? 2 : 10;
-    const double ms = best_of(kRuns, [&] {
-      const auto t0 = Clock::now();
-      for (int i = 0; i < iters; ++i) {
-        RunResult r = session.run(trace);
-        if (r.program_events == 0) std::abort();
-      }
-      return elapsed_ms(t0);
-    });
-    out.put("micro.BM_MonitoredRun_C_n4.ms", ms / iters);
+[[gnu::noinline]] void micro_vector_clock_compare(Metrics& out, bool quick) {
+  // Vector clock comparison, n=16.
+  VectorClock a(16), b(16);
+  std::mt19937_64 rng(1);
+  for (std::size_t i = 0; i < 16; ++i) {
+    a[i] = static_cast<std::uint32_t>(rng() % 100);
+    b[i] = static_cast<std::uint32_t>(rng() % 100);
   }
+  const std::int64_t iters = quick ? (1 << 18) : (1 << 21);
+  volatile int sink = 0;
+  const double ms = best_of(kMicroRuns, [&] {
+    int acc = 0;
+    const auto t0 = Clock::now();
+    for (std::int64_t i = 0; i < iters; ++i) {
+      acc += static_cast<int>(a.compare(b));
+    }
+    sink = acc;
+    return elapsed_ms(t0);
+  });
+  (void)sink;
+  out.put("micro.BM_VectorClockCompare.ns",
+          ms * 1e6 / static_cast<double>(iters));
+}
+
+[[gnu::noinline]] void micro_monitor_synthesis(Metrics& out, bool quick) {
+  // Monitor synthesis, property D.
+  const int n = quick ? 2 : 3;
+  const int iters = quick ? 3 : 10;
+  const double ms = best_of(kMicroRuns, [&] {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+      AtomRegistry reg = paper::make_registry(n);
+      FormulaPtr f = paper::formula(paper::Property::kD, n, reg);
+      MonitorAutomaton m = synthesize_monitor(f);
+      if (m.num_states() == 0) std::abort();
+    }
+    return elapsed_ms(t0);
+  });
+  out.put("micro.BM_MonitorSynthesis.ms", ms / iters);
+}
+
+[[gnu::noinline]] void micro_monitored_run(Metrics& out, bool quick) {
+  // Whole monitored run, property C, n=4 (BM_MonitoredRun workload).
+  AtomRegistry reg = paper::make_registry(4);
+  MonitorAutomaton automaton =
+      paper::build_automaton(paper::Property::kC, 4, reg);
+  MonitorSession session(std::move(reg), std::move(automaton));
+  TraceParams params = paper::experiment_params(paper::Property::kC, 4, 9);
+  SystemTrace trace = generate_trace(params);
+  const int iters = quick ? 2 : 10;
+  const double ms = best_of(kMicroRuns, [&] {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+      RunResult r = session.run(trace);
+      if (r.program_events == 0) std::abort();
+    }
+    return elapsed_ms(t0);
+  });
+  out.put("micro.BM_MonitoredRun_C_n4.ms", ms / iters);
+}
+
+void micro_suite(Metrics& out, bool quick) {
+  micro_automaton_step(out, quick);
+  micro_locally_satisfied(out, quick);
+  micro_vector_clock_compare(out, quick);
+  micro_monitor_synthesis(out, quick);
+  micro_monitored_run(out, quick);
 }
 
 // ---------------------------------------------------------------------------

@@ -20,7 +20,7 @@ void ReplayRuntime::deliver_one(MonitorHooks& hooks, std::mt19937_64& rng) {
   MonitorMessage msg = std::move(channels_[key].front());
   channels_[key].pop_front();
   ++deliveries_;
-  hooks.on_monitor_message(msg, t_);
+  hooks.on_monitor_message(std::move(msg), t_);
 }
 
 void ReplayRuntime::run(const Computation& comp, MonitorHooks& hooks,

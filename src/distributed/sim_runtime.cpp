@@ -36,7 +36,7 @@ std::vector<LocalState> SimRuntime::initial_states() const {
   return out;
 }
 
-void SimRuntime::schedule(double time, std::function<void()> fn) {
+void SimRuntime::schedule(double time, Task fn) {
   assert(time >= now_);
   queue_.push(Item{time, next_seq_++, std::move(fn)});
 }
@@ -62,7 +62,9 @@ void SimRuntime::run() {
     maybe_terminate(p);  // empty traces terminate immediately
   }
   while (!queue_.empty()) {
-    Item item = queue_.top();
+    // Items are move-only; top() is about to be popped, so moving out of it
+    // is safe (pop only destroys or moves-from the extracted slot).
+    Item item = std::move(const_cast<Item&>(queue_.top()));
     queue_.pop();
     assert(item.time >= now_);
     now_ = item.time;
@@ -84,13 +86,13 @@ void SimRuntime::execute_action(int proc) {
     // Broadcast: one copy per peer, independent latencies, FIFO channels.
     for (int to = 0; to < num_processes(); ++to) {
       if (to == proc) continue;
-      AppMessage msg = result.message;
+      AppMessage msg = result.message;  // per-peer copy (inline clock: memcpy)
       msg.to = to;
       const double at = fifo_delivery_time(
           app_last_delivery_, proc * num_processes() + to,
           now_ + app_latency_.sample());
       ++app_messages_;
-      schedule(at, [this, msg] { deliver_app(msg); });
+      schedule(at, [this, m = std::move(msg)] { deliver_app(m); });
     }
   }
   schedule_next_action(proc);
@@ -136,9 +138,12 @@ void SimRuntime::send(MonitorMessage msg) {
            : fifo_delivery_time(mon_last_delivery_,
                                 msg.from * num_processes() + msg.to,
                                 now_ + mon_latency_.sample());
-  schedule(at, [this, msg] {
+  // The message moves through the queue to the receiver: the payload is
+  // never duplicated, and self-delivery (from == to) is the same zero-copy
+  // handoff scheduled at the current time.
+  schedule(at, [this, m = std::move(msg)]() mutable {
     monitor_end_ = std::max(monitor_end_, now_);
-    if (hooks_) hooks_->on_monitor_message(msg, now_);
+    if (hooks_) hooks_->on_monitor_message(std::move(m), now_);
   });
 }
 

@@ -158,7 +158,9 @@ void ThreadRuntime::node_main(int index) {
       });
       if (stop_.load(std::memory_order_acquire)) break;
       if (!node.inbox.empty() && node.inbox.top().at <= Clock::now()) {
-        ready = node.inbox.top().payload;
+        // Payloads are move-only (MonitorMessage owns its payload); move out
+        // of the top slot, which pop() is about to discard anyway.
+        ready = std::move(const_cast<Timed&>(node.inbox.top()).payload);
         node.inbox.pop();
       }
     }
@@ -168,8 +170,10 @@ void ThreadRuntime::node_main(int index) {
         --receives_left;
         record_event(e);
       } else {
-        const MonitorMessage& msg = std::get<MonitorMessage>(*ready);
-        if (hooks_) hooks_->on_monitor_message(msg, now());
+        if (hooks_) {
+          hooks_->on_monitor_message(std::move(std::get<MonitorMessage>(*ready)),
+                                     now());
+        }
       }
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     } else if (proc.has_next_action() && Clock::now() >= next_action) {

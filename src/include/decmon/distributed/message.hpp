@@ -22,15 +22,24 @@ struct AppMessage {
 };
 
 /// Base class for monitor-layer payloads routed through a runtime.
+///
+/// `tag` identifies the concrete payload type (each subclass defines a
+/// distinct `kTag` constant) so hot-path dispatch is a byte compare instead
+/// of a dynamic_cast.
 struct NetPayload {
+  explicit NetPayload(std::uint8_t t = 0) : tag(t) {}
   virtual ~NetPayload() = default;
+  const std::uint8_t tag;
 };
 
-/// A monitor-to-monitor message in flight.
+/// A monitor-to-monitor message in flight. Owns its payload exclusively:
+/// messages move through the runtime to the receiver, they are never
+/// duplicated, so sending costs zero allocations when the payload shell is
+/// recycled.
 struct MonitorMessage {
   int from = -1;
   int to = -1;
-  std::shared_ptr<NetPayload> payload;
+  std::unique_ptr<NetPayload> payload;
 };
 
 }  // namespace decmon

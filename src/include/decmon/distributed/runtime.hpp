@@ -23,8 +23,9 @@ class MonitorHooks {
   /// `proc`'s program terminated: no further local events will occur.
   virtual void on_local_termination(int proc, double now) = 0;
 
-  /// A monitor-to-monitor message arrived at `msg.to`.
-  virtual void on_monitor_message(const MonitorMessage& msg, double now) = 0;
+  /// A monitor-to-monitor message arrived at `msg.to`. Ownership of the
+  /// payload transfers to the hook (the receiver may recycle its storage).
+  virtual void on_monitor_message(MonitorMessage msg, double now) = 0;
 };
 
 /// Implemented by runtimes; used by the monitoring layer to communicate.

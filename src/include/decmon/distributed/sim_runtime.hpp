@@ -4,16 +4,21 @@
 // trace actions fire at virtual times, messages experience a random
 // (seeded) latency, and simultaneous occurrences are ordered by a stable
 // (time, sequence) key, so every experiment row is exactly replayable.
+//
+// Scheduling is allocation-free: queue items hold the closure inline in a
+// fixed-capacity InplaceTask (std::function would heap-allocate every
+// capture bigger than two pointers), and messages move through the queue
+// rather than being copied into it.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
 #include "decmon/distributed/process.hpp"
 #include "decmon/distributed/runtime.hpp"
 #include "decmon/distributed/trace.hpp"
+#include "decmon/util/inplace_function.hpp"
 #include "decmon/util/rng.hpp"
 
 namespace decmon {
@@ -58,17 +63,22 @@ class SimRuntime final : public MonitorNetwork {
   std::uint64_t program_events() const { return program_events_; }
 
  private:
+  /// Largest scheduled closure: `this` + a moved-in AppMessage (whose inline
+  /// vector clock dominates). A bigger capture is a compile error.
+  static constexpr std::size_t kTaskCapacity = 88;
+  using Task = InplaceTask<kTaskCapacity>;
+
   struct Item {
     double time;
     std::uint64_t seq;  ///< tie-break for determinism
-    std::function<void()> fn;
+    Task fn;
     bool operator>(const Item& other) const {
       if (time != other.time) return time > other.time;
       return seq > other.seq;
     }
   };
 
-  void schedule(double time, std::function<void()> fn);
+  void schedule(double time, Task fn);
   void execute_action(int proc);
   void schedule_next_action(int proc);
   void deliver_app(const AppMessage& msg);

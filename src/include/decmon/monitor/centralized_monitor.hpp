@@ -24,11 +24,15 @@ namespace decmon {
 
 /// Payload forwarding one program event to the central node.
 struct EventForwardMessage final : NetPayload {
+  static constexpr std::uint8_t kTag = 3;
+  EventForwardMessage() : NetPayload(kTag) {}
   Event event;
 };
 
 /// Payload announcing a process's termination to the central node.
 struct CentralTerminationMessage final : NetPayload {
+  static constexpr std::uint8_t kTag = 4;
+  CentralTerminationMessage() : NetPayload(kTag) {}
   int process = -1;
   std::uint32_t last_sn = 0;
 };
@@ -44,7 +48,7 @@ class CentralizedMonitor final : public MonitorHooks {
   // MonitorHooks:
   void on_local_event(int proc, const Event& event, double now) override;
   void on_local_termination(int proc, double now) override;
-  void on_monitor_message(const MonitorMessage& msg, double now) override;
+  void on_monitor_message(MonitorMessage msg, double now) override;
 
   /// Verdict labels of automaton states reachable at the most advanced cut
   /// explored (the top cut once finished), plus verdicts declared earlier.

@@ -6,9 +6,9 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "decmon/ltl/atoms.hpp"
+#include "decmon/util/small_vec.hpp"
 
 namespace decmon {
 
@@ -16,10 +16,11 @@ struct GlobalView {
   std::uint64_t id = 0;
 
   /// Frontier cut: per-process sequence number of the last included event.
-  std::vector<std::uint32_t> cut;
+  /// Inline up to 8 processes so forking a view is allocation-free.
+  SmallVec<std::uint32_t, 8> cut;
 
   /// Believed local letters at the cut frontier.
-  std::vector<AtomSet> gstate;
+  SmallVec<AtomSet, 8> gstate;
 
   /// Current monitor automaton state.
   int q = 0;

@@ -15,13 +15,20 @@
 //     problems 2-3, 4.3.2)
 //   * flush waiting tokens on termination so every token returns
 //     (4.2.0.10, Lemma 1)
+//
+// Memory discipline (see DESIGN.md §6): the steady-state token path is
+// allocation-free. Tokens, token-message shells and global views are
+// recycled through per-monitor free lists (each monitor's pools are touched
+// only from its own dispatch context, so they need no locks), and all
+// per-process arrays have inline small-buffer storage.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <list>
+#include <memory>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -32,6 +39,7 @@
 #include "decmon/monitor/predicate.hpp"
 #include "decmon/monitor/stats.hpp"
 #include "decmon/monitor/token.hpp"
+#include "decmon/util/small_vec.hpp"
 
 namespace decmon {
 
@@ -105,6 +113,11 @@ class MonitorProcess {
   void on_token(Token token, double now);
   void on_peer_termination(int peer, std::uint32_t last_sn, double now);
 
+  /// Return a drained TokenMessage shell (its token moved out) to this
+  /// monitor's free list: the next token this monitor sends reuses it.
+  /// Called by the dispatch layer from this monitor's own node context.
+  void recycle_token_payload(std::unique_ptr<TokenMessage> shell);
+
   // -- results --
   int index() const { return index_; }
 
@@ -147,13 +160,20 @@ class MonitorProcess {
   /// Apply local event `e` to the entries targeting it (Alg. 4-5).
   void apply_event_to_token(Token& token, const Event& e);
   /// Retarget entries after evaluation; returns false when the token wants
-  /// to stay at this monitor (waiting for a later local event).
+  /// to stay at this monitor (waiting for a later local event). On true the
+  /// token has been consumed (sent, recycled, or handled as returned).
   bool route_token(Token& token, double now);
   /// Handle a token created here that has come home.
   void handle_returned_token(Token token, double now);
   /// Create the view for an enabled entry's pivot cut; its cursor starts
   /// just past the cut's local component, replaying the shared history.
   void spawn_view(const TransitionEntry& entry, double now);
+
+  // -- free lists (all used from this monitor's dispatch context only) --
+  Token acquire_token();
+  void recycle_token(Token&& token);
+  std::unique_ptr<TokenMessage> acquire_token_payload();
+  GlobalView acquire_view();
 
   // -- bookkeeping --
   GlobalView* find_view_by_token(std::uint64_t token_id);
@@ -164,7 +184,7 @@ class MonitorProcess {
   void check_finished(double now);
   void sample_pending();
   std::uint64_t probe_signature(const GlobalView& gv,
-                                const std::vector<int>& tids) const;
+                                const SmallVec<int, 32>& tids) const;
 
   int index_;
   int n_;
@@ -178,11 +198,24 @@ class MonitorProcess {
   /// Deque: views are pushed while references to existing views are live on
   /// the dispatch stack; deque growth never invalidates references.
   std::deque<GlobalView> views_;
-  std::list<Token> w_tokens_;   ///< tokens waiting for future local events
+  std::vector<Token> w_tokens_;  ///< tokens waiting for future local events
   std::vector<std::uint32_t> peer_last_sn_;  ///< UINT32_MAX = running
   bool local_terminated_ = false;
   bool finished_ = false;
   int dispatch_depth_ = 0;  ///< guards view-vector sweeps during re-entrancy
+
+  /// Free lists. Tokens and views recycle their spilled capacity; payload
+  /// shells recycle the TokenMessage object itself (the receiver returns
+  /// the husk after moving the token out). Bounded so pathological runs
+  /// cannot hoard memory.
+  std::vector<Token> token_pool_;
+  std::vector<std::unique_ptr<TokenMessage>> payload_pool_;
+  std::vector<GlobalView> view_pool_;
+
+  /// Scratch for merge_similar_views (never re-entered; capacity persists).
+  std::vector<GlobalView*> merge_settled_;
+  std::unordered_map<std::uint64_t, GlobalView*> merge_seen_;
+  std::vector<GlobalView*> merge_best_;
 
   /// Outstanding probe signatures (dedupe in O(1); mirrors the waiting
   /// views' probe_sig fields).

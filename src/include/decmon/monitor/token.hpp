@@ -15,6 +15,7 @@
 
 #include "decmon/distributed/message.hpp"
 #include "decmon/ltl/atoms.hpp"
+#include "decmon/util/small_vec.hpp"
 #include "decmon/util/vector_clock.hpp"
 
 namespace decmon {
@@ -30,38 +31,122 @@ enum class EntryEval : std::uint8_t { kUnset, kTrue, kFalse };
 /// One possibly-enabled outgoing transition under evaluation
 /// (`OutgoingTransition` in the paper).
 ///
-/// Invariant: `gstate[j]` is the *verified* letter of process j at position
-/// `cut[j]` -- entries start from the creating view's cut and the walk
+/// Invariant: `gstate(j)` is the *verified* letter of process j at position
+/// `cut(j)` -- entries start from the creating view's cut and the walk
 /// advances one event at a time, so no frontier position is ever guessed.
-struct TransitionEntry {
+///
+/// The five per-process arrays the seed kept in parallel heap vectors
+/// (cut, depend, gstate, conj, loop_cut/loop_gstate) are flattened into one
+/// contiguous block of per-process slots with inline capacity for
+/// kInlineProcs processes: constructing, copying and re-targeting an entry
+/// is pure memcpy traffic, and all of a process's fields share a cache line.
+class TransitionEntry {
+ public:
+  static constexpr std::size_t kInlineProcs = 8;
+
+  /// All per-process state of the entry for one process.
+  struct ProcSlot {
+    /// Constructed cut: sequence number of the last included event. Also
+    /// the frontier vector clock component.
+    std::uint32_t cut = 0;
+    /// Max vector clock over the events included; cut < depend means the
+    /// cut is inconsistent at this process.
+    std::uint32_t depend = 0;
+    /// Component of the last certified "the path can stay here" cut.
+    std::uint32_t loop_cut = 0;
+    /// Conjunct evaluation of this process.
+    ConjunctEval conj = ConjunctEval::kUnset;
+    /// Local letter at the cut's frontier.
+    AtomSet gstate = 0;
+    /// Believed letter at the certified stay-point.
+    AtomSet loop_gstate = 0;
+  };
+
   int transition_id = -1;
-
-  /// Constructed cut: per-process sequence number of the last included
-  /// event. Also the frontier vector clock.
-  std::vector<std::uint32_t> cut;
-
-  /// Max vector clock over the events included; cut[k] < depend[k] means
-  /// the cut is inconsistent at process k.
-  VectorClock depend;
-
-  /// Local letters at the cut's frontier (per process).
-  std::vector<AtomSet> gstate;
-
-  /// Per-process conjunct evaluations.
-  std::vector<ConjunctEval> conj;
-
   EntryEval eval = EntryEval::kUnset;
-  int next_target_process = -1;
-  std::uint32_t next_target_event = 0;
-
   /// Last consistent cut the walk passed where the believed letter kept the
   /// source state on a self-loop: a certified "the path can stay here"
   /// point, used to resurrect launchpad views (see MonitorProcess).
   bool loop_certified = false;
-  std::vector<std::uint32_t> loop_cut;
-  std::vector<AtomSet> loop_gstate;
+  int next_target_process = -1;
+  std::uint32_t next_target_event = 0;
+
+  /// (Re-)initialize the per-process block to `n` zeroed slots.
+  void set_width(std::size_t n) { slots_.assign(n, ProcSlot{}); }
+  std::size_t width() const { return slots_.size(); }
+
+  std::uint32_t& cut(std::size_t j) { return slots_[j].cut; }
+  std::uint32_t cut(std::size_t j) const { return slots_[j].cut; }
+  std::uint32_t& depend(std::size_t j) { return slots_[j].depend; }
+  std::uint32_t depend(std::size_t j) const { return slots_[j].depend; }
+  std::uint32_t& loop_cut(std::size_t j) { return slots_[j].loop_cut; }
+  std::uint32_t loop_cut(std::size_t j) const { return slots_[j].loop_cut; }
+  ConjunctEval& conj(std::size_t j) { return slots_[j].conj; }
+  ConjunctEval conj(std::size_t j) const { return slots_[j].conj; }
+  AtomSet& gstate(std::size_t j) { return slots_[j].gstate; }
+  AtomSet gstate(std::size_t j) const { return slots_[j].gstate; }
+  AtomSet& loop_gstate(std::size_t j) { return slots_[j].loop_gstate; }
+  AtomSet loop_gstate(std::size_t j) const { return slots_[j].loop_gstate; }
+
+  ProcSlot* slots() { return slots_.data(); }
+  const ProcSlot* slots() const { return slots_.data(); }
+
+  /// depend := max(depend, vc), component-wise.
+  void merge_depend(const VectorClock& vc) {
+    ProcSlot* s = slots_.data();
+    for (std::size_t j = 0; j < slots_.size(); ++j) {
+      if (vc[j] > s[j].depend) s[j].depend = vc[j];
+    }
+  }
+
+  /// depend := max(depend, cut), component-wise (the frontier itself is
+  /// always covered by the dependency clock).
+  void raise_depend_to_cut() {
+    ProcSlot* s = slots_.data();
+    for (std::size_t j = 0; j < slots_.size(); ++j) {
+      if (s[j].cut > s[j].depend) s[j].depend = s[j].cut;
+    }
+  }
+
+  /// True iff cut(j) >= depend(j) everywhere (the cut is consistent).
+  bool cut_covers_depend() const {
+    const ProcSlot* s = slots_.data();
+    for (std::size_t j = 0; j < slots_.size(); ++j) {
+      if (s[j].cut < s[j].depend) return false;
+    }
+    return true;
+  }
+
+  /// Union of the per-process frontier letters.
+  AtomSet combined_gstate() const {
+    AtomSet a = 0;
+    const ProcSlot* s = slots_.data();
+    for (std::size_t j = 0; j < slots_.size(); ++j) a |= s[j].gstate;
+    return a;
+  }
+
+  /// Record the current cut/gstate as a certified stay-point.
+  void certify_loop() {
+    loop_certified = true;
+    ProcSlot* s = slots_.data();
+    for (std::size_t j = 0; j < slots_.size(); ++j) {
+      s[j].loop_cut = s[j].cut;
+      s[j].loop_gstate = s[j].gstate;
+    }
+  }
+
+  /// Sum of the certified stay-point's cut components (advancement order).
+  std::uint64_t loop_cut_total() const {
+    std::uint64_t t = 0;
+    const ProcSlot* s = slots_.data();
+    for (std::size_t j = 0; j < slots_.size(); ++j) t += s[j].loop_cut;
+    return t;
+  }
 
   std::string to_string() const;
+
+ private:
+  SmallVec<ProcSlot, kInlineProcs> slots_;
 };
 
 /// A monitoring message (`token` in the paper).
@@ -81,10 +166,14 @@ struct Token {
 
 /// Network payloads of the monitoring layer.
 struct TokenMessage final : NetPayload {
+  static constexpr std::uint8_t kTag = 1;
+  TokenMessage() : NetPayload(kTag) {}
   Token token;
 };
 
 struct TerminationMessage final : NetPayload {
+  static constexpr std::uint8_t kTag = 2;
+  TerminationMessage() : NetPayload(kTag) {}
   int process = -1;
   std::uint32_t last_sn = 0;  ///< last event the process produced
 };

@@ -22,6 +22,10 @@ class WireError : public std::runtime_error {
   explicit WireError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Hard ceiling on per-process array widths a decoder will accept when the
+/// caller does not pass the session's actual process count.
+inline constexpr std::size_t kMaxWireProcesses = 4096;
+
 /// Serialize a token (message kind + version header included).
 std::vector<std::uint8_t> encode_token(const Token& token);
 
@@ -35,7 +39,11 @@ enum class WireKind : std::uint8_t { kToken = 1, kTermination = 2 };
 WireKind wire_kind(const std::vector<std::uint8_t>& buffer);
 
 /// Decode; throws WireError on truncation, bad version or wrong kind.
-Token decode_token(const std::vector<std::uint8_t>& buffer);
+/// `max_width` bounds every decoded clock/entry width -- pass the session's
+/// process count so a corrupt or hostile length field cannot force a large
+/// allocation before validation fails.
+Token decode_token(const std::vector<std::uint8_t>& buffer,
+                   std::size_t max_width = kMaxWireProcesses);
 TerminationMessage decode_termination(const std::vector<std::uint8_t>& buffer);
 
 }  // namespace decmon

@@ -1,0 +1,84 @@
+// Fixed-capacity move-only callable for allocation-free scheduling.
+//
+// std::function heap-allocates any closure larger than its tiny internal
+// buffer (two pointers on libstdc++), which made every scheduled simulator
+// event -- trace actions, application deliveries, monitor deliveries -- a
+// heap round trip. InplaceTask stores the closure inside the object, so a
+// scheduler queue of InplaceTasks allocates nothing per event; oversized
+// closures are a compile error, not a silent fallback.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace decmon {
+
+template <std::size_t Capacity>
+class InplaceTask {
+ public:
+  InplaceTask() = default;
+
+  template <typename F, typename = std::enable_if_t<
+                            !std::is_same_v<std::decay_t<F>, InplaceTask>>>
+  InplaceTask(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity, "closure too large for InplaceTask");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "closure over-aligned for InplaceTask");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "InplaceTask closures must be nothrow-movable");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+    invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+    relocate_ = [](void* dst, void* src) {
+      Fn* s = static_cast<Fn*>(src);
+      ::new (dst) Fn(std::move(*s));
+      s->~Fn();
+    };
+    destroy_ = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+  }
+
+  InplaceTask(const InplaceTask&) = delete;
+  InplaceTask& operator=(const InplaceTask&) = delete;
+
+  InplaceTask(InplaceTask&& other) noexcept { move_from(other); }
+  InplaceTask& operator=(InplaceTask&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  ~InplaceTask() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(buf_); }
+
+  void reset() {
+    if (invoke_ != nullptr) {
+      destroy_(buf_);
+      invoke_ = nullptr;
+    }
+  }
+
+ private:
+  void move_from(InplaceTask& other) noexcept {
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    destroy_ = other.destroy_;
+    if (other.invoke_ != nullptr) {
+      relocate_(buf_, other.buf_);
+      other.invoke_ = nullptr;
+    }
+  }
+
+  void (*invoke_)(void*) = nullptr;
+  void (*relocate_)(void*, void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+};
+
+}  // namespace decmon

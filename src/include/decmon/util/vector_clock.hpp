@@ -7,7 +7,8 @@
 #include <initializer_list>
 #include <iosfwd>
 #include <string>
-#include <vector>
+
+#include "decmon/util/small_vec.hpp"
 
 namespace decmon {
 
@@ -24,10 +25,16 @@ enum class Causality {
 /// Component `i` counts the events of process `i` known to the clock's owner.
 /// Comparisons implement the happened-before partial order: `a < b` iff
 /// `a[i] <= b[i]` for all `i` and `a != b`.
+///
+/// Storage is inline for up to kInlineComponents processes (the entire bench
+/// grid), so clocks piggybacked on messages and copied into events, tokens
+/// and views never allocate; wider systems spill to the heap transparently.
 class VectorClock {
  public:
+  static constexpr std::size_t kInlineComponents = 8;
+
   VectorClock() = default;
-  explicit VectorClock(std::size_t n) : v_(n, 0) {}
+  explicit VectorClock(std::size_t n) : v_(n) {}
   VectorClock(std::initializer_list<std::uint32_t> init) : v_(init) {}
 
   std::size_t size() const { return v_.size(); }
@@ -68,13 +75,15 @@ class VectorClock {
   bool operator==(const VectorClock& other) const { return v_ == other.v_; }
   bool operator!=(const VectorClock& other) const { return v_ != other.v_; }
 
-  const std::vector<std::uint32_t>& components() const { return v_; }
+  const SmallVec<std::uint32_t, kInlineComponents>& components() const {
+    return v_;
+  }
 
   /// Render as "[a, b, c]".
   std::string to_string() const;
 
  private:
-  std::vector<std::uint32_t> v_;
+  SmallVec<std::uint32_t, kInlineComponents> v_;
 };
 
 std::ostream& operator<<(std::ostream& os, const VectorClock& vc);

@@ -55,7 +55,7 @@ void CentralizedMonitor::on_local_event(int proc, const Event& event,
     return;
   }
   ++forwarded_;
-  auto payload = std::make_shared<EventForwardMessage>();
+  auto payload = std::make_unique<EventForwardMessage>();
   payload->event = event;
   net_->send(MonitorMessage{proc, central_, std::move(payload)});
 }
@@ -68,20 +68,21 @@ void CentralizedMonitor::on_local_termination(int proc, double now) {
     central_termination(proc, 0, now);
     return;
   }
-  auto payload = std::make_shared<CentralTerminationMessage>();
+  auto payload = std::make_unique<CentralTerminationMessage>();
   payload->process = proc;
   net_->send(MonitorMessage{proc, central_, std::move(payload)});
 }
 
-void CentralizedMonitor::on_monitor_message(const MonitorMessage& msg,
-                                            double now) {
+void CentralizedMonitor::on_monitor_message(MonitorMessage msg, double now) {
   if (msg.to != central_) {
     throw std::logic_error("CentralizedMonitor: message to non-central node");
   }
-  if (auto* fwd = dynamic_cast<EventForwardMessage*>(msg.payload.get())) {
-    central_ingest(fwd->event, now);
-  } else if (auto* term =
-                 dynamic_cast<CentralTerminationMessage*>(msg.payload.get())) {
+  NetPayload* payload = msg.payload.get();
+  if (payload != nullptr && payload->tag == EventForwardMessage::kTag) {
+    central_ingest(static_cast<EventForwardMessage*>(payload)->event, now);
+  } else if (payload != nullptr &&
+             payload->tag == CentralTerminationMessage::kTag) {
+    auto* term = static_cast<CentralTerminationMessage*>(payload);
     central_termination(term->process, term->last_sn, now);
   } else {
     throw std::invalid_argument("CentralizedMonitor: unknown payload");

@@ -37,13 +37,20 @@ void DecentralizedMonitor::on_local_termination(int proc, double now) {
   monitor(proc).on_local_termination(now);
 }
 
-void DecentralizedMonitor::on_monitor_message(const MonitorMessage& msg,
-                                              double now) {
+void DecentralizedMonitor::on_monitor_message(MonitorMessage msg, double now) {
   MonitorProcess& target = monitor(msg.to);
-  if (auto* token = dynamic_cast<TokenMessage*>(msg.payload.get())) {
-    target.on_token(token->token, now);
-  } else if (auto* term =
-                 dynamic_cast<TerminationMessage*>(msg.payload.get())) {
+  NetPayload* payload = msg.payload.get();
+  if (payload != nullptr && payload->tag == TokenMessage::kTag) {
+    // Take ownership: move the token out, then hand the empty shell (and
+    // whatever heap capacity its token accumulated) to the receiving
+    // monitor's free list for reuse on its next send.
+    msg.payload.release();
+    std::unique_ptr<TokenMessage> shell(static_cast<TokenMessage*>(payload));
+    Token token = std::move(shell->token);
+    target.recycle_token_payload(std::move(shell));
+    target.on_token(std::move(token), now);
+  } else if (payload != nullptr && payload->tag == TerminationMessage::kTag) {
+    auto* term = static_cast<TerminationMessage*>(payload);
     target.on_peer_termination(term->process, term->last_sn, now);
   } else {
     throw std::invalid_argument(

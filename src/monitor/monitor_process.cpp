@@ -4,7 +4,6 @@
 #include <climits>
 #include <cassert>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace decmon {
 namespace {
@@ -22,6 +21,12 @@ class DepthGuard {
 };
 
 constexpr std::uint32_t kRunning = 0xFFFFFFFFu;
+
+/// Free-list bounds: generous for real runs, tight enough that a
+/// pathological run cannot hoard memory through the pools.
+constexpr std::size_t kMaxPooledTokens = 128;
+constexpr std::size_t kMaxPooledPayloads = 128;
+constexpr std::size_t kMaxPooledViews = 128;
 
 }  // namespace
 
@@ -51,7 +56,11 @@ MonitorProcess::MonitorProcess(int index, const CompiledProperty* property,
   GlobalView gv0;
   gv0.id = next_view_id_++;
   gv0.cut.assign(static_cast<std::size_t>(n_), 0);
-  gv0.gstate = std::move(initial_letters);
+  gv0.gstate.resize(static_cast<std::size_t>(n_));
+  for (int j = 0; j < n_; ++j) {
+    gv0.gstate[static_cast<std::size_t>(j)] =
+        initial_letters[static_cast<std::size_t>(j)];
+  }
   gv0.next_sn = static_cast<std::uint32_t>(history_.size());  // consumed sn 0
   gv0.q = prop_->step(prop_->initial_state(), gv0.combined_letter());
   ++stats_.global_views_created;
@@ -94,6 +103,61 @@ void MonitorProcess::declare(int q, double now) {
 }
 
 // ---------------------------------------------------------------------------
+// Free lists
+// ---------------------------------------------------------------------------
+
+Token MonitorProcess::acquire_token() {
+  if (token_pool_.empty()) return Token{};
+  Token t = std::move(token_pool_.back());
+  token_pool_.pop_back();
+  t.token_id = 0;
+  t.parent = -1;
+  t.parent_sn = 0;
+  t.entries.clear();  // keeps the entry vector's capacity
+  t.next_target_process = -1;
+  t.next_target_event = 0;
+  t.hops = 0;
+  return t;
+}
+
+void MonitorProcess::recycle_token(Token&& token) {
+  if (token_pool_.size() < kMaxPooledTokens) {
+    token_pool_.push_back(std::move(token));
+  }
+}
+
+std::unique_ptr<TokenMessage> MonitorProcess::acquire_token_payload() {
+  if (payload_pool_.empty()) return std::make_unique<TokenMessage>();
+  std::unique_ptr<TokenMessage> shell = std::move(payload_pool_.back());
+  payload_pool_.pop_back();
+  return shell;
+}
+
+void MonitorProcess::recycle_token_payload(
+    std::unique_ptr<TokenMessage> shell) {
+  if (shell && payload_pool_.size() < kMaxPooledPayloads) {
+    payload_pool_.push_back(std::move(shell));
+  }
+}
+
+GlobalView MonitorProcess::acquire_view() {
+  GlobalView v;
+  if (!view_pool_.empty()) {
+    v = std::move(view_pool_.back());
+    view_pool_.pop_back();
+    v.id = 0;
+    v.q = 0;
+    v.waiting = false;
+    v.token_id = 0;
+    v.forked_copy = false;
+    v.next_sn = 0;
+    v.probe_sig = 0;
+    v.dead = false;
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
 // Event path (Alg. 2)
 // ---------------------------------------------------------------------------
 
@@ -106,15 +170,17 @@ void MonitorProcess::on_local_event(const Event& event, double now) {
   ++stats_.events_processed;
 
   // Tokens parked for this event (Alg. 2 lines 4-8). Extract first: token
-  // processing can re-park or spawn views.
-  for (auto it = w_tokens_.begin(); it != w_tokens_.end();) {
-    if (it->next_target_process == index_ &&
-        it->next_target_event <= event.sn) {
-      Token t = std::move(*it);
-      it = w_tokens_.erase(it);
+  // processing can re-park or spawn views. Tokens parked during this loop
+  // always target future events, so they never match the condition.
+  for (std::size_t i = 0; i < w_tokens_.size();) {
+    if (w_tokens_[i].next_target_process == index_ &&
+        w_tokens_[i].next_target_event <= event.sn) {
+      Token t = std::move(w_tokens_[i]);
+      w_tokens_.erase(w_tokens_.begin() + static_cast<std::ptrdiff_t>(i));
       process_token(std::move(t), now);
+      // The erase shifted the next candidate into slot i.
     } else {
-      ++it;
+      ++i;
     }
   }
 
@@ -184,7 +250,7 @@ void MonitorProcess::process_event(GlobalView& gv, const Event& e,
 }
 
 std::uint64_t MonitorProcess::probe_signature(
-    const GlobalView& gv, const std::vector<int>& tids) const {
+    const GlobalView& gv, const SmallVec<int, 32>& tids) const {
   // Only atoms the automaton reads matter: beliefs differing in irrelevant
   // variables describe the same probe.
   const AtomSet relevant = prop_->relevant_atoms();
@@ -224,7 +290,7 @@ void MonitorProcess::probe_outgoing(GlobalView& gv, const Event& e,
     return prop_->is_final(q) ||
            (options_.prune_settled_states && prop_->verdict_settled(q));
   };
-  std::vector<Candidate> candidates;
+  SmallVec<Candidate, 32> candidates;
   if (!prunable(gv.q)) {
     for (int tid : prop_->outgoing(gv.q)) {
       candidates.push_back({tid, !consistent});
@@ -240,8 +306,10 @@ void MonitorProcess::probe_outgoing(GlobalView& gv, const Event& e,
   const AtomSet pre_letter =
       history_[static_cast<std::size_t>(e.sn - (e.sn > 0 ? 1 : 0))].letter;
 
-  std::vector<TransitionEntry> remote_entries;
-  std::vector<int> tids;
+  // Entries are built directly into a pooled token; if the probe turns out
+  // empty or a duplicate, the token (and its capacity) goes back unsent.
+  Token token = acquire_token();
+  SmallVec<int, 32> tids;
 
   if (options_.walk_mode == WalkMode::kJoinJump) {
     // The thesis's CheckOutgoingTransitions: entries start at the join
@@ -253,30 +321,27 @@ void MonitorProcess::probe_outgoing(GlobalView& gv, const Event& e,
       if (!prop_->locally_satisfied(tid, index_, e.letter)) continue;
       TransitionEntry entry;
       entry.transition_id = tid;
-      entry.cut = gv.cut;
+      entry.set_width(static_cast<std::size_t>(n_));
       bool advanced = false;
       for (int j = 0; j < n_; ++j) {
         const std::uint32_t joined =
-            std::max(entry.cut[static_cast<std::size_t>(j)],
+            std::max(gv.cut[static_cast<std::size_t>(j)],
                      e.vc[static_cast<std::size_t>(j)]);
-        if (joined != entry.cut[static_cast<std::size_t>(j)]) advanced = true;
-        entry.cut[static_cast<std::size_t>(j)] = joined;
-      }
-      entry.gstate = gv.gstate;
-      entry.depend = VectorClock(static_cast<std::size_t>(n_));
-      for (int j = 0; j < n_; ++j) {
-        entry.depend[static_cast<std::size_t>(j)] =
-            entry.cut[static_cast<std::size_t>(j)];
+        if (joined != gv.cut[static_cast<std::size_t>(j)]) advanced = true;
+        entry.cut(static_cast<std::size_t>(j)) = joined;
+        entry.gstate(static_cast<std::size_t>(j)) =
+            gv.gstate[static_cast<std::size_t>(j)];
+        entry.depend(static_cast<std::size_t>(j)) = joined;
+        entry.conj(static_cast<std::size_t>(j)) = ConjunctEval::kTrue;
       }
       const CompiledTransition& ct = prop_->transition(tid);
-      entry.conj.assign(static_cast<std::size_t>(n_), ConjunctEval::kTrue);
       bool needs_walk = false;
       for (int j = 0; j < n_; ++j) {
         if (j == index_) continue;
         if (!ct.local[static_cast<std::size_t>(j)].is_true() &&
             !prop_->locally_satisfied(
-                tid, j, entry.gstate[static_cast<std::size_t>(j)])) {
-          entry.conj[static_cast<std::size_t>(j)] = ConjunctEval::kUnset;
+                tid, j, entry.gstate(static_cast<std::size_t>(j)))) {
+          entry.conj(static_cast<std::size_t>(j)) = ConjunctEval::kUnset;
           needs_walk = true;
         }
       }
@@ -288,19 +353,22 @@ void MonitorProcess::probe_outgoing(GlobalView& gv, const Event& e,
         entry.eval = EntryEval::kTrue;
       } else {
         for (int j = 0; j < n_; ++j) {
-          if (entry.conj[static_cast<std::size_t>(j)] ==
+          if (entry.conj(static_cast<std::size_t>(j)) ==
               ConjunctEval::kUnset) {
             entry.next_target_process = j;
             entry.next_target_event =
-                entry.cut[static_cast<std::size_t>(j)] + 1;
+                entry.cut(static_cast<std::size_t>(j)) + 1;
             break;
           }
         }
       }
       tids.push_back(tid);
-      remote_entries.push_back(std::move(entry));
+      token.entries.push_back(std::move(entry));
     }
-    if (remote_entries.empty()) return;
+    if (token.entries.empty()) {
+      recycle_token(std::move(token));
+      return;
+    }
   } else {
   for (const Candidate& cand : candidates) {
     const int tid = cand.tid;
@@ -313,34 +381,34 @@ void MonitorProcess::probe_outgoing(GlobalView& gv, const Event& e,
 
     TransitionEntry entry;
     entry.transition_id = tid;
-    entry.cut = gv.cut;
-    entry.gstate = gv.gstate;
-    entry.depend = VectorClock(static_cast<std::size_t>(n_));
-    if (pre) {
-      entry.cut[static_cast<std::size_t>(index_)] = e.sn - 1;
-      entry.gstate[static_cast<std::size_t>(index_)] = pre_letter;
-    } else {
-      entry.depend.merge(e.vc);
-    }
+    entry.set_width(static_cast<std::size_t>(n_));
     for (int j = 0; j < n_; ++j) {
-      entry.depend[static_cast<std::size_t>(j)] =
-          std::max(entry.depend[static_cast<std::size_t>(j)],
-                   entry.cut[static_cast<std::size_t>(j)]);
+      entry.cut(static_cast<std::size_t>(j)) =
+          gv.cut[static_cast<std::size_t>(j)];
+      entry.gstate(static_cast<std::size_t>(j)) =
+          gv.gstate[static_cast<std::size_t>(j)];
     }
+    if (pre) {
+      entry.cut(static_cast<std::size_t>(index_)) = e.sn - 1;
+      entry.gstate(static_cast<std::size_t>(index_)) = pre_letter;
+    } else {
+      entry.merge_depend(e.vc);
+    }
+    entry.raise_depend_to_cut();
     const CompiledTransition& ct = prop_->transition(tid);
-    entry.conj.assign(static_cast<std::size_t>(n_), ConjunctEval::kTrue);
     bool needs_walk = false;
     for (int j = 0; j < n_; ++j) {
-      if (entry.cut[static_cast<std::size_t>(j)] <
-          entry.depend[static_cast<std::size_t>(j)]) {
+      entry.conj(static_cast<std::size_t>(j)) = ConjunctEval::kTrue;
+      if (entry.cut(static_cast<std::size_t>(j)) <
+          entry.depend(static_cast<std::size_t>(j))) {
         needs_walk = true;  // lagging component: must be walked forward
       }
       const bool participates =
           !ct.local[static_cast<std::size_t>(j)].is_true();
       if (participates &&
           !prop_->locally_satisfied(
-              tid, j, entry.gstate[static_cast<std::size_t>(j)])) {
-        entry.conj[static_cast<std::size_t>(j)] = ConjunctEval::kUnset;
+              tid, j, entry.gstate(static_cast<std::size_t>(j)))) {
+        entry.conj(static_cast<std::size_t>(j)) = ConjunctEval::kUnset;
         needs_walk = true;
       }
     }
@@ -362,29 +430,32 @@ void MonitorProcess::probe_outgoing(GlobalView& gv, const Event& e,
       }
       if (j < 0) j = index_ == 0 ? (n_ > 1 ? 1 : -1) : 0;
       if (j < 0) continue;  // single process: local steps cover everything
-      entry.conj[static_cast<std::size_t>(j)] = ConjunctEval::kUnset;
+      entry.conj(static_cast<std::size_t>(j)) = ConjunctEval::kUnset;
       entry.next_target_process = j;
-      entry.next_target_event = entry.cut[static_cast<std::size_t>(j)] + 1;
+      entry.next_target_event = entry.cut(static_cast<std::size_t>(j)) + 1;
     } else {
       // Initial target: first lagging component, else first open conjunct
       // (Alg. 3 lines 12-13).
       for (int j = 0; j < n_; ++j) {
-        const bool lagging = entry.cut[static_cast<std::size_t>(j)] <
-                             entry.depend[static_cast<std::size_t>(j)];
-        if (lagging ||
-            entry.conj[static_cast<std::size_t>(j)] == ConjunctEval::kUnset) {
+        const bool lagging = entry.cut(static_cast<std::size_t>(j)) <
+                             entry.depend(static_cast<std::size_t>(j));
+        if (lagging || entry.conj(static_cast<std::size_t>(j)) ==
+                           ConjunctEval::kUnset) {
           entry.next_target_process = j;
           entry.next_target_event =
-              entry.cut[static_cast<std::size_t>(j)] + 1;
+              entry.cut(static_cast<std::size_t>(j)) + 1;
           break;
         }
       }
     }
     tids.push_back(tid);
-    remote_entries.push_back(std::move(entry));
+    token.entries.push_back(std::move(entry));
   }
 
-  if (remote_entries.empty()) return;
+  if (token.entries.empty()) {
+    recycle_token(std::move(token));
+    return;
+  }
   }  // walk-mode dispatch
 
   // Optimization 4.3.2: skip duplicate probes -- the same (state,
@@ -395,17 +466,17 @@ void MonitorProcess::probe_outgoing(GlobalView& gv, const Event& e,
   // own probes (Theorem 4's progress-path argument).
   const std::uint64_t sig = probe_signature(gv, tids);
   if (options_.dedupe_probes) {
-    if (gv.probe_sig == sig) return;
-    if (outstanding_sigs_.count(sig)) return;
+    if (gv.probe_sig == sig || outstanding_sigs_.count(sig)) {
+      recycle_token(std::move(token));
+      return;
+    }
   }
 
-  Token token;
   token.token_id =
       (static_cast<std::uint64_t>(index_) << 32) | next_token_serial_++;
   token.parent = index_;
   token.parent_sn = e.sn;
   token.parent_vc = e.vc;
-  token.entries = std::move(remote_entries);
   ++stats_.tokens_created;
 
   if (options_.trace) {
@@ -420,12 +491,12 @@ void MonitorProcess::probe_outgoing(GlobalView& gv, const Event& e,
   if (consistent) {
     // Fork a copy that keeps tracing the path while the original waits for
     // the token (Alg. 2 lines 33-36).
-    GlobalView copy = gv;
+    GlobalView copy = acquire_view();
+    copy.cut = gv.cut;
+    copy.gstate = gv.gstate;
+    copy.q = gv.q;
+    copy.next_sn = gv.next_sn;
     copy.id = next_view_id_++;
-    copy.waiting = false;
-    copy.token_id = 0;
-    copy.forked_copy = false;
-    copy.probe_sig = 0;
     ++stats_.global_views_created;
     if (options_.max_views && views_.size() >= options_.max_views) {
       throw std::length_error("MonitorProcess: view cap exceeded");
@@ -494,7 +565,7 @@ void MonitorProcess::process_token(Token token, double now) {
 }
 
 void MonitorProcess::apply_event_to_token(Token& token, const Event& e) {
-  std::vector<std::size_t> updated;
+  SmallVec<std::uint32_t, 32> updated;
   for (std::size_t idx = 0; idx < token.entries.size(); ++idx) {
     TransitionEntry& entry = token.entries[idx];
     if (entry.eval != EntryEval::kUnset) continue;
@@ -502,31 +573,27 @@ void MonitorProcess::apply_event_to_token(Token& token, const Event& e) {
         entry.next_target_event != e.sn) {
       continue;
     }
-    entry.cut[static_cast<std::size_t>(index_)] = e.sn;
-    entry.gstate[static_cast<std::size_t>(index_)] = e.letter;
-    entry.depend.merge(e.vc);
-    for (int j = 0; j < n_; ++j) {
-      entry.depend[static_cast<std::size_t>(j)] =
-          std::max(entry.depend[static_cast<std::size_t>(j)],
-                   entry.cut[static_cast<std::size_t>(j)]);
-    }
+    entry.cut(static_cast<std::size_t>(index_)) = e.sn;
+    entry.gstate(static_cast<std::size_t>(index_)) = e.letter;
+    entry.merge_depend(e.vc);
+    entry.raise_depend_to_cut();
     const CompiledTransition& ct = prop_->transition(entry.transition_id);
     if (!ct.local[static_cast<std::size_t>(index_)].is_true()) {
-      entry.conj[static_cast<std::size_t>(index_)] =
+      entry.conj(static_cast<std::size_t>(index_)) =
           prop_->locally_satisfied(entry.transition_id, index_, e.letter)
               ? ConjunctEval::kTrue
               : ConjunctEval::kUnset;
     } else {
       // Non-participant visit (successor verification or consistency
       // repair): nothing to evaluate here.
-      entry.conj[static_cast<std::size_t>(index_)] = ConjunctEval::kTrue;
+      entry.conj(static_cast<std::size_t>(index_)) = ConjunctEval::kTrue;
     }
-    updated.push_back(idx);
+    updated.push_back(static_cast<std::uint32_t>(idx));
   }
 
   // Resolve or retarget each updated entry (Alg. 4 lines 13-25, with the
   // generalized order check replacing Alg. 5's sibling-only flag rule).
-  for (std::size_t idx : updated) {
+  for (std::uint32_t idx : updated) {
     TransitionEntry& entry = token.entries[idx];
     if (entry.eval != EntryEval::kUnset) continue;
 
@@ -534,9 +601,9 @@ void MonitorProcess::apply_event_to_token(Token& token, const Event& e) {
     // frontier depends on events not yet included) or an open conjunct.
     int next = -1;
     for (int k = 0; k < n_; ++k) {
-      if (entry.cut[static_cast<std::size_t>(k)] <
-              entry.depend[static_cast<std::size_t>(k)] ||
-          entry.conj[static_cast<std::size_t>(k)] == ConjunctEval::kUnset) {
+      if (entry.cut(static_cast<std::size_t>(k)) <
+              entry.depend(static_cast<std::size_t>(k)) ||
+          entry.conj(static_cast<std::size_t>(k)) == ConjunctEval::kUnset) {
         next = k;
         break;
       }
@@ -561,17 +628,8 @@ void MonitorProcess::apply_event_to_token(Token& token, const Event& e) {
     // (design note: this generalizes Alg. 5's flag rule, which only catches
     // competing sibling entries). An inconsistent cut is not a global state
     // of any path, so it is repaired, not judged.
-    bool consistent_here = true;
-    for (int k = 0; k < n_; ++k) {
-      if (entry.cut[static_cast<std::size_t>(k)] <
-          entry.depend[static_cast<std::size_t>(k)]) {
-        consistent_here = false;
-        break;
-      }
-    }
-    if (consistent_here) {
-      AtomSet letter = 0;
-      for (AtomSet s : entry.gstate) letter |= s;
+    if (entry.cut_covers_depend()) {
+      const AtomSet letter = entry.combined_gstate();
       const MonitorTransition* t =
           prop_->match(prop_->transition(entry.transition_id).from, letter);
       if (t && !t->self_loop()) {
@@ -580,17 +638,15 @@ void MonitorProcess::apply_event_to_token(Token& token, const Event& e) {
       }
       // Certified stay-point: a consistent cut where the path provably can
       // remain at the source state (used to resurrect launchpad views).
-      entry.loop_certified = true;
-      entry.loop_cut = entry.cut;
-      entry.loop_gstate = entry.gstate;
+      entry.certify_loop();
     }
     // A conjunct re-opens when its process's slice will move.
     const CompiledTransition& ct = prop_->transition(entry.transition_id);
     if (!ct.local[static_cast<std::size_t>(next)].is_true()) {
-      entry.conj[static_cast<std::size_t>(next)] = ConjunctEval::kUnset;
+      entry.conj(static_cast<std::size_t>(next)) = ConjunctEval::kUnset;
     }
     entry.next_target_process = next;
-    entry.next_target_event = entry.cut[static_cast<std::size_t>(next)] + 1;
+    entry.next_target_event = entry.cut(static_cast<std::size_t>(next)) + 1;
   }
 }
 
@@ -668,20 +724,27 @@ bool MonitorProcess::route_token(Token& token, double now) {
     return true;
   }
   ++stats_.token_messages_sent;
-  auto payload = std::make_shared<TokenMessage>();
-  payload->token = std::move(token);
+  // Swap the token into a recycled message shell: the shell's previous
+  // token husk lands in `token` and goes back to the pool, so its spilled
+  // capacity (entry vector, wide clocks) keeps circulating.
+  std::unique_ptr<TokenMessage> payload = acquire_token_payload();
+  std::swap(payload->token, token);
   net_->send(MonitorMessage{index_, dest, std::move(payload)});
+  recycle_token(std::move(token));
   return true;
 }
 
 void MonitorProcess::handle_returned_token(Token token, double now) {
   GlobalView* gv = find_view_by_token(token.token_id);
-  if (!gv || gv->dead) return;  // view vanished; drop the token
+  if (!gv || gv->dead) {
+    recycle_token(std::move(token));  // view vanished; drop the token
+    return;
+  }
 
   bool spawned_to = false;
   // Local, not member scratch: spawn_view can re-enter this function
   // through drain -> probe_outgoing -> process_token -> route_token.
-  std::vector<char> spawned_states(
+  SmallVec<char, 64> spawned_states(
       static_cast<std::size_t>(prop_->automaton().num_states()), 0);
   for (TransitionEntry& entry : token.entries) {
     if (entry.eval != EntryEval::kTrue) continue;
@@ -707,21 +770,19 @@ void MonitorProcess::handle_returned_token(Token token, double now) {
   const TransitionEntry* cert = nullptr;
   for (const TransitionEntry& entry : token.entries) {
     if (!entry.loop_certified) continue;
-    if (!cert) {
+    if (!cert || entry.loop_cut_total() > cert->loop_cut_total()) {
       cert = &entry;
-      continue;
     }
-    std::uint64_t a = 0;
-    std::uint64_t b = 0;
-    for (std::uint32_t x : entry.loop_cut) a += x;
-    for (std::uint32_t x : cert->loop_cut) b += x;
-    if (a > b) cert = &entry;
   }
-  std::vector<std::uint32_t> cert_cut;
-  std::vector<AtomSet> cert_gstate;
+  SmallVec<std::uint32_t, 8> cert_cut;
+  SmallVec<AtomSet, 8> cert_gstate;
   if (cert) {
-    cert_cut = cert->loop_cut;
-    cert_gstate = cert->loop_gstate;
+    cert_cut.resize(cert->width());
+    cert_gstate.resize(cert->width());
+    for (std::size_t j = 0; j < cert->width(); ++j) {
+      cert_cut[j] = cert->loop_cut(j);
+      cert_gstate[j] = cert->loop_gstate(j);
+    }
   }
 
   // Drop resolved entries.
@@ -730,6 +791,7 @@ void MonitorProcess::handle_returned_token(Token token, double now) {
   });
 
   if (token.entries.empty()) {
+    recycle_token(std::move(token));
     gv->waiting = false;
     outstanding_sigs_.erase(gv->probe_sig);
     if (!gv->forked_copy && cert) {
@@ -764,8 +826,8 @@ void MonitorProcess::spawn_view(const TransitionEntry& entry, double now) {
     std::uint64_t h = 1469598103934665603ull;
     h ^= static_cast<std::uint64_t>(prop_->transition(entry.transition_id).to);
     h *= 1099511628211ull;
-    for (std::uint32_t x : entry.cut) {
-      h ^= x;
+    for (std::size_t j = 0; j < entry.width(); ++j) {
+      h ^= entry.cut(j);
       h *= 1099511628211ull;
     }
     if (!spawned_memo_.insert(h).second) return;
@@ -774,17 +836,21 @@ void MonitorProcess::spawn_view(const TransitionEntry& entry, double now) {
     options_.trace("M" + std::to_string(index_) + " spawn via " +
                    entry.to_string());
   }
-  GlobalView v;
+  GlobalView v = acquire_view();
   v.id = next_view_id_++;
-  v.cut = entry.cut;
-  v.gstate = entry.gstate;
+  v.cut.resize(entry.width());
+  v.gstate.resize(entry.width());
+  for (std::size_t j = 0; j < entry.width(); ++j) {
+    v.cut[j] = entry.cut(j);
+    v.gstate[j] = entry.gstate(j);
+  }
   v.q = prop_->transition(entry.transition_id).to;
   // The new path continues from the detected pivot cut: every local event
   // past the cut must still be consumed, including ones the parent already
   // processed -- the cursor starts at the pivot's local component, not at
   // the parent's position, and drain() replays the shared history from
   // there.
-  v.next_sn = entry.cut[static_cast<std::size_t>(index_)] + 1;
+  v.next_sn = entry.cut(static_cast<std::size_t>(index_)) + 1;
   ++stats_.global_views_created;
   if (options_.max_views && views_.size() >= options_.max_views) {
     throw std::length_error("MonitorProcess: view cap exceeded");
@@ -813,7 +879,7 @@ void MonitorProcess::on_local_termination(double now) {
   // Announce to all peers.
   for (int j = 0; j < n_; ++j) {
     if (j == index_) continue;
-    auto payload = std::make_shared<TerminationMessage>();
+    auto payload = std::make_unique<TerminationMessage>();
     payload->process = index_;
     payload->last_sn = static_cast<std::uint32_t>(history_.size()) - 1;
     ++stats_.termination_messages;
@@ -833,7 +899,7 @@ void MonitorProcess::on_peer_termination(int peer, std::uint32_t last_sn,
 }
 
 void MonitorProcess::flush_waiting_tokens(double now) {
-  std::list<Token> parked = std::move(w_tokens_);
+  std::vector<Token> parked = std::move(w_tokens_);
   w_tokens_.clear();
   for (Token& t : parked) {
     // Every entry waiting for a local event beyond the last one is disabled.
@@ -872,8 +938,11 @@ void MonitorProcess::check_finished(double now) {
 
 void MonitorProcess::merge_similar_views() {
   // Collect the settled (non-waiting, fully drained) live views once;
-  // everything below works on this small set.
-  std::vector<GlobalView*> settled;
+  // everything below works on this small set. Scratch containers are
+  // members so their capacity persists across calls (merge is never
+  // re-entered: it runs only at the tail of top-level dispatches).
+  std::vector<GlobalView*>& settled = merge_settled_;
+  settled.clear();
   for (GlobalView& gv : views_) {
     if (!gv.dead && !gv.waiting && gv.next_sn >= history_.size()) {
       settled.push_back(&gv);
@@ -885,8 +954,8 @@ void MonitorProcess::merge_similar_views() {
   // -- no per-view key vector is materialized. A 64-bit hash collision
   // between distinct keys would only *skip* a merge (verified below), never
   // merge distinct views.
-  std::unordered_map<std::uint64_t, GlobalView*> seen;
-  seen.reserve(settled.size());
+  std::unordered_map<std::uint64_t, GlobalView*>& seen = merge_seen_;
+  seen.clear();
   for (GlobalView* gv : settled) {
     std::uint64_t h = 1469598103934665603ull;
     auto mix = [&h](std::uint64_t x) {
@@ -939,8 +1008,9 @@ void MonitorProcess::merge_similar_views() {
   // automaton state, keeping the most advanced cut. Indexed by state id --
   // the automaton is small, so a flat array beats any map.
   if (options_.merge_by_state) {
-    std::vector<GlobalView*> best(
-        static_cast<std::size_t>(prop_->automaton().num_states()), nullptr);
+    std::vector<GlobalView*>& best = merge_best_;
+    best.assign(static_cast<std::size_t>(prop_->automaton().num_states()),
+                nullptr);
     for (GlobalView* pgv : settled) {
       GlobalView& gv = *pgv;
       if (gv.dead) continue;
@@ -972,6 +1042,13 @@ void MonitorProcess::merge_similar_views() {
 
 void MonitorProcess::sweep_dead_views() {
   if (dispatch_depth_ > 0) return;  // references may still be on the stack
+  // Harvest dead views into the free list first (their dead flag survives
+  // the move -- scalars are copied, not reset), then erase the husks.
+  for (GlobalView& gv : views_) {
+    if (gv.dead && view_pool_.size() < kMaxPooledViews) {
+      view_pool_.push_back(std::move(gv));
+    }
+  }
   std::erase_if(views_, [](const GlobalView& gv) { return gv.dead; });
 }
 

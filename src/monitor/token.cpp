@@ -14,9 +14,9 @@ bool Token::has_live_entries() const {
 std::string TransitionEntry::to_string() const {
   std::ostringstream os;
   os << "entry{t" << transition_id << " cut=[";
-  for (std::size_t i = 0; i < cut.size(); ++i) {
+  for (std::size_t i = 0; i < width(); ++i) {
     if (i) os << ',';
-    os << cut[i];
+    os << cut(i);
   }
   os << "] eval="
      << (eval == EntryEval::kUnset ? "?"

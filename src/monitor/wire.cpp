@@ -45,9 +45,9 @@ class Reader {
     for (int i = 0; i < 8; ++i) x |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
     return x;
   }
-  VectorClock vc() {
+  VectorClock vc(std::size_t max_width) {
     const std::uint32_t n = u32();
-    if (n > 4096) throw WireError("vector clock too wide");
+    if (n > max_width) throw WireError("vector clock too wide");
     VectorClock clock(n);
     for (std::uint32_t i = 0; i < n; ++i) clock[i] = u32();
     return clock;
@@ -58,7 +58,9 @@ class Reader {
 
  private:
   void need(std::size_t k) const {
-    if (pos_ + k > buf_.size()) throw WireError("truncated buffer");
+    // pos_ <= buf_.size() always holds, so the subtraction cannot wrap;
+    // comparing this way keeps a huge k from overflowing pos_ + k.
+    if (k > buf_.size() - pos_) throw WireError("truncated buffer");
   }
   const std::vector<std::uint8_t>& buf_;
   std::size_t pos_ = 0;
@@ -78,51 +80,64 @@ void read_header(Reader& r, WireKind expected) {
   }
 }
 
+// Target processes travel as index+1 (0 = unset). A corrupt value near
+// UINT32_MAX would make the decoding subtraction overflow, so bound it by
+// the widest width any decoder accepts before converting.
+int read_target_process(Reader& r) {
+  const std::uint32_t raw = r.u32();
+  if (raw > kMaxWireProcesses) throw WireError("bad target process");
+  return static_cast<int>(raw) - 1;
+}
+
+// The entry layout predates the flat ProcSlot storage and is kept
+// byte-for-byte: cut[], depend (as a width-prefixed clock), gstate[],
+// conj[], then the scalars and optional loop arrays.
 void write_entry(Writer& w, const TransitionEntry& e) {
+  const std::size_t n = e.width();
   w.u32(static_cast<std::uint32_t>(e.transition_id));
-  w.u32(static_cast<std::uint32_t>(e.cut.size()));
-  for (std::uint32_t x : e.cut) w.u32(x);
-  w.vc(e.depend);
-  for (AtomSet s : e.gstate) w.u64(s);
-  for (ConjunctEval c : e.conj) w.u8(static_cast<std::uint8_t>(c));
+  w.u32(static_cast<std::uint32_t>(n));
+  for (std::size_t j = 0; j < n; ++j) w.u32(e.cut(j));
+  w.u32(static_cast<std::uint32_t>(n));  // depend clock width
+  for (std::size_t j = 0; j < n; ++j) w.u32(e.depend(j));
+  for (std::size_t j = 0; j < n; ++j) w.u64(e.gstate(j));
+  for (std::size_t j = 0; j < n; ++j) {
+    w.u8(static_cast<std::uint8_t>(e.conj(j)));
+  }
   w.u8(static_cast<std::uint8_t>(e.eval));
   w.u32(static_cast<std::uint32_t>(e.next_target_process + 1));
   w.u32(e.next_target_event);
   w.u8(e.loop_certified ? 1 : 0);
   if (e.loop_certified) {
-    for (std::uint32_t x : e.loop_cut) w.u32(x);
-    for (AtomSet s : e.loop_gstate) w.u64(s);
+    for (std::size_t j = 0; j < n; ++j) w.u32(e.loop_cut(j));
+    for (std::size_t j = 0; j < n; ++j) w.u64(e.loop_gstate(j));
   }
 }
 
-TransitionEntry read_entry(Reader& r) {
+TransitionEntry read_entry(Reader& r, std::size_t max_width) {
   TransitionEntry e;
   e.transition_id = static_cast<int>(r.u32());
   const std::uint32_t n = r.u32();
-  if (n > 4096) throw WireError("entry too wide");
-  e.cut.resize(n);
-  for (auto& x : e.cut) x = r.u32();
-  e.depend = r.vc();
-  if (e.depend.size() != n) throw WireError("depend width mismatch");
-  e.gstate.resize(n);
-  for (auto& s : e.gstate) s = r.u64();
-  e.conj.resize(n);
-  for (auto& c : e.conj) {
+  if (n > max_width) throw WireError("entry too wide");
+  e.set_width(n);
+  for (std::uint32_t j = 0; j < n; ++j) e.cut(j) = r.u32();
+  const std::uint32_t depend_n = r.u32();
+  if (depend_n != n) throw WireError("depend width mismatch");
+  for (std::uint32_t j = 0; j < n; ++j) e.depend(j) = r.u32();
+  for (std::uint32_t j = 0; j < n; ++j) e.gstate(j) = r.u64();
+  for (std::uint32_t j = 0; j < n; ++j) {
     const std::uint8_t x = r.u8();
     if (x > 2) throw WireError("bad conjunct eval");
-    c = static_cast<ConjunctEval>(x);
+    e.conj(j) = static_cast<ConjunctEval>(x);
   }
   const std::uint8_t eval = r.u8();
   if (eval > 2) throw WireError("bad entry eval");
   e.eval = static_cast<EntryEval>(eval);
-  e.next_target_process = static_cast<int>(r.u32()) - 1;
+  e.next_target_process = read_target_process(r);
   e.next_target_event = r.u32();
   e.loop_certified = r.u8() != 0;
   if (e.loop_certified) {
-    e.loop_cut.resize(n);
-    for (auto& x : e.loop_cut) x = r.u32();
-    e.loop_gstate.resize(n);
-    for (auto& s : e.loop_gstate) s = r.u64();
+    for (std::uint32_t j = 0; j < n; ++j) e.loop_cut(j) = r.u32();
+    for (std::uint32_t j = 0; j < n; ++j) e.loop_gstate(j) = r.u64();
   }
   return e;
 }
@@ -144,21 +159,24 @@ std::vector<std::uint8_t> encode_token(const Token& token) {
   return w.take();
 }
 
-Token decode_token(const std::vector<std::uint8_t>& buffer) {
+Token decode_token(const std::vector<std::uint8_t>& buffer,
+                   std::size_t max_width) {
   Reader r(buffer);
   read_header(r, WireKind::kToken);
   Token t;
   t.token_id = r.u64();
   t.parent = static_cast<int>(r.u32());
   t.parent_sn = r.u32();
-  t.parent_vc = r.vc();
-  t.next_target_process = static_cast<int>(r.u32()) - 1;
+  t.parent_vc = r.vc(max_width);
+  t.next_target_process = read_target_process(r);
   t.next_target_event = r.u32();
   t.hops = static_cast<int>(r.u32());
   const std::uint32_t n = r.u32();
   if (n > 65536) throw WireError("too many entries");
   t.entries.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) t.entries.push_back(read_entry(r));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    t.entries.push_back(read_entry(r, max_width));
+  }
   r.done();
   return t;
 }

@@ -10,8 +10,10 @@ namespace decmon {
 
 void VectorClock::merge(const VectorClock& other) {
   assert(v_.size() == other.v_.size());
+  std::uint32_t* a = v_.data();
+  const std::uint32_t* b = other.v_.data();
   for (std::size_t i = 0; i < v_.size(); ++i) {
-    v_[i] = std::max(v_[i], other.v_[i]);
+    a[i] = std::max(a[i], b[i]);
   }
 }
 

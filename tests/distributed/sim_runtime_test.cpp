@@ -111,9 +111,9 @@ class CountingHooks : public MonitorHooks {
     last_termination = now;
     terminated_procs.push_back(proc);
   }
-  void on_monitor_message(const MonitorMessage& msg, double now) override {
+  void on_monitor_message(MonitorMessage msg, double now) override {
     ++messages;
-    last_payload = msg.payload;
+    last_payload = std::move(msg.payload);
     last_delivery = now;
   }
   int events = 0;
@@ -122,7 +122,7 @@ class CountingHooks : public MonitorHooks {
   double last_termination = -1;
   double last_delivery = -1;
   std::vector<int> terminated_procs;
-  std::shared_ptr<NetPayload> last_payload;
+  std::unique_ptr<NetPayload> last_payload;
 };
 
 TEST(SimRuntime, HooksSeeEveryEventAndTermination) {
@@ -147,9 +147,9 @@ TEST(SimRuntime, MonitorMessagesDeliveredWithLatency) {
   SimRuntime sim(generate_trace(small_params(2)), &reg);
   CountingHooks hooks;
   sim.set_hooks(&hooks);
-  auto payload = std::make_shared<TestPayload>();
+  auto payload = std::make_unique<TestPayload>();
   payload->value = 99;
-  sim.send(MonitorMessage{0, 1, payload});
+  sim.send(MonitorMessage{0, 1, std::move(payload)});
   sim.run();
   EXPECT_EQ(hooks.messages, 1);
   EXPECT_GT(hooks.last_delivery, 0.0);
@@ -164,7 +164,7 @@ TEST(SimRuntime, SelfSendsAreNotNetworkTraffic) {
   SimRuntime sim(generate_trace(small_params(2)), &reg);
   CountingHooks hooks;
   sim.set_hooks(&hooks);
-  sim.send(MonitorMessage{1, 1, std::make_shared<TestPayload>()});
+  sim.send(MonitorMessage{1, 1, std::make_unique<TestPayload>()});
   sim.run();
   EXPECT_EQ(hooks.messages, 1);
   EXPECT_EQ(sim.monitor_messages_sent(), 0u);

@@ -125,7 +125,9 @@ TEST(MonitorProcessUnit, VisitingTokenWalksHistoryAndAnswers) {
   auto replies = net1.tokens_to(0, /*parent=*/0);
   ASSERT_EQ(replies.size(), 1u);
   EXPECT_EQ(replies[0].entries.at(0).eval, EntryEval::kTrue);
-  EXPECT_EQ(replies[0].entries.at(0).cut, (std::vector<std::uint32_t>{1, 1}));
+  ASSERT_EQ(replies[0].entries.at(0).width(), 2u);
+  EXPECT_EQ(replies[0].entries.at(0).cut(0), 1u);
+  EXPECT_EQ(replies[0].entries.at(0).cut(1), 1u);
 }
 
 TEST(MonitorProcessUnit, VisitingTokenParksForFutureEvent) {
@@ -172,9 +174,12 @@ TEST(MonitorProcessUnit, ReturnedEnabledTokenSpawnsAndDeclares) {
   m0.on_local_event(make_event(0, 1, VectorClock{1, 0}, 0b01), 1.0);
   Token probe = f.net.tokens_to(1).at(0);
   // Simulate M1's answer: the entry enabled at cut {1,1}.
-  probe.entries[0].cut = {1, 1};
-  probe.entries[0].gstate = {0b01, 0b100};
-  probe.entries[0].conj = {ConjunctEval::kTrue, ConjunctEval::kTrue};
+  probe.entries[0].cut(0) = 1;
+  probe.entries[0].cut(1) = 1;
+  probe.entries[0].gstate(0) = 0b01;
+  probe.entries[0].gstate(1) = 0b100;
+  probe.entries[0].conj(0) = ConjunctEval::kTrue;
+  probe.entries[0].conj(1) = ConjunctEval::kTrue;
   probe.entries[0].eval = EntryEval::kTrue;
   probe.next_target_process = 0;
   m0.on_token(probe, 3.0);

@@ -7,6 +7,25 @@
 namespace decmon {
 namespace {
 
+TransitionEntry make_entry(int tid, std::initializer_list<std::uint32_t> cut,
+                           std::initializer_list<AtomSet> gstate,
+                           std::initializer_list<ConjunctEval> conj) {
+  TransitionEntry e;
+  e.transition_id = tid;
+  e.set_width(cut.size());
+  std::size_t j = 0;
+  for (std::uint32_t x : cut) {
+    e.cut(j) = x;
+    e.depend(j) = x;
+    ++j;
+  }
+  j = 0;
+  for (AtomSet s : gstate) e.gstate(j++) = s;
+  j = 0;
+  for (ConjunctEval c : conj) e.conj(j++) = c;
+  return e;
+}
+
 Token sample_token() {
   Token t;
   t.token_id = (std::uint64_t{2} << 32) | 17;
@@ -17,26 +36,27 @@ Token sample_token() {
   t.next_target_event = 4;
   t.hops = 5;
 
-  TransitionEntry e1;
-  e1.transition_id = 7;
-  e1.cut = {3, 1, 9};
-  e1.depend = VectorClock{3, 1, 9};
-  e1.gstate = {0b01, 0b10, 0b11};
-  e1.conj = {ConjunctEval::kTrue, ConjunctEval::kUnset, ConjunctEval::kFalse};
+  TransitionEntry e1 =
+      make_entry(7, {3, 1, 9}, {0b01, 0b10, 0b11},
+                 {ConjunctEval::kTrue, ConjunctEval::kUnset,
+                  ConjunctEval::kFalse});
   e1.eval = EntryEval::kUnset;
   e1.next_target_process = 0;
   e1.next_target_event = 4;
   e1.loop_certified = true;
-  e1.loop_cut = {2, 1, 8};
-  e1.loop_gstate = {0, 0b10, 0b01};
+  {
+    const std::uint32_t lc[] = {2, 1, 8};
+    const AtomSet lg[] = {0, 0b10, 0b01};
+    for (std::size_t j = 0; j < 3; ++j) {
+      e1.loop_cut(j) = lc[j];
+      e1.loop_gstate(j) = lg[j];
+    }
+  }
 
-  TransitionEntry e2;
-  e2.transition_id = 12;
-  e2.cut = {5, 5, 5};
-  e2.depend = VectorClock{5, 5, 5};
-  e2.gstate = {0, 0, 0};
-  e2.conj = {ConjunctEval::kUnset, ConjunctEval::kUnset,
-             ConjunctEval::kUnset};
+  TransitionEntry e2 =
+      make_entry(12, {5, 5, 5}, {0, 0, 0},
+                 {ConjunctEval::kUnset, ConjunctEval::kUnset,
+                  ConjunctEval::kUnset});
   e2.eval = EntryEval::kFalse;
   e2.next_target_process = -1;  // unset target must survive the trip
   e2.next_target_event = 0;
@@ -58,16 +78,21 @@ void expect_equal(const Token& a, const Token& b) {
     const TransitionEntry& x = a.entries[i];
     const TransitionEntry& y = b.entries[i];
     EXPECT_EQ(x.transition_id, y.transition_id);
-    EXPECT_EQ(x.cut, y.cut);
-    EXPECT_EQ(x.depend, y.depend);
-    EXPECT_EQ(x.gstate, y.gstate);
-    EXPECT_EQ(x.conj, y.conj);
+    ASSERT_EQ(x.width(), y.width());
+    for (std::size_t j = 0; j < x.width(); ++j) {
+      EXPECT_EQ(x.cut(j), y.cut(j));
+      EXPECT_EQ(x.depend(j), y.depend(j));
+      EXPECT_EQ(x.gstate(j), y.gstate(j));
+      EXPECT_EQ(x.conj(j), y.conj(j));
+      if (x.loop_certified) {
+        EXPECT_EQ(x.loop_cut(j), y.loop_cut(j));
+        EXPECT_EQ(x.loop_gstate(j), y.loop_gstate(j));
+      }
+    }
     EXPECT_EQ(x.eval, y.eval);
     EXPECT_EQ(x.next_target_process, y.next_target_process);
     EXPECT_EQ(x.next_target_event, y.next_target_event);
     EXPECT_EQ(x.loop_certified, y.loop_certified);
-    EXPECT_EQ(x.loop_cut, y.loop_cut);
-    EXPECT_EQ(x.loop_gstate, y.loop_gstate);
   }
 }
 
@@ -125,6 +150,83 @@ TEST(Wire, RejectsBadVersion) {
   bytes[0] = 99;
   EXPECT_THROW(decode_token(bytes), WireError);
   EXPECT_THROW(wire_kind(bytes), WireError);
+}
+
+Token random_token(std::mt19937_64& rng) {
+  // Widths up to 12 deliberately cross the inline small-buffer boundary (8)
+  // so heap-spilled entries round-trip too.
+  const std::size_t width = rng() % 13;
+  Token t;
+  t.token_id = rng();
+  t.parent = static_cast<int>(rng() % 16);
+  t.parent_sn = static_cast<std::uint32_t>(rng());
+  t.parent_vc = VectorClock(width);
+  for (std::size_t j = 0; j < width; ++j) {
+    t.parent_vc[j] = static_cast<std::uint32_t>(rng() % 1000);
+  }
+  t.next_target_process = static_cast<int>(rng() % 17) - 1;  // may be -1
+  t.next_target_event = static_cast<std::uint32_t>(rng() % 100);
+  t.hops = static_cast<int>(rng() % 50);
+  const std::size_t num_entries = rng() % 5;
+  for (std::size_t i = 0; i < num_entries; ++i) {
+    TransitionEntry e;
+    e.transition_id = static_cast<int>(rng() % 256);
+    e.set_width(width);
+    for (std::size_t j = 0; j < width; ++j) {
+      e.cut(j) = static_cast<std::uint32_t>(rng() % 1000);
+      e.depend(j) = static_cast<std::uint32_t>(rng() % 1000);
+      e.gstate(j) = static_cast<AtomSet>(rng());
+      e.conj(j) = static_cast<ConjunctEval>(rng() % 3);
+    }
+    e.eval = static_cast<EntryEval>(rng() % 3);
+    e.next_target_process = static_cast<int>(rng() % 17) - 1;
+    e.next_target_event = static_cast<std::uint32_t>(rng() % 100);
+    e.loop_certified = (rng() % 3) == 0;
+    if (e.loop_certified) {
+      for (std::size_t j = 0; j < width; ++j) {
+        e.loop_cut(j) = static_cast<std::uint32_t>(rng() % 1000);
+        e.loop_gstate(j) = static_cast<AtomSet>(rng());
+      }
+    }
+    t.entries.push_back(e);
+  }
+  return t;
+}
+
+// Property: every reachable Token survives encode/decode structurally
+// intact, regardless of width (inline or heap-spilled) or loop flags.
+TEST(WireProperty, RandomTokensRoundTrip) {
+  std::mt19937_64 rng(0xC0FFEE);
+  for (int iter = 0; iter < 500; ++iter) {
+    Token t = random_token(rng);
+    expect_equal(t, decode_token(encode_token(t)));
+  }
+}
+
+TEST(WireProperty, RandomTerminationsRoundTrip) {
+  std::mt19937_64 rng(0xDECAF);
+  for (int iter = 0; iter < 500; ++iter) {
+    TerminationMessage msg;
+    msg.process = static_cast<int>(rng() % 4096);
+    msg.last_sn = static_cast<std::uint32_t>(rng());
+    TerminationMessage back = decode_termination(encode_termination(msg));
+    EXPECT_EQ(back.process, msg.process);
+    EXPECT_EQ(back.last_sn, msg.last_sn);
+  }
+}
+
+// The session process count bounds every decoded width: a token encoded
+// for a wide system is rejected by a narrower session's decoder instead of
+// allocating attacker-controlled amounts.
+TEST(WireProperty, MaxWidthBoundsDecodedArrays) {
+  std::mt19937_64 rng(0xABCD);
+  Token t;
+  do {
+    t = random_token(rng);
+  } while (t.parent_vc.size() < 6);
+  const auto bytes = encode_token(t);
+  expect_equal(t, decode_token(bytes, t.parent_vc.size()));
+  EXPECT_THROW(decode_token(bytes, t.parent_vc.size() - 1), WireError);
 }
 
 // Fuzz: random byte flips must raise WireError or decode to *something*,

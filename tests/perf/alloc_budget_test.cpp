@@ -1,0 +1,98 @@
+// Allocation-budget regression test for the token path.
+//
+// Replaces global operator new in THIS binary only, counts heap
+// allocations across a fixed monitored run (cell D, n=5, communication
+// on, seed 1 -- the heaviest token-routing cell in the bench grid), and
+// asserts the per-event allocation rate stays under a recorded budget.
+//
+// History: before the inline-storage/free-list overhaul this run cost
+// ~547 allocations per event; after it, ~10. The budget of 40 leaves 4x
+// headroom over the measured value while staying far below half the old
+// cost (the regression bar), so the test flags any return of per-hop
+// heap traffic without being brittle to library noise.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "decmon/decmon.hpp"
+
+// Sanitizer builds own the allocator; interposing operator new there both
+// skews the count and trips ASan's alloc/dealloc matching, so the hook and
+// the assertion are compiled out.
+#if defined(__SANITIZE_ADDRESS__)
+#define DECMON_ALLOC_TEST_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DECMON_ALLOC_TEST_DISABLED 1
+#endif
+#endif
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<bool> g_counting{false};
+
+}  // namespace
+
+#ifndef DECMON_ALLOC_TEST_DISABLED
+
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#endif  // DECMON_ALLOC_TEST_DISABLED
+
+namespace decmon {
+namespace {
+
+constexpr double kAllocsPerEventBudget = 40.0;
+
+TEST(AllocBudget, CellDStaysUnderBudget) {
+#ifdef DECMON_ALLOC_TEST_DISABLED
+  GTEST_SKIP() << "allocation counting is disabled under sanitizers";
+#endif
+  const int n = 5;
+  AtomRegistry reg = paper::make_registry(n);
+  MonitorAutomaton automaton =
+      paper::build_automaton(paper::Property::kD, n, reg);
+  MonitorSession session(std::move(reg), std::move(automaton));
+
+  TraceParams params = paper::experiment_params(
+      paper::Property::kD, n, /*seed=*/1, /*comm_mu=*/3.0,
+      /*comm_enabled=*/true, /*internal_events=*/25);
+  SystemTrace trace = generate_trace(params);
+  force_final_all_true(trace);
+
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  RunResult run = session.run(trace);
+  g_counting.store(false, std::memory_order_relaxed);
+
+  const double events = static_cast<double>(run.program_events);
+  ASSERT_GT(events, 0.0);
+  const double per_event =
+      static_cast<double>(g_allocs.load(std::memory_order_relaxed)) / events;
+
+  RecordProperty("allocs_per_event", std::to_string(per_event));
+  EXPECT_LE(per_event, kAllocsPerEventBudget)
+      << "token path regressed: " << per_event
+      << " heap allocations per event (budget " << kAllocsPerEventBudget
+      << ", pre-overhaul baseline ~547)";
+}
+
+}  // namespace
+}  // namespace decmon

@@ -1,0 +1,212 @@
+// SmallVec and InplaceTask: the two allocation-control primitives under
+// the token path. The interesting regions are the inline/heap boundary
+// (N elements inline, N+1 spills) and capacity retention across clear()
+// -- the monitor free lists rely on both.
+#include "decmon/util/small_vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "decmon/util/inplace_function.hpp"
+
+namespace decmon {
+namespace {
+
+using Vec = SmallVec<std::uint32_t, 8>;
+
+TEST(SmallVec, StartsEmptyWithInlineCapacity) {
+  Vec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 8u);
+}
+
+TEST(SmallVec, SizedConstructorValueInitializes) {
+  Vec v(5);
+  ASSERT_EQ(v.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], 0u);
+  Vec w(3, 42u);
+  ASSERT_EQ(w.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(w[i], 42u);
+}
+
+TEST(SmallVec, PushBackAcrossTheInlineBoundary) {
+  Vec v;
+  for (std::uint32_t i = 0; i < 20; ++i) v.push_back(i * 3);
+  ASSERT_EQ(v.size(), 20u);
+  EXPECT_GE(v.capacity(), 20u);
+  for (std::uint32_t i = 0; i < 20; ++i) EXPECT_EQ(v[i], i * 3);
+}
+
+TEST(SmallVec, ExactlyInlineStaysInline) {
+  Vec v(8, 7u);
+  EXPECT_EQ(v.capacity(), 8u);  // no spill at exactly N
+  v.push_back(9);               // N+1 spills
+  EXPECT_GT(v.capacity(), 8u);
+  EXPECT_EQ(v[7], 7u);
+  EXPECT_EQ(v[8], 9u);
+}
+
+TEST(SmallVec, ClearRetainsCapacity) {
+  Vec v(20);
+  const std::size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+  v.resize(20);  // must not need a fresh allocation path
+  EXPECT_EQ(v.capacity(), cap);
+}
+
+TEST(SmallVec, ResizeShrinkKeepsStorageGrowZeroesTail) {
+  Vec v;
+  for (std::uint32_t i = 0; i < 12; ++i) v.push_back(100 + i);
+  v.resize(4);
+  EXPECT_EQ(v.size(), 4u);
+  v.resize(12);
+  for (std::size_t i = 4; i < 12; ++i) EXPECT_EQ(v[i], 0u) << i;
+}
+
+TEST(SmallVec, CopySemantics) {
+  for (std::size_t n : {3u, 8u, 17u}) {  // inline, boundary, heap
+    Vec a;
+    for (std::uint32_t i = 0; i < n; ++i) a.push_back(i + 1);
+    Vec b(a);
+    EXPECT_EQ(a, b);
+    Vec c;
+    c = a;
+    EXPECT_EQ(a, c);
+    c[0] = 999;  // deep copy: no aliasing
+    EXPECT_EQ(a[0], 1u);
+  }
+}
+
+TEST(SmallVec, MoveStealsHeapBlockAndCopiesInline) {
+  Vec heap;
+  for (std::uint32_t i = 0; i < 17; ++i) heap.push_back(i);
+  const std::uint32_t* block = heap.data();
+  Vec stolen(std::move(heap));
+  EXPECT_EQ(stolen.data(), block);  // heap block moved, not copied
+  EXPECT_EQ(stolen.size(), 17u);
+  EXPECT_TRUE(heap.empty());  // NOLINT(bugprone-use-after-move)
+
+  Vec small{1, 2, 3};
+  Vec moved(std::move(small));
+  ASSERT_EQ(moved.size(), 3u);
+  EXPECT_EQ(moved[2], 3u);
+}
+
+TEST(SmallVec, MoveAssignReleasesOldStorage) {
+  Vec a(20, 5u);
+  Vec b(30, 6u);
+  a = std::move(b);
+  ASSERT_EQ(a.size(), 30u);
+  EXPECT_EQ(a[29], 6u);
+  a = Vec{9};  // move-assign from inline temporary
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0], 9u);
+}
+
+TEST(SmallVec, EqualityComparesContentNotCapacity) {
+  Vec a{1, 2, 3};
+  Vec b(20);
+  b.clear();
+  for (std::uint32_t x : {1u, 2u, 3u}) b.push_back(x);
+  EXPECT_EQ(a, b);  // a inline, b heap-backed
+  b.push_back(4);
+  EXPECT_NE(a, b);
+}
+
+TEST(SmallVec, AtThrowsOutOfRange) {
+  Vec v{1, 2};
+  EXPECT_EQ(v.at(1), 2u);
+  EXPECT_THROW(v.at(2), std::out_of_range);
+  const Vec& cv = v;
+  EXPECT_THROW(cv.at(5), std::out_of_range);
+}
+
+TEST(SmallVec, IteratorsWorkWithAlgorithms) {
+  Vec v;
+  for (std::uint32_t i = 1; i <= 10; ++i) v.push_back(i);
+  EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0u), 55u);
+  std::vector<std::uint32_t> copy(v.begin(), v.end());
+  EXPECT_EQ(copy.size(), 10u);
+}
+
+using Task = InplaceTask<64>;
+
+TEST(InplaceTask, InvokesCapturedState) {
+  int hits = 0;
+  Task t([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(t));
+  t();
+  t();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceTask, DefaultIsEmpty) {
+  Task t;
+  EXPECT_FALSE(static_cast<bool>(t));
+}
+
+TEST(InplaceTask, MoveTransfersClosure) {
+  int hits = 0;
+  Task a([&hits] { hits += 10; });
+  Task b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 10);
+
+  Task c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 20);
+}
+
+TEST(InplaceTask, DestroysCapturedObjects) {
+  struct Probe {
+    explicit Probe(int* c) : count(c) { ++*count; }
+    Probe(Probe&& o) noexcept : count(o.count) { ++*count; }
+    ~Probe() { --*count; }
+    int* count;
+  };
+  int live = 0;
+  {
+    Task t([p = Probe(&live)] { (void)p; });
+    EXPECT_GT(live, 0);
+    Task u(std::move(t));  // relocation must not leak
+    EXPECT_EQ(live, 1);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(InplaceTask, MoveOnlyCapturesWork) {
+  auto owned = std::make_unique<int>(77);
+  int seen = 0;
+  Task t([&seen, p = std::move(owned)] { seen = *p; });
+  Task u(std::move(t));
+  u();
+  EXPECT_EQ(seen, 77);
+}
+
+TEST(InplaceTask, ResetDropsTheClosure) {
+  int live = 0;
+  struct Probe {
+    explicit Probe(int* c) : count(c) { ++*count; }
+    Probe(Probe&& o) noexcept : count(o.count) { ++*count; }
+    ~Probe() { --*count; }
+    int* count;
+  };
+  Task t([p = Probe(&live)] { (void)p; });
+  EXPECT_EQ(live, 1);
+  t.reset();
+  EXPECT_EQ(live, 0);
+  EXPECT_FALSE(static_cast<bool>(t));
+}
+
+}  // namespace
+}  // namespace decmon
