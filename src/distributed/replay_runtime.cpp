@@ -1,26 +1,59 @@
 #include "decmon/distributed/replay_runtime.hpp"
 
+#include <utility>
 #include <vector>
 
 namespace decmon {
 
+void ReplayRuntime::send_perturbed(MonitorMessage msg,
+                                   const DeliveryPerturbation& perturbation) {
+  Channel& ch = channels_[{msg.from, msg.to}];
+  InFlight item{std::move(msg), t_ + perturbation.extra_delay};
+  if (perturbation.bypass_fifo) {
+    ch.loose.push_back(std::move(item));
+  } else {
+    ch.fifo.push_back(std::move(item));
+  }
+}
+
 bool ReplayRuntime::channels_empty() const {
-  for (const auto& [key, q] : channels_) {
-    if (!q.empty()) return false;
+  for (const auto& [key, ch] : channels_) {
+    if (!ch.fifo.empty() || !ch.loose.empty()) return false;
   }
   return true;
 }
 
-void ReplayRuntime::deliver_one(MonitorHooks& hooks, std::mt19937_64& rng) {
-  std::vector<std::pair<int, int>> nonempty;
-  for (const auto& [key, q] : channels_) {
-    if (!q.empty()) nonempty.push_back(key);
+bool ReplayRuntime::deliver_one(MonitorHooks& hooks, std::mt19937_64& rng) {
+  // Candidates: each channel's FIFO front (later FIFO messages wait behind
+  // it, even when ripe -- head-of-line order is the channel contract) plus
+  // every ripe loose message.
+  struct Candidate {
+    Channel* ch;
+    std::size_t loose_index;  ///< SIZE_MAX = the FIFO front
+  };
+  std::vector<Candidate> ready;
+  for (auto& [key, ch] : channels_) {
+    if (!ch.fifo.empty() && ch.fifo.front().ready_at <= t_) {
+      ready.push_back({&ch, static_cast<std::size_t>(-1)});
+    }
+    for (std::size_t i = 0; i < ch.loose.size(); ++i) {
+      if (ch.loose[i].ready_at <= t_) ready.push_back({&ch, i});
+    }
   }
-  const auto key = nonempty[rng() % nonempty.size()];
-  MonitorMessage msg = std::move(channels_[key].front());
-  channels_[key].pop_front();
+  if (ready.empty()) return false;
+  const Candidate pick = ready[rng() % ready.size()];
+  MonitorMessage msg;
+  if (pick.loose_index == static_cast<std::size_t>(-1)) {
+    msg = std::move(pick.ch->fifo.front().msg);
+    pick.ch->fifo.pop_front();
+  } else {
+    msg = std::move(pick.ch->loose[pick.loose_index].msg);
+    pick.ch->loose.erase(pick.ch->loose.begin() +
+                         static_cast<std::ptrdiff_t>(pick.loose_index));
+  }
   ++deliveries_;
   hooks.on_monitor_message(std::move(msg), t_);
+  return true;
 }
 
 void ReplayRuntime::run(const Computation& comp, MonitorHooks& hooks,
@@ -42,12 +75,15 @@ void ReplayRuntime::run(const Computation& comp, MonitorHooks& hooks,
 
   while (events_left() || !channels_empty()) {
     t_ += 1.0;
-    const bool deliver_msg =
+    const bool try_msg =
         !channels_empty() && (rng() % 2 == 0 || !events_left());
-    if (deliver_msg) {
-      deliver_one(hooks, rng);
-      continue;
+    if (try_msg) {
+      if (deliver_one(hooks, rng)) continue;
+      // Nothing has ripened: when only delayed messages remain, advancing
+      // t_ (top of the loop) is what eventually makes them deliverable.
+      if (!events_left()) continue;
     }
+    if (!events_left()) continue;
     std::vector<int> ready;
     for (int p = 0; p < n; ++p) {
       if (cursor[static_cast<std::size_t>(p)] <= comp.num_events(p) ||

@@ -128,16 +128,26 @@ void SimRuntime::maybe_terminate(int proc) {
 }
 
 void SimRuntime::send(MonitorMessage msg) {
+  send_perturbed(std::move(msg), DeliveryPerturbation{});
+}
+
+void SimRuntime::send_perturbed(MonitorMessage msg,
+                                const DeliveryPerturbation& perturbation) {
   if (msg.to < 0 || msg.to >= num_processes()) {
     throw std::out_of_range("SimRuntime::send: bad destination");
   }
   const bool self = msg.from == msg.to;
   if (!self) ++monitor_messages_;  // same-node handoff is not network traffic
-  const double at =
-      self ? now_
-           : fifo_delivery_time(mon_last_delivery_,
-                                msg.from * num_processes() + msg.to,
-                                now_ + mon_latency_.sample());
+  double at = now_;
+  if (!self) {
+    at += mon_latency_.sample() + perturbation.extra_delay;
+    // Perturbed (bypass_fifo) messages neither wait behind nor hold back
+    // the channel: they are exactly the reordering/retransmission faults.
+    if (!perturbation.bypass_fifo) {
+      at = fifo_delivery_time(mon_last_delivery_,
+                              msg.from * num_processes() + msg.to, at);
+    }
+  }
   // The message moves through the queue to the receiver: the payload is
   // never duplicated, and self-delivery (from == to) is the same zero-copy
   // handoff scheduled at the current time.

@@ -29,6 +29,12 @@ struct AppMessage {
 struct NetPayload {
   explicit NetPayload(std::uint8_t t = 0) : tag(t) {}
   virtual ~NetPayload() = default;
+
+  /// Deep-copy the payload, or null when the concrete type does not support
+  /// duplication. Only fault-injection layers call this (to model duplicate
+  /// delivery); the regular send path always moves payloads.
+  virtual std::unique_ptr<NetPayload> clone() const { return nullptr; }
+
   const std::uint8_t tag;
 };
 

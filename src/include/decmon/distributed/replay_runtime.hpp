@@ -3,8 +3,12 @@
 // deliveries and monitor-message deliveries. Monitors only rely on vector
 // clocks, so any schedule respecting per-process event order and channel
 // FIFO is a legal asynchronous execution; sweeping seeds stress-tests
-// schedule independence. This powers offline analysis (tools/monitor_log)
-// and the randomized soundness/completeness tests.
+// schedule independence. This powers offline analysis (tools/monitor_log),
+// the randomized soundness/completeness tests, and fuzz-repro replays
+// (tools/fuzz_schedules): a FaultyNetwork stacked on top injects delay,
+// reordering and duplication deterministically -- perturbed messages ripen
+// at a later virtual time and FIFO-exempt ones can be delivered in any
+// order relative to their channel.
 #pragma once
 
 #include <cstdint>
@@ -29,18 +33,35 @@ class ReplayRuntime final : public MonitorNetwork {
 
   // MonitorNetwork:
   void send(MonitorMessage msg) override {
-    channels_[{msg.from, msg.to}].push_back(std::move(msg));
+    send_perturbed(std::move(msg), DeliveryPerturbation{});
   }
+  /// extra_delay is modelled in replay steps (each loop iteration advances
+  /// virtual time by 1): the message only becomes deliverable once time
+  /// catches up. bypass_fifo messages go to a per-channel "loose" pool
+  /// deliverable in any order.
+  void send_perturbed(MonitorMessage msg,
+                      const DeliveryPerturbation& perturbation) override;
   double now() const override { return t_; }
 
   /// Monitor messages delivered across all run() calls.
   std::uint64_t deliveries() const { return deliveries_; }
 
  private:
-  bool channels_empty() const;
-  void deliver_one(MonitorHooks& hooks, std::mt19937_64& rng);
+  struct InFlight {
+    MonitorMessage msg;
+    double ready_at = 0.0;  ///< earliest virtual time of delivery
+  };
+  struct Channel {
+    std::deque<InFlight> fifo;   ///< in-order messages (front blocks rest)
+    std::deque<InFlight> loose;  ///< FIFO-exempt (reordered/retransmitted)
+  };
 
-  std::map<std::pair<int, int>, std::deque<MonitorMessage>> channels_;
+  bool channels_empty() const;
+  /// Deliver one ready message chosen by `rng`; false when none has
+  /// ripened yet (the caller advances time and retries).
+  bool deliver_one(MonitorHooks& hooks, std::mt19937_64& rng);
+
+  std::map<std::pair<int, int>, Channel> channels_;
   double t_ = 0.0;
   std::uint64_t deliveries_ = 0;
 };

@@ -28,6 +28,20 @@ class MonitorHooks {
   virtual void on_monitor_message(MonitorMessage msg, double now) = 0;
 };
 
+/// A per-message deviation from the default delivery behaviour, produced by
+/// fault-injection layers (see faulty_network.hpp). The default-constructed
+/// value means "deliver normally".
+struct DeliveryPerturbation {
+  /// Additional latency in trace seconds on top of the channel's sampled
+  /// latency (a delay spike, or the retransmission time of a dropped
+  /// message).
+  double extra_delay = 0.0;
+  /// Exempt this message from the per-channel FIFO clamp: it neither waits
+  /// for earlier sends on the channel nor holds back later ones, so it can
+  /// overtake and be overtaken (reordering / retransmission semantics).
+  bool bypass_fifo = false;
+};
+
 /// Implemented by runtimes; used by the monitoring layer to communicate.
 class MonitorNetwork {
  public:
@@ -36,6 +50,16 @@ class MonitorNetwork {
   /// Queue a monitor message for delivery (reliable, FIFO per channel,
   /// unbounded-but-finite delay). Self-sends are delivered too.
   virtual void send(MonitorMessage msg) = 0;
+
+  /// Queue a monitor message with a delivery perturbation. Runtimes that
+  /// model latency override this; the default ignores the perturbation
+  /// (delivery stays reliable FIFO), which keeps perturbations semantically
+  /// optional: they only ever relax ordering/timing, never correctness.
+  virtual void send_perturbed(MonitorMessage msg,
+                              const DeliveryPerturbation& perturbation) {
+    (void)perturbation;
+    send(std::move(msg));
+  }
 
   /// Current time in seconds (virtual under simulation, wall-clock under
   /// threads). Used only for metrics, never for ordering decisions.

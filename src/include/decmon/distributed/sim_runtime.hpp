@@ -45,6 +45,8 @@ class SimRuntime final : public MonitorNetwork {
 
   // MonitorNetwork:
   void send(MonitorMessage msg) override;
+  void send_perturbed(MonitorMessage msg,
+                      const DeliveryPerturbation& perturbation) override;
   double now() const override { return now_; }
 
   int num_processes() const { return static_cast<int>(procs_.size()); }

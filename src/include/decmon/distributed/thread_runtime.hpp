@@ -7,8 +7,18 @@
 //
 // Thread-safety contract: all callbacks for node i (its local events, its
 // termination, messages addressed to it) are invoked from node i's thread
-// only, so per-monitor state needs no locking (CP.2/CP.3: the only shared
-// mutable state is the mailboxes, each guarded by its own mutex).
+// only, so per-monitor state needs no locking. Shared mutable state is the
+// mailboxes (each guarded by its own mutex) and each node's sender-side
+// channel state (latency RNG + FIFO clamps, guarded by a per-node send
+// mutex so off-node-thread sends are safe).
+//
+// Quiescence is counter-based, not heuristic: `outstanding_` counts every
+// unit of pending work (running programs + undelivered/in-process
+// messages). A message is counted before it is enqueued and released only
+// after its receiver finished processing it -- including any sends that
+// processing caused, which were counted first -- so outstanding_ == 0
+// proves no work exists or can ever be created (credit-counting
+// termination detection). run() blocks on that proof, then joins.
 #pragma once
 
 #include <atomic>
@@ -31,6 +41,8 @@ namespace decmon {
 struct ThreadConfig {
   /// Wall-clock seconds per trace second (0.002 => a 3 s trace wait lasts
   /// 6 ms; keeps the experiments fast while preserving interleavings).
+  /// 0 is legal: every wait and latency collapses to "now" (a zero-wait
+  /// storm -- maximum scheduler pressure).
   double time_scale = 0.002;
   /// Message latency in *trace* seconds (scaled like waits).
   double latency_mu = 0.05;
@@ -50,11 +62,14 @@ class ThreadRuntime final : public MonitorNetwork {
   void set_hooks(MonitorHooks* hooks) { hooks_ = hooks; }
 
   /// Run to quiescence (blocking): all trace actions executed, all messages
-  /// (application and monitor) delivered and processed.
+  /// (application and monitor) delivered and processed. On return every
+  /// node thread has been joined -- no callback can fire afterwards.
   void run();
 
-  // MonitorNetwork:
+  // MonitorNetwork (safe from any thread; sender identity is msg.from):
   void send(MonitorMessage msg) override;
+  void send_perturbed(MonitorMessage msg,
+                      const DeliveryPerturbation& perturbation) override;
   double now() const override;
 
   int num_processes() const { return static_cast<int>(nodes_.size()); }
@@ -63,6 +78,9 @@ class ThreadRuntime final : public MonitorNetwork {
   std::uint64_t app_messages_sent() const { return app_messages_; }
   std::uint64_t monitor_messages_sent() const { return monitor_messages_; }
   std::uint64_t program_events() const { return program_events_; }
+  std::uint64_t monitor_messages_processed() const {
+    return monitor_deliveries_;
+  }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -86,15 +104,21 @@ class ThreadRuntime final : public MonitorNetwork {
     std::condition_variable cv;
     std::priority_queue<Timed, std::vector<Timed>, std::greater<>> inbox;
 
-    // Sender-side per-destination FIFO clamp (accessed only by this node's
-    // thread, which serializes its own sends).
+    // Sender-side per-destination channel state: the FIFO clamps and the
+    // latency RNG of this node *as a sender*. Guarded by send_mutex --
+    // sends normally come from this node's own thread, but external
+    // threads (tests, tools) may inject messages too.
+    std::mutex send_mutex;
     std::vector<Clock::time_point> last_delivery;
     std::unique_ptr<NormalWait> latency;
   };
 
   void node_main(int index);
   void deliver(int to, Clock::time_point at, Payload payload);
+  /// Caller must hold nodes_[from]->send_mutex.
   Clock::time_point fifo_time(int from, int to, Clock::time_point candidate);
+  /// Release one unit of outstanding work; wakes run() at zero.
+  void finish_one();
 
   const AtomRegistry* registry_;
   ThreadConfig config_;
@@ -104,17 +128,19 @@ class ThreadRuntime final : public MonitorNetwork {
   std::vector<std::vector<Event>> history_;
   std::vector<std::jthread> threads_;
 
-  Clock::time_point start_;
+  std::atomic<Clock::time_point> start_;
   std::atomic<bool> stop_{false};
-  std::atomic<int> in_flight_{0};
-  std::atomic<int> active_programs_{0};
+  /// Pending work units: running programs + counted-but-unprocessed
+  /// messages. Zero proves quiescence (see file comment).
+  std::atomic<std::int64_t> outstanding_{0};
+  std::mutex quiesce_mutex_;
+  std::condition_variable quiesce_cv_;
+
   std::atomic<std::uint64_t> app_messages_{0};
   std::atomic<std::uint64_t> monitor_messages_{0};
+  std::atomic<std::uint64_t> monitor_deliveries_{0};
   std::atomic<std::uint64_t> program_events_{0};
   std::atomic<std::uint64_t> seq_{0};
-  /// Index of the node whose thread is currently sending (thread-local
-  /// lookup for FIFO clamps).
-  static thread_local int current_node_;
 };
 
 }  // namespace decmon

@@ -46,6 +46,16 @@ struct GlobalView {
   /// Marked for removal; swept after the current dispatch round.
   bool dead = false;
 
+  /// The view's position is no longer certified to lie on any lattice path
+  /// (it consumed an event inconsistently and its probe resolved without a
+  /// fork or a certified stay-point). A quarantined view keeps draining and
+  /// keeps contributing its '?' verdict -- killing it loses real '?' paths
+  /// -- but it launches no further probes (its position cannot anchor a
+  /// sound token walk) and never displaces a healthy view in the merge
+  /// passes. It can never consistently step again: its remote cut
+  /// components are frozen while local vector clocks only grow.
+  bool quarantined = false;
+
   AtomSet combined_letter() const {
     AtomSet a = 0;
     for (AtomSet s : gstate) a |= s;

@@ -169,6 +169,12 @@ struct TokenMessage final : NetPayload {
   static constexpr std::uint8_t kTag = 1;
   TokenMessage() : NetPayload(kTag) {}
   Token token;
+
+  std::unique_ptr<NetPayload> clone() const override {
+    auto copy = std::make_unique<TokenMessage>();
+    copy->token = token;
+    return copy;
+  }
 };
 
 struct TerminationMessage final : NetPayload {
@@ -176,6 +182,13 @@ struct TerminationMessage final : NetPayload {
   TerminationMessage() : NetPayload(kTag) {}
   int process = -1;
   std::uint32_t last_sn = 0;  ///< last event the process produced
+
+  std::unique_ptr<NetPayload> clone() const override {
+    auto copy = std::make_unique<TerminationMessage>();
+    copy->process = process;
+    copy->last_sn = last_sn;
+    return copy;
+  }
 };
 
 }  // namespace decmon

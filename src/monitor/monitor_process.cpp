@@ -153,6 +153,7 @@ GlobalView MonitorProcess::acquire_view() {
     v.next_sn = 0;
     v.probe_sig = 0;
     v.dead = false;
+    v.quarantined = false;
   }
   return v;
 }
@@ -245,8 +246,11 @@ void MonitorProcess::process_event(GlobalView& gv, const Event& e,
   // out of q_old at a cut containing this event (e.g. the paper's running
   // example, where the path through <e1_1, e2_2> reaches q1 although the
   // local path went to the violation state). Design note: the thesis only
-  // probes from the new state, which loses such paths.
-  probe_outgoing(gv, e, consistent, now, q_old != gv.q ? q_old : -1);
+  // probes from the new state, which loses such paths. Quarantined views
+  // never probe: their position cannot anchor a sound token walk.
+  if (!gv.quarantined) {
+    probe_outgoing(gv, e, consistent, now, q_old != gv.q ? q_old : -1);
+  }
 }
 
 std::uint64_t MonitorProcess::probe_signature(
@@ -391,6 +395,12 @@ void MonitorProcess::probe_outgoing(GlobalView& gv, const Event& e,
     if (pre) {
       entry.cut(static_cast<std::size_t>(index_)) = e.sn - 1;
       entry.gstate(static_cast<std::size_t>(index_)) = pre_letter;
+      // The rolled-back frontier event still carries dependencies: without
+      // its clock in `depend`, a cut through it can pass the consistency
+      // check while missing remote events it happened-after -- the walk
+      // then certifies stay-points and enables transitions at cuts that lie
+      // on no lattice path (fuzz-found unsound verdicts).
+      entry.merge_depend(history_[static_cast<std::size_t>(e.sn - 1)].vc);
     } else {
       entry.merge_depend(e.vc);
     }
@@ -737,7 +747,19 @@ bool MonitorProcess::route_token(Token& token, double now) {
 void MonitorProcess::handle_returned_token(Token token, double now) {
   GlobalView* gv = find_view_by_token(token.token_id);
   if (!gv || gv->dead) {
-    recycle_token(std::move(token));  // view vanished; drop the token
+    // Orphan return: the view vanished, or an earlier copy of this token
+    // (duplicate delivery under fault injection) already resolved it. The
+    // enabled entries are still verified pivots of real lattice paths, so
+    // spawn them anyway -- spawned_memo_ dedupes against the other copy --
+    // and re-delivery stays idempotent instead of silently dropping paths.
+    bool spawned = false;
+    for (const TransitionEntry& entry : token.entries) {
+      if (entry.eval != EntryEval::kTrue) continue;
+      spawn_view(entry, now);
+      spawned = true;
+    }
+    recycle_token(std::move(token));
+    if (spawned) check_finished(now);
     return;
   }
 
@@ -794,7 +816,11 @@ void MonitorProcess::handle_returned_token(Token token, double now) {
     recycle_token(std::move(token));
     gv->waiting = false;
     outstanding_sigs_.erase(gv->probe_sig);
-    if (!gv->forked_copy && cert) {
+    if (gv->forked_copy) {
+      // A copy has been tracing the path from the launch position since the
+      // probe went out: the launchpad is redundant.
+      gv->dead = true;
+    } else if (cert) {
       // Resurrection (design note): the launchpad had no copy continuing
       // the path (its triggering event was inconsistent), but the token
       // certified a consistent cut where the path can stay at the source
@@ -809,7 +835,16 @@ void MonitorProcess::handle_returned_token(Token token, double now) {
       gv->next_sn = gv->cut[static_cast<std::size_t>(index_)] + 1;
       drain(*gv, now);
     } else {
-      gv->dead = true;
+      // No fork continued this path and the token certified no stay-point
+      // (its entries resolved before crossing any consistent open cut).
+      // Killing the view here loses real '?' paths (fuzz-found on the
+      // thesis automata, whose per-conjunct self-loops are never probed) --
+      // but its position is not certified to lie on any path either, so
+      // letting it keep probing spawns definite-state views at unreachable
+      // cuts (unsound on X-shaped automata). Quarantine it: it survives as
+      // a passive '?' marker, draining but never probing again.
+      gv->quarantined = true;
+      drain(*gv, now);
     }
     check_finished(now);
     return;
@@ -966,7 +1001,14 @@ void MonitorProcess::merge_similar_views() {
     for (std::uint32_t x : gv->cut) mix(x + 1);
     auto [it, inserted] = seen.emplace(h, gv);
     if (!inserted && it->second->q == gv->q && it->second->cut == gv->cut) {
-      gv->dead = true;
+      // Keep the healthy copy: a quarantined survivor would silence the
+      // pair's future probes.
+      if (it->second->quarantined && !gv->quarantined) {
+        it->second->dead = true;
+        it->second = gv;
+      } else {
+        gv->dead = true;
+      }
       ++stats_.global_views_merged;
     }
   }
@@ -982,6 +1024,9 @@ void MonitorProcess::merge_similar_views() {
         GlobalView& b = *pb;
         if (&a == &b || b.dead) continue;
         if (a.q != b.q) continue;
+        // A quarantined view never subsumes a healthy one (it cannot stand
+        // in for the healthy view's future probes).
+        if (b.quarantined && !a.quarantined) continue;
         bool dominated = true;   // a.cut <= b.cut, strictly somewhere
         bool strict = false;
         bool frontier_agrees = true;
@@ -1019,11 +1064,19 @@ void MonitorProcess::merge_similar_views() {
         keep = &gv;
         continue;
       }
-      std::uint64_t a = 0;
-      std::uint64_t b = 0;
-      for (std::uint32_t x : gv.cut) a += x;
-      for (std::uint32_t x : keep->cut) b += x;
-      if (a > b) {
+      // Healthy beats quarantined regardless of cut (the survivor carries
+      // the state's future probes); within a class the larger cut wins.
+      bool replace;
+      if (keep->quarantined != gv.quarantined) {
+        replace = keep->quarantined;
+      } else {
+        std::uint64_t a = 0;
+        std::uint64_t b = 0;
+        for (std::uint32_t x : gv.cut) a += x;
+        for (std::uint32_t x : keep->cut) b += x;
+        replace = a > b;
+      }
+      if (replace) {
         keep->dead = true;
         keep = &gv;
       } else {

@@ -1,0 +1,160 @@
+// Differential schedule fuzzing driver (see DESIGN.md §7 and
+// EXPERIMENTS.md): sweep seeded fault configurations over property/process
+// cells, check every decentralized run against the lattice oracle, and dump
+// self-contained repros for any contract violation.
+//
+// Usage:
+//   fuzz_schedules [--seed N] [--cases N] [--cells A:3,B:2,E:3]
+//                  [--internal-events N] [--lose-dropped]
+//                  [--repro-dir DIR] [--repro FILE]
+//
+// --repro FILE re-runs a dumped repro and prints its outcome (exit 1 if the
+// violation reproduces). Everything else runs a sweep (exit 1 on any
+// violation).
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "decmon/distributed/schedule_fuzz.hpp"
+
+namespace {
+
+using decmon::fuzz::Cell;
+using decmon::fuzz::Options;
+
+int usage() {
+  std::cerr
+      << "usage: fuzz_schedules [--seed N] [--cases N] [--cells A:3,B:2]\n"
+         "                      [--internal-events N] [--lose-dropped]\n"
+         "                      [--repro-dir DIR] [--repro FILE]\n";
+  return 2;
+}
+
+std::vector<Cell> parse_cells(const std::string& text) {
+  std::vector<Cell> cells;
+  std::istringstream is(text);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    const auto colon = item.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      throw std::runtime_error("bad cell " + item + " (want PROP:N)");
+    }
+    Cell cell;
+    bool found = false;
+    const std::string name = item.substr(0, colon);
+    for (decmon::paper::Property p : decmon::paper::kAllProperties) {
+      if (decmon::paper::name(p) == name) {
+        cell.property = p;
+        found = true;
+        break;
+      }
+    }
+    if (!found) throw std::runtime_error("unknown property " + name);
+    cell.num_processes = std::stoi(item.substr(colon + 1));
+    if (cell.num_processes < 2) {
+      throw std::runtime_error("cell needs >= 2 processes: " + item);
+    }
+    cells.push_back(cell);
+  }
+  if (cells.empty()) throw std::runtime_error("empty cell list");
+  return cells;
+}
+
+int run_one_repro(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "fuzz_schedules: cannot read " << path << "\n";
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const decmon::fuzz::ReproOutcome outcome =
+      decmon::fuzz::run_repro(buf.str());
+  std::cout << "repro: " << path << "\n"
+            << "violation: " << (outcome.violation ? "yes" : "no") << "\n";
+  if (outcome.violation) {
+    std::cout << "kind: " << outcome.kind << "\ndetail: " << outcome.detail
+              << "\n";
+  }
+  std::cout << "all_finished: " << (outcome.all_finished ? 1 : 0) << "\n";
+  return outcome.violation ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  std::string repro_dir;
+  std::string repro_file;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        if (i + 1 >= argc) throw std::runtime_error(arg + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "--seed") {
+        options.seed = std::stoull(value());
+      } else if (arg == "--cases") {
+        options.cases_per_cell = std::stoi(value());
+      } else if (arg == "--cells") {
+        options.cells = parse_cells(value());
+      } else if (arg == "--internal-events") {
+        options.internal_events = std::stoi(value());
+      } else if (arg == "--lose-dropped") {
+        options.lose_dropped = true;
+      } else if (arg == "--repro-dir") {
+        repro_dir = value();
+      } else if (arg == "--repro") {
+        repro_file = value();
+      } else {
+        return usage();
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "fuzz_schedules: " << e.what() << "\n";
+    return usage();
+  }
+
+  if (!repro_file.empty()) return run_one_repro(repro_file);
+
+  const decmon::fuzz::Report report =
+      decmon::fuzz::run_sweep(options, &std::cout);
+  std::cout << "cases " << report.cases << " skipped " << report.skipped
+            << " violations " << report.violation_count << "\n"
+            << "faults: messages " << report.faults.messages
+            << " delay_spikes " << report.faults.delay_spikes << " reordered "
+            << report.faults.reordered << " duplicated "
+            << report.faults.duplicated << " dropped " << report.faults.dropped
+            << " lost " << report.faults.lost << "\n";
+
+  int written = 0;
+  for (const auto& v : report.violations) {
+    std::cout << "violation [" << decmon::paper::name(v.property) << "/n="
+              << v.num_processes << " " << decmon::fuzz::to_string(v.mode)
+              << "] " << v.kind << ": " << v.detail << "\n";
+    if (v.repro.empty()) continue;
+    if (!repro_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(repro_dir, ec);
+      const std::string path =
+          repro_dir + "/repro-" + std::to_string(written) + ".txt";
+      std::ofstream out(path);
+      out << v.repro;
+      if (out) {
+        std::cout << "  repro written to " << path << "\n";
+      } else {
+        std::cerr << "fuzz_schedules: failed to write " << path << "\n";
+      }
+    } else if (written == 0) {
+      std::cout << "---- first repro ----\n" << v.repro << "---------------\n";
+    }
+    ++written;
+  }
+  return report.ok() ? 0 : 1;
+}
