@@ -18,10 +18,18 @@
 //   cell.<P>.n<k>.<comm|nocomm>.global_views     (Fig. 5.8 metric)
 //   cell.<P>.n<k>.<comm|nocomm>.peak_views       aggregate peak live views
 //   cell.<P>.n<k>.<comm|nocomm>.token_hops       total token hops
+//   recovery.clean.wall_ms                       bare distributed run
+//   recovery.channel.wall_ms                     + ReliableChannel (no faults)
+//   recovery.channel.{data_sent,acks_sent}       clean-path channel traffic
+//   recovery.crash.wall_ms                       + lossy net, crash + restart
+//   recovery.crash.{retransmissions,acks_sent,dup_suppressed,
+//                   checkpoints,checkpoint_bytes,restarts,
+//                   dropped_while_down,journal_replayed}   (DESIGN.md §8)
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <random>
 #include <sstream>
 #include <string>
@@ -254,6 +262,124 @@ void cell_grid(Metrics& out, bool quick) {
 }
 
 // ---------------------------------------------------------------------------
+// Recovery suite: the same distributed workload run bare, under the
+// ReliableChannel on a fault-free network (its clean-path overhead), and
+// under true message loss with one crash + checkpoint restart (the full
+// DESIGN.md §8 recovery cost). The crash-tolerance MonitorStats fields are
+// filled from the channel/injector counters here, since the monitors
+// themselves never see them.
+// ---------------------------------------------------------------------------
+
+enum class RecoveryVariant { kClean, kChannel, kCrash };
+
+MonitorStats run_recovery_once(RecoveryVariant variant, std::uint64_t seed,
+                               double* wall_ms) {
+  constexpr int n = 4;
+  AtomRegistry reg = paper::make_registry(n);
+  MonitorAutomaton automaton =
+      paper::build_automaton(paper::Property::kD, n, reg);
+  automaton.build_dispatch();
+  CompiledProperty prop(&automaton, &reg);
+  TraceParams params =
+      paper::experiment_params(paper::Property::kD, n, seed, 3.0,
+                               /*comm_enabled=*/true);
+  SimConfig sim;
+  sim.seed = seed + 1;
+
+  FaultConfig faults;
+  if (variant == RecoveryVariant::kCrash) {
+    faults.delay_prob = 0.15;
+    faults.lose_prob = 0.15;  // true loss: survivable only via the channel
+    faults.seed = seed + 2;
+  }
+  CrashPlan plan;
+  if (variant == RecoveryVariant::kCrash) {
+    plan.node = 1;
+    plan.crash_after = 4;
+    plan.down_deliveries = 2;
+  }
+
+  const auto t0 = Clock::now();
+  SimRuntime runtime(generate_trace(params), &reg, sim);
+  FaultyNetwork faulty(&runtime, n, faults);
+  std::optional<ReliableChannel> channel;
+  if (variant != RecoveryVariant::kClean) channel.emplace(&faulty, n);
+  MonitorNetwork* net =
+      channel ? static_cast<MonitorNetwork*>(&*channel) : &faulty;
+  DecentralizedMonitor monitors(
+      &prop, net, initial_letters_of(reg, runtime.initial_states()));
+  MonitorHooks* hooks = &monitors;
+  if (channel) {
+    channel->set_hooks(&monitors);
+    hooks = &*channel;
+  }
+  std::optional<CrashInjector> injector;
+  if (plan.node >= 0) {
+    injector.emplace(hooks, &monitors, &*channel, plan);
+    hooks = &*injector;
+  }
+  runtime.set_hooks(hooks);
+  runtime.run();
+  *wall_ms += elapsed_ms(t0);
+
+  const SystemVerdict v = monitors.result();
+  if (!v.all_finished) std::abort();  // the workload must always drain
+  MonitorStats agg = v.aggregate;
+  if (channel) {
+    const ChannelStats cs = channel->total_stats();
+    agg.retransmissions = cs.retransmissions;
+    agg.acks_sent = cs.acks_sent;
+    agg.dup_suppressed = cs.dup_suppressed;
+  }
+  if (injector) {
+    const CrashStats& crash = injector->stats();
+    if (crash.restarts != 1) std::abort();  // the planned crash must recover
+    agg.checkpoints_taken = crash.checkpoints_taken;
+    agg.checkpoint_bytes = crash.checkpoint_bytes;
+    agg.crash_restarts = crash.restarts;
+  }
+  return agg;
+}
+
+void recovery_suite(Metrics& out, bool quick) {
+  const int reps = quick ? 2 : 5;
+  const std::uint64_t base_seed = 4040;
+  double clean_ms = 0, channel_ms = 0, crash_ms = 0;
+  MonitorStats channel_agg, crash_agg;
+  std::uint64_t channel_data = 0;
+  for (int r = 0; r < reps; ++r) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(r);
+    run_recovery_once(RecoveryVariant::kClean, seed, &clean_ms);
+    const MonitorStats ch =
+        run_recovery_once(RecoveryVariant::kChannel, seed, &channel_ms);
+    channel_agg += ch;
+    channel_data += ch.token_messages_sent + ch.termination_messages;
+    crash_agg += run_recovery_once(RecoveryVariant::kCrash, seed, &crash_ms);
+  }
+  const double k = static_cast<double>(reps);
+  out.put("recovery.clean.wall_ms", clean_ms / k);
+  out.put("recovery.channel.wall_ms", channel_ms / k);
+  out.put("recovery.channel.data_sent", static_cast<double>(channel_data) / k);
+  out.put("recovery.channel.acks_sent",
+          static_cast<double>(channel_agg.acks_sent) / k);
+  out.put("recovery.channel.retransmissions",
+          static_cast<double>(channel_agg.retransmissions) / k);
+  out.put("recovery.crash.wall_ms", crash_ms / k);
+  out.put("recovery.crash.retransmissions",
+          static_cast<double>(crash_agg.retransmissions) / k);
+  out.put("recovery.crash.acks_sent",
+          static_cast<double>(crash_agg.acks_sent) / k);
+  out.put("recovery.crash.dup_suppressed",
+          static_cast<double>(crash_agg.dup_suppressed) / k);
+  out.put("recovery.crash.checkpoints",
+          static_cast<double>(crash_agg.checkpoints_taken) / k);
+  out.put("recovery.crash.checkpoint_bytes",
+          static_cast<double>(crash_agg.checkpoint_bytes) / k);
+  out.put("recovery.crash.restarts",
+          static_cast<double>(crash_agg.crash_restarts) / k);
+}
+
+// ---------------------------------------------------------------------------
 // JSON in/out (flat "name": number pairs; no external JSON dependency).
 // ---------------------------------------------------------------------------
 
@@ -336,6 +462,8 @@ int main(int argc, char** argv) {
   micro_suite(metrics, quick);
   std::printf("bench_harness: run_cell grid...\n");
   cell_grid(metrics, quick);
+  std::printf("bench_harness: recovery suite...\n");
+  recovery_suite(metrics, quick);
 
   std::vector<std::pair<std::string, double>> baseline;
   std::vector<std::pair<std::string, double>> speedup;

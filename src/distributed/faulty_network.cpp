@@ -24,7 +24,8 @@ std::string FaultConfig::to_string() const {
      << " delay_sigma " << delay_sigma << " reorder_prob " << reorder_prob
      << " dup_prob " << dup_prob << " drop_prob " << drop_prob
      << " max_drops " << max_drops << " redelivery_delay " << redelivery_delay
-     << " lose_dropped " << (lose_dropped ? 1 : 0) << " seed " << seed;
+     << " lose_prob " << lose_prob << " lose_dropped " << (lose_dropped ? 1 : 0)
+     << " seed " << seed;
   return os.str();
 }
 
@@ -83,14 +84,21 @@ void FaultyNetwork::send_perturbed(MonitorMessage msg,
     Channel& ch = channel(msg.from, msg.to);
     ++stats_.messages;
 
-    // The four decision rolls happen unconditionally and in a fixed order;
+    // The five decision rolls happen unconditionally and in a fixed order;
     // magnitude draws follow only for faults that fired. The stream is a
     // pure function of {seed, config, per-channel message ordinal}.
     const double roll_drop = uniform(ch);
     const double roll_delay = uniform(ch);
     const double roll_reorder = uniform(ch);
     const double roll_dup = uniform(ch);
+    const double roll_lose = uniform(ch);
 
+    if (roll_lose < config_.lose_prob) {
+      // True loss: the message dies here, with no redelivery. Only a
+      // reliable channel stacked above can recover it.
+      ++stats_.lost;
+      return;
+    }
     if (roll_drop < config_.drop_prob) {
       const int drops =
           1 + static_cast<int>(splitmix_next(ch.rng_state) %

@@ -1,10 +1,12 @@
 #include "decmon/distributed/schedule_fuzz.hpp"
 
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "decmon/distributed/reliable_channel.hpp"
 #include "decmon/distributed/replay_runtime.hpp"
 #include "decmon/distributed/sim_runtime.hpp"
 #include "decmon/lattice/event_log.hpp"
@@ -29,6 +31,9 @@ struct CaseSpec {
   std::uint64_t schedule_seed = 1;  ///< replay mode only
   std::size_t oracle_max_nodes = std::size_t{1} << 22;
   FaultConfig fault;
+  bool reliable_channel = false;
+  ReliableChannelConfig channel;
+  CrashPlan crash;  ///< node < 0 means no crash
 };
 
 struct CaseOutcome {
@@ -36,6 +41,8 @@ struct CaseOutcome {
   std::set<Verdict> monitor;
   bool all_finished = false;
   FaultStats faults;
+  ChannelStats channel;
+  CrashStats crash;
   Computation comp;  ///< the history the oracle was evaluated on
 };
 
@@ -64,6 +71,53 @@ std::string show_verdicts(const std::set<Verdict>& vs) {
   return s.empty() ? "-" : s;
 }
 
+/// The fault-tolerance stack of one case: FaultyNetwork below, optional
+/// ReliableChannel above it, optional CrashInjector on the delivery side.
+/// Owns nothing but wiring; `monitors` is constructed by the caller against
+/// net() and attached afterwards.
+struct CaseStack {
+  CaseStack(const CaseSpec& spec, MonitorNetwork* runtime_net)
+      : faulty(runtime_net, spec.num_processes, spec.fault) {
+    if (spec.reliable_channel || spec.crash.node >= 0) {
+      channel.emplace(&faulty, spec.num_processes, spec.channel);
+    }
+  }
+
+  /// The network monitors send through.
+  MonitorNetwork* net() {
+    return channel ? static_cast<MonitorNetwork*>(&*channel) : &faulty;
+  }
+
+  /// Finish wiring: deliveries flow runtime -> [injector ->] [channel ->]
+  /// monitors. Returns the hooks the runtime must call.
+  MonitorHooks* attach(const CaseSpec& spec, DecentralizedMonitor* monitors) {
+    MonitorHooks* hooks = monitors;
+    if (channel) {
+      channel->set_hooks(monitors);
+      hooks = &*channel;
+    }
+    if (spec.crash.node >= 0) {
+      if (!channel) {
+        throw std::invalid_argument(
+            "fuzz: crash injection requires the reliable channel");
+      }
+      injector.emplace(hooks, monitors, &*channel, spec.crash);
+      hooks = &*injector;
+    }
+    return hooks;
+  }
+
+  void collect(CaseOutcome& out) {
+    out.faults = faulty.stats();
+    if (channel) out.channel = channel->total_stats();
+    if (injector) out.crash = injector->stats();
+  }
+
+  FaultyNetwork faulty;
+  std::optional<ReliableChannel> channel;
+  std::optional<CrashInjector> injector;
+};
+
 /// Run one case. `recorded` (replay repros) substitutes for regenerating
 /// the computation; null means record it fresh from the trace seeds.
 CaseOutcome execute_case(const CaseSpec& spec, const Computation* recorded) {
@@ -82,13 +136,14 @@ CaseOutcome execute_case(const CaseSpec& spec, const Computation* recorded) {
   CaseOutcome out;
   if (spec.mode == Mode::kSim) {
     SimRuntime runtime(generate_trace(params), &registry, sim);
-    FaultyNetwork net(&runtime, spec.num_processes, spec.fault);
+    CaseStack stack(spec, &runtime);
     DecentralizedMonitor monitors(
-        &prop, &net, initial_letters_of(registry, runtime.initial_states()));
-    runtime.set_hooks(&monitors);
+        &prop, stack.net(),
+        initial_letters_of(registry, runtime.initial_states()));
+    runtime.set_hooks(stack.attach(spec, &monitors));
     runtime.run();
     out.comp = Computation(runtime.history());
-    out.faults = net.stats();
+    stack.collect(out);
     const SystemVerdict v = monitors.result();
     out.monitor = v.verdicts;
     out.all_finished = v.all_finished;
@@ -105,10 +160,11 @@ CaseOutcome execute_case(const CaseSpec& spec, const Computation* recorded) {
       letters.push_back(out.comp.event(p, 0).letter);
     }
     ReplayRuntime runtime;
-    FaultyNetwork net(&runtime, spec.num_processes, spec.fault);
-    DecentralizedMonitor monitors(&prop, &net, letters);
-    runtime.run(out.comp, monitors, spec.schedule_seed);
-    out.faults = net.stats();
+    CaseStack stack(spec, &runtime);
+    DecentralizedMonitor monitors(&prop, stack.net(), letters);
+    MonitorHooks* hooks = stack.attach(spec, &monitors);
+    runtime.run(out.comp, *hooks, spec.schedule_seed);
+    stack.collect(out);
     const SystemVerdict v = monitors.result();
     out.monitor = v.verdicts;
     out.all_finished = v.all_finished;
@@ -146,7 +202,8 @@ std::pair<std::string, std::string> check_contract(const CaseOutcome& out) {
   return {"", ""};
 }
 
-FaultConfig random_fault_config(SplitMix64& rng, bool lose_dropped) {
+FaultConfig random_fault_config(SplitMix64& rng, bool lose_dropped,
+                                bool lossy) {
   auto u = [&rng] {
     return static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
   };
@@ -162,14 +219,21 @@ FaultConfig random_fault_config(SplitMix64& rng, bool lose_dropped) {
   fc.max_drops = 1 + static_cast<int>(rng.next() % 4);
   fc.redelivery_delay = 0.05 + u();
   fc.lose_dropped = lose_dropped;
+  if (lossy) {
+    // Always a genuinely lossy channel (never zero): every lossy case must
+    // actually exercise retransmission.
+    fc.lose_prob = 0.05 + 0.25 * u();
+  }
   fc.seed = rng.next();
   return fc;
 }
 
-std::string make_repro(const CaseSpec& spec, const CaseOutcome& out,
-                       const std::string& kind) {
-  std::ostringstream os;
-  os << "decmon-fuzz-repro v1\n";
+/// v1 blobs have no channel/crash lines; v2 adds them (plus optional
+/// `partial 1` for watchdog dumps without outcome or event log). The parser
+/// accepts both.
+void write_spec(std::ostream& os, const CaseSpec& spec) {
+  const bool v2 = spec.reliable_channel || spec.crash.node >= 0;
+  os << "decmon-fuzz-repro " << (v2 ? "v2" : "v1") << "\n";
   os << "property " << paper::name(spec.property) << "\n";
   os << "processes " << spec.num_processes << "\n";
   os << "mode " << to_string(spec.mode) << "\n";
@@ -180,6 +244,14 @@ std::string make_repro(const CaseSpec& spec, const CaseOutcome& out,
   os << "schedule_seed " << spec.schedule_seed << "\n";
   os << "oracle_max_nodes " << spec.oracle_max_nodes << "\n";
   os << "fault " << spec.fault.to_string() << "\n";
+  if (spec.reliable_channel) os << "channel " << spec.channel.to_string() << "\n";
+  if (spec.crash.node >= 0) os << "crash " << spec.crash.to_string() << "\n";
+}
+
+std::string make_repro(const CaseSpec& spec, const CaseOutcome& out,
+                       const std::string& kind) {
+  std::ostringstream os;
+  write_spec(os, spec);
   os << "kind " << kind << "\n";
   os << "oracle " << show_verdicts(out.oracle) << "\n";
   os << "monitor " << show_verdicts(out.monitor) << "\n";
@@ -187,6 +259,15 @@ std::string make_repro(const CaseSpec& spec, const CaseOutcome& out,
   // it directly; sim repros regenerate the identical history from the seeds
   // above and keep the log as the human-readable record.
   os << "eventlog\n" << to_event_log(out.comp);
+  return os.str();
+}
+
+/// Watchdog blob: everything needed to re-run the case, dumped before the
+/// outcome exists. run_repro regenerates the computation from the seeds.
+std::string make_partial_repro(const CaseSpec& spec) {
+  std::ostringstream os;
+  write_spec(os, spec);
+  os << "partial 1\n";
   return os.str();
 }
 
@@ -203,6 +284,7 @@ FaultConfig fault_from_string(const std::string& text) {
     else if (key == "drop_prob") is >> fc.drop_prob;
     else if (key == "max_drops") is >> fc.max_drops;
     else if (key == "redelivery_delay") is >> fc.redelivery_delay;
+    else if (key == "lose_prob") is >> fc.lose_prob;
     else if (key == "lose_dropped") {
       int b = 0;
       is >> b;
@@ -217,6 +299,40 @@ FaultConfig fault_from_string(const std::string& text) {
     throw std::runtime_error("fuzz repro: malformed fault line");
   }
   return fc;
+}
+
+ReliableChannelConfig channel_from_string(const std::string& text) {
+  ReliableChannelConfig cc;
+  std::istringstream is(text);
+  std::string key;
+  while (is >> key) {
+    if (key == "rto") is >> cc.rto;
+    else if (key == "backoff") is >> cc.backoff;
+    else if (key == "backoff_cap") is >> cc.backoff_cap;
+    else if (key == "jitter") is >> cc.jitter;
+    else if (key == "seed") is >> cc.seed;
+    else throw std::runtime_error("fuzz repro: unknown channel field " + key);
+  }
+  if (!is.eof() && is.fail()) {
+    throw std::runtime_error("fuzz repro: malformed channel line");
+  }
+  return cc;
+}
+
+CrashPlan crash_from_string(const std::string& text) {
+  CrashPlan plan;
+  std::istringstream is(text);
+  std::string key;
+  while (is >> key) {
+    if (key == "node") is >> plan.node;
+    else if (key == "crash_after") is >> plan.crash_after;
+    else if (key == "down_deliveries") is >> plan.down_deliveries;
+    else throw std::runtime_error("fuzz repro: unknown crash field " + key);
+  }
+  if (!is.eof() && is.fail()) {
+    throw std::runtime_error("fuzz repro: malformed crash line");
+  }
+  return plan;
 }
 
 }  // namespace
@@ -249,7 +365,21 @@ Report run_sweep(const Options& options, std::ostream* progress) {
       spec.sim_seed = rng.next();
       spec.schedule_seed = rng.next();
       spec.oracle_max_nodes = options.oracle_max_nodes;
-      spec.fault = random_fault_config(rng, options.lose_dropped);
+      spec.fault = random_fault_config(rng, options.lose_dropped,
+                                       options.lossy);
+      spec.reliable_channel = options.reliable_channel || options.crash;
+      if (spec.reliable_channel) spec.channel.seed = rng.next();
+      if (options.crash) {
+        // Every node broadcasts at least a termination token, so small
+        // crash_after values always trip; down_deliveries controls how much
+        // traffic the dead node swallows before the restart trigger.
+        spec.crash.node =
+            static_cast<int>(rng.next() % static_cast<std::uint64_t>(
+                                              cell.num_processes));
+        spec.crash.crash_after = rng.next() % 3;
+        spec.crash.down_deliveries = 1 + rng.next() % 3;
+      }
+      if (options.on_case_start) options.on_case_start(make_partial_repro(spec));
 
       CaseOutcome out;
       try {
@@ -265,6 +395,13 @@ Report run_sweep(const Options& options, std::ostream* progress) {
       report.faults.duplicated += out.faults.duplicated;
       report.faults.dropped += out.faults.dropped;
       report.faults.lost += out.faults.lost;
+      report.channel += out.channel;
+      report.crash.crashes += out.crash.crashes;
+      report.crash.restarts += out.crash.restarts;
+      report.crash.checkpoints_taken += out.crash.checkpoints_taken;
+      report.crash.checkpoint_bytes += out.crash.checkpoint_bytes;
+      report.crash.dropped_while_down += out.crash.dropped_while_down;
+      report.crash.journal_replayed += out.crash.journal_replayed;
 
       const auto [kind, detail] = check_contract(out);
       if (kind.empty()) continue;
@@ -300,12 +437,14 @@ Report run_sweep(const Options& options, std::ostream* progress) {
 ReproOutcome run_repro(const std::string& repro_text) {
   std::istringstream is(repro_text);
   std::string line;
-  if (!std::getline(is, line) || line != "decmon-fuzz-repro v1") {
+  if (!std::getline(is, line) ||
+      (line != "decmon-fuzz-repro v1" && line != "decmon-fuzz-repro v2")) {
     throw std::runtime_error("fuzz repro: bad header");
   }
   CaseSpec spec;
   std::string log_text;
   bool have_log = false;
+  bool partial = false;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     std::istringstream ls(line);
@@ -345,16 +484,33 @@ ReproOutcome run_repro(const std::string& repro_text) {
       std::string rest;
       std::getline(ls, rest);
       spec.fault = fault_from_string(rest);
+    } else if (key == "channel") {
+      std::string rest;
+      std::getline(ls, rest);
+      spec.channel = channel_from_string(rest);
+      spec.reliable_channel = true;
+    } else if (key == "crash") {
+      std::string rest;
+      std::getline(ls, rest);
+      spec.crash = crash_from_string(rest);
+    } else if (key == "partial") {
+      int b = 0;
+      ls >> b;
+      partial = b != 0;
     } else if (key == "kind" || key == "oracle" || key == "monitor") {
       // Recorded outcome: informational; the repro re-derives it.
     } else {
       throw std::runtime_error("fuzz repro: unknown field " + key);
     }
   }
-  if (!have_log) throw std::runtime_error("fuzz repro: missing event log");
+  // A partial (watchdog) blob carries no event log; both modes regenerate
+  // the computation from the recorded seeds instead.
+  if (!have_log && !partial) {
+    throw std::runtime_error("fuzz repro: missing event log");
+  }
 
   CaseOutcome out;
-  if (spec.mode == Mode::kReplay) {
+  if (spec.mode == Mode::kReplay && have_log) {
     AtomRegistry registry = paper::make_registry(spec.num_processes);
     Computation comp =
         relabel(computation_from_event_log(log_text), registry);

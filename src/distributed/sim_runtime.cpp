@@ -147,6 +147,10 @@ void SimRuntime::send_perturbed(MonitorMessage msg,
       at = fifo_delivery_time(mon_last_delivery_,
                               msg.from * num_processes() + msg.to, at);
     }
+  } else if (perturbation.extra_delay > 0.0) {
+    // Delayed self-delivery: how the reliable channel schedules its
+    // retransmit timers (no latency sample -- nothing crosses the network).
+    at += perturbation.extra_delay;
   }
   // The message moves through the queue to the receiver: the payload is
   // never duplicated, and self-delivery (from == to) is the same zero-copy

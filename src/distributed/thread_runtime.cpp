@@ -135,6 +135,11 @@ void ThreadRuntime::send_perturbed(MonitorMessage msg,
         at, to_wall(sender.latency->sample() + perturbation.extra_delay,
                     config_.time_scale));
     if (!perturbation.bypass_fifo) at = fifo_time(msg.from, msg.to, at);
+  } else if (perturbation.extra_delay > 0.0) {
+    // Delayed self-delivery: the reliable channel's retransmit timers (no
+    // latency sample -- nothing crosses the network).
+    at = advance_saturated(
+        at, to_wall(perturbation.extra_delay, config_.time_scale));
   }
   deliver(msg.to, at, std::move(msg));
 }

@@ -20,8 +20,10 @@
 #include "decmon/core/properties.hpp"
 #include "decmon/core/session.hpp"
 #include "decmon/distributed/event.hpp"
+#include "decmon/distributed/faulty_network.hpp"
 #include "decmon/distributed/message.hpp"
 #include "decmon/distributed/process.hpp"
+#include "decmon/distributed/reliable_channel.hpp"
 #include "decmon/distributed/replay_runtime.hpp"
 #include "decmon/distributed/runtime.hpp"
 #include "decmon/distributed/sim_runtime.hpp"
@@ -38,6 +40,8 @@
 #include "decmon/ltl/formula.hpp"
 #include "decmon/ltl/parser.hpp"
 #include "decmon/monitor/centralized_monitor.hpp"
+#include "decmon/monitor/checkpoint.hpp"
+#include "decmon/monitor/crash_injector.hpp"
 #include "decmon/monitor/decentralized_monitor.hpp"
 #include "decmon/monitor/monitor_process.hpp"
 #include "decmon/monitor/predicate.hpp"

@@ -53,6 +53,13 @@ struct FaultConfig {
   int max_drops = 3;
   double redelivery_delay = 0.25;  ///< trace seconds per lost attempt
 
+  /// True message loss: the message is permanently swallowed, no
+  /// redelivery ever. This violates the bare algorithm's fault model -- a
+  /// lost token strands its parent view forever -- and is survivable only
+  /// with a ReliableChannel stacked above (the channel's ack/retransmit
+  /// loop turns permanent loss back into bounded delay).
+  double lose_prob = 0.0;
+
   /// Fault-model violation switch for harness self-tests ONLY: dropped
   /// messages are swallowed instead of redelivered. This breaks the
   /// bounded-loss assumption completeness rests on, so the fuzz harness
@@ -64,7 +71,7 @@ struct FaultConfig {
 
   bool any_faults() const {
     return delay_prob > 0 || reorder_prob > 0 || dup_prob > 0 ||
-           drop_prob > 0;
+           drop_prob > 0 || lose_prob > 0;
   }
 
   std::string to_string() const;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <set>
 #include <string>
@@ -18,6 +19,7 @@
 #include "decmon/automata/monitor_automaton.hpp"
 #include "decmon/core/properties.hpp"
 #include "decmon/distributed/faulty_network.hpp"
+#include "decmon/monitor/crash_injector.hpp"
 
 namespace decmon::fuzz {
 
@@ -50,9 +52,26 @@ struct Options {
   /// messages are swallowed, not redelivered). The sweep must then report
   /// violations -- this is how the harness proves it can catch bugs.
   bool lose_dropped = false;
+  /// Stack a ReliableChannel between the monitors and the faulty network in
+  /// every case (implied by `crash`; required for `lossy` runs to pass).
+  bool reliable_channel = false;
+  /// Give every sampled fault config a true-loss rate (FaultConfig::
+  /// lose_prob): messages are permanently swallowed, no redelivery. Without
+  /// reliable_channel this is another injected-bug self-test -- the sweep
+  /// must then report violations.
+  bool lossy = false;
+  /// Crash-schedule mode: every case additionally kills one seeded monitor
+  /// node at a seeded delivery boundary and later restarts it from its last
+  /// checkpoint (implies the reliable channel). The soundness contract is
+  /// checked unchanged: recovery must be invisible except as added time.
+  bool crash = false;
   /// Stop materializing repro blobs after this many violations (the counts
   /// keep accumulating).
   int max_repros = 8;
+  /// Invoked with a partial repro blob (seeds and config, no outcome or
+  /// event log) as each case starts. The fuzz tool's wall-clock watchdog
+  /// publishes the last blob when a case hangs.
+  std::function<void(const std::string&)> on_case_start;
 };
 
 /// One contract violation, with a self-contained deterministic repro.
@@ -71,7 +90,9 @@ struct Report {
   std::uint64_t cases = 0;
   std::uint64_t skipped = 0;  ///< oracle exceeded max_nodes (counted, not run)
   std::uint64_t violation_count = 0;
-  FaultStats faults;  ///< aggregated over all cases
+  FaultStats faults;       ///< aggregated over all cases
+  ChannelStats channel;    ///< aggregated reliable-channel traffic
+  CrashStats crash;        ///< aggregated crash/checkpoint activity
   std::vector<Violation> violations;  ///< at most max_repros entries
   bool ok() const { return violation_count == 0; }
 };

@@ -1,0 +1,114 @@
+// Crash injection: kill one monitor node at a seeded point, swallow its
+// traffic while it is down, then restart it from its last checkpoint
+// (DESIGN.md §8).
+//
+// The injector is a MonitorHooks decorator stacked between the runtime and
+// the reliable channel:
+//
+//   runtime -> CrashInjector -> ReliableChannel -> DecentralizedMonitor
+//
+// For the planned node it checkpoints the monitor + channel state after
+// every forwarded hook invocation (stride 1), so the node's state at the
+// moment of the crash -- which trips at a data-delivery or local-event
+// boundary, before the tripping arrival is processed -- is exactly the last
+// checkpoint. That
+// makes recovery lossless: nothing the monitor ever acknowledged (via the
+// channel's cumulative acks, which the stride-1 checkpoint always covers)
+// can be forgotten, which is why definite verdicts survive crashes
+// unchanged and recovery only ever adds '?' time.
+//
+// While down, the node's arrivals are handled by kind:
+//   * data envelopes are dropped and counted toward the restart trigger --
+//     they are unacked at their senders, whose unlimited-attempt retransmit
+//     loops redeliver them after the restart (this is also why the restart
+//     trigger always fires: the tripping message itself keeps coming back);
+//   * local events and the local termination are journaled and replayed at
+//     restart, modelling the durable local event log every real monitor
+//     deployment reads its own process's events from;
+//   * acks and channel timers are swallowed silently -- pure soft state.
+//
+// Restart restores both snapshot halves, then re-snapshots and verifies the
+// bytes are identical to what was restored (a hard fault, not a soft check:
+// every fuzz case exercises the round-trip), then replays the journal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "decmon/distributed/reliable_channel.hpp"
+#include "decmon/monitor/decentralized_monitor.hpp"
+
+namespace decmon {
+
+struct CrashPlan {
+  /// Node to crash; -1 disables the injector (pure passthrough).
+  int node = -1;
+  /// Countable arrivals (data-envelope deliveries and local events) the
+  /// node survives before the crash trips -- at the next countable boundary.
+  /// UINT64_MAX never trips (checkpoint-overhead measurement mode).
+  std::uint64_t crash_after = 0;
+  /// Countable arrivals (dropped data envelopes + journaled local events)
+  /// swallowed while down before the node restarts.
+  std::uint64_t down_deliveries = 0;
+
+  std::string to_string() const;
+};
+
+struct CrashStats {
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t checkpoint_bytes = 0;  ///< total bytes over all checkpoints
+  std::uint64_t dropped_while_down = 0;
+  std::uint64_t journal_replayed = 0;
+};
+
+class CrashInjector final : public MonitorHooks {
+ public:
+  /// `inner` receives forwarded hooks (the reliable channel); `monitors`
+  /// and `channel` are the two state holders snapshotted and restored. All
+  /// must outlive the injector.
+  CrashInjector(MonitorHooks* inner, DecentralizedMonitor* monitors,
+                ReliableChannel* channel, CrashPlan plan);
+
+  void on_local_event(int proc, const Event& event, double now) override;
+  void on_local_termination(int proc, double now) override;
+  void on_monitor_message(MonitorMessage msg, double now) override;
+
+  const CrashStats& stats() const { return stats_; }
+  bool crashed() const { return phase_ != Phase::kRunning; }
+  bool recovered() const { return phase_ == Phase::kRecovered; }
+
+ private:
+  enum class Phase : std::uint8_t { kRunning, kDown, kRecovered };
+
+  struct JournalEntry {
+    bool termination = false;
+    Event event;  ///< valid when !termination
+  };
+
+  /// Snapshot both halves of the node's durable state.
+  void take_checkpoint();
+  /// Restore from the last checkpoint, verify the round trip, replay the
+  /// journal.
+  void restart(double now);
+  void crash();
+
+  MonitorHooks* inner_;
+  DecentralizedMonitor* monitors_;
+  ReliableChannel* channel_;
+  CrashPlan plan_;
+
+  // All mutable state below concerns plan_.node only and is touched only
+  // from that node's hook context (one thread under every runtime).
+  Phase phase_ = Phase::kRunning;
+  std::uint64_t delivered_data_ = 0;
+  std::uint64_t down_left_ = 0;
+  std::vector<JournalEntry> journal_;
+  std::vector<std::uint8_t> monitor_blob_;
+  std::vector<std::uint8_t> channel_blob_;
+  CrashStats stats_;
+};
+
+}  // namespace decmon

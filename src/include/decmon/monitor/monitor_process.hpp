@@ -98,6 +98,8 @@ struct MonitorOptions {
   std::function<void(const std::string&)> trace;
 };
 
+class CheckpointCodec;
+
 class MonitorProcess {
  public:
   /// `initial_letters[p]` is process p's local letter at its initial state
@@ -231,6 +233,11 @@ class MonitorProcess {
   std::set<Verdict> declared_;
   VerdictCallback on_verdict_;
   MonitorStats stats_;
+
+  /// Serializes/restores the algorithmic state above for crash recovery
+  /// (checkpoint.hpp). Pools, merge scratch, callbacks and stats are
+  /// explicitly not state.
+  friend class CheckpointCodec;
 };
 
 }  // namespace decmon

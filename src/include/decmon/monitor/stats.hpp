@@ -21,6 +21,15 @@ struct MonitorStats {
   std::uint64_t peak_global_views = 0;
   std::uint64_t peak_waiting_tokens = 0;
 
+  // -- crash tolerance (filled in from ReliableChannel / CrashInjector
+  //    counters by the harnesses; zero on fault-free runs) --
+  std::uint64_t retransmissions = 0;    ///< timer-driven channel re-sends
+  std::uint64_t acks_sent = 0;          ///< pure-ack channel envelopes
+  std::uint64_t dup_suppressed = 0;     ///< deliveries filtered by dedup
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t checkpoint_bytes = 0;   ///< total bytes over all checkpoints
+  std::uint64_t crash_restarts = 0;
+
   // -- latency --
   std::uint64_t events_processed = 0;
   std::uint64_t events_delayed = 0;   ///< events enqueued behind a token

@@ -5,9 +5,14 @@
 // This module defines a compact, versioned, endian-stable binary encoding
 // with full round-trip fidelity, plus defensive decoding (truncated or
 // corrupt buffers yield errors, never UB).
+//
+// The primitive codec (WireWriter / WireReader) is public: the reliable
+// channel and the checkpoint module reuse it so every durable byte in the
+// system shares one bounds-checked little-endian encoding.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -25,6 +30,84 @@ class WireError : public std::runtime_error {
 /// Hard ceiling on per-process array widths a decoder will accept when the
 /// caller does not pass the session's actual process count.
 inline constexpr std::size_t kMaxWireProcesses = 4096;
+
+/// Little-endian primitive encoder appending into a caller-owned buffer, so
+/// pooled buffers can be refilled without reallocating (the reliable
+/// channel's clean path depends on this).
+class WireWriter {
+ public:
+  explicit WireWriter(std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  void u8(std::uint8_t x) { buf_.push_back(x); }
+  void u32(std::uint32_t x) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+    }
+  }
+  void u64(std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+    }
+  }
+  void vc(const VectorClock& clock) {
+    u32(static_cast<std::uint32_t>(clock.size()));
+    for (std::size_t i = 0; i < clock.size(); ++i) u32(clock[i]);
+  }
+
+  std::vector<std::uint8_t>& buffer() { return buf_; }
+
+ private:
+  std::vector<std::uint8_t>& buf_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed buffer. Every
+/// truncation throws WireError; no read is ever out of bounds.
+class WireReader {
+ public:
+  explicit WireReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return buf_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t x = 0;
+    for (int i = 0; i < 4; ++i) {
+      x |= static_cast<std::uint32_t>(buf_[pos_++]) << (8 * i);
+    }
+    return x;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t x = 0;
+    for (int i = 0; i < 8; ++i) {
+      x |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
+    }
+    return x;
+  }
+  VectorClock vc(std::size_t max_width) {
+    const std::uint32_t n = u32();
+    if (n > max_width) throw WireError("vector clock too wide");
+    VectorClock clock(n);
+    for (std::uint32_t i = 0; i < n; ++i) clock[i] = u32();
+    return clock;
+  }
+  void done() const {
+    if (pos_ != buf_.size()) throw WireError("trailing bytes");
+  }
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  void need(std::size_t k) const {
+    // pos_ <= buf_.size() always holds, so the subtraction cannot wrap;
+    // comparing this way keeps a huge k from overflowing pos_ + k.
+    if (k > buf_.size() - pos_) throw WireError("truncated buffer");
+  }
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
 
 /// Serialize a token (message kind + version header included).
 std::vector<std::uint8_t> encode_token(const Token& token);
@@ -45,5 +128,28 @@ WireKind wire_kind(const std::vector<std::uint8_t>& buffer);
 Token decode_token(const std::vector<std::uint8_t>& buffer,
                    std::size_t max_width = kMaxWireProcesses);
 TerminationMessage decode_termination(const std::vector<std::uint8_t>& buffer);
+
+/// Headerless token body, for embedding a token inside a larger framed blob
+/// (monitor checkpoints). Byte-compatible with the encode_token payload.
+void write_token_body(WireWriter& w, const Token& token);
+Token read_token_body(WireReader& r, std::size_t max_width);
+
+/// Serialize any monitor-layer payload (token or termination) into `out`,
+/// appending. The bytes are exactly what encode_token / encode_termination
+/// produce, so either decoder family accepts them. Throws WireError for
+/// payload tags that have no wire form (transport-internal payloads never
+/// cross a process boundary).
+void encode_payload_into(const NetPayload& payload,
+                         std::vector<std::uint8_t>& out);
+
+/// Decode a buffer produced by encode_payload_into back into a payload
+/// object, dispatching on the embedded kind byte.
+std::unique_ptr<NetPayload> decode_payload(
+    const std::vector<std::uint8_t>& buffer,
+    std::size_t max_width = kMaxWireProcesses);
+
+/// CRC-32 (reflected, polynomial 0xEDB88320 -- the zlib/PNG variant) used to
+/// seal checkpoint and channel-state blobs against corruption.
+std::uint32_t wire_crc32(const std::uint8_t* data, std::size_t len);
 
 }  // namespace decmon

@@ -1,0 +1,165 @@
+#include "decmon/monitor/crash_injector.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "decmon/monitor/checkpoint.hpp"
+
+namespace decmon {
+
+std::string CrashPlan::to_string() const {
+  std::ostringstream os;
+  os << "node " << node << " crash_after " << crash_after
+     << " down_deliveries " << down_deliveries;
+  return os.str();
+}
+
+CrashInjector::CrashInjector(MonitorHooks* inner,
+                             DecentralizedMonitor* monitors,
+                             ReliableChannel* channel, CrashPlan plan)
+    : inner_(inner), monitors_(monitors), channel_(channel), plan_(plan) {
+  if (!inner_) throw std::invalid_argument("CrashInjector: null inner hooks");
+  if (plan_.node >= 0) {
+    if (!monitors_ || !channel_) {
+      throw std::invalid_argument(
+          "CrashInjector: crash plan needs monitors and channel");
+    }
+    if (plan_.node >= monitors_->num_processes()) {
+      throw std::invalid_argument("CrashInjector: bad crash node");
+    }
+    // The pre-crash state must always be restorable, including a crash that
+    // trips before the node's first delivery.
+    take_checkpoint();
+  }
+}
+
+void CrashInjector::take_checkpoint() {
+  monitor_blob_ = checkpoint_monitor(monitors_->monitor(plan_.node));
+  channel_blob_ = channel_->save_node(plan_.node);
+  ++stats_.checkpoints_taken;
+  stats_.checkpoint_bytes += monitor_blob_.size() + channel_blob_.size();
+}
+
+void CrashInjector::crash() {
+  phase_ = Phase::kDown;
+  down_left_ = plan_.down_deliveries;
+  ++stats_.crashes;
+}
+
+void CrashInjector::restart(double now) {
+  restore_monitor(monitors_->monitor(plan_.node), monitor_blob_);
+  channel_->restore_node(plan_.node, channel_blob_, now);
+  // Round-trip check: re-snapshotting the state just restored must give
+  // back the exact bytes. A mismatch means the codec dropped or invented
+  // state -- a soundness bug, so it is fatal rather than logged.
+  if (checkpoint_monitor(monitors_->monitor(plan_.node)) != monitor_blob_ ||
+      channel_->save_node(plan_.node) != channel_blob_) {
+    throw std::logic_error(
+        "CrashInjector: checkpoint round-trip is not byte-identical");
+  }
+  phase_ = Phase::kRecovered;
+  ++stats_.restarts;
+  // Replay the durable local log the node accumulated while down.
+  for (const JournalEntry& entry : journal_) {
+    if (entry.termination) {
+      inner_->on_local_termination(plan_.node, now);
+    } else {
+      inner_->on_local_event(plan_.node, entry.event, now);
+    }
+    ++stats_.journal_replayed;
+  }
+  journal_.clear();
+}
+
+void CrashInjector::on_local_event(int proc, const Event& event, double now) {
+  if (proc != plan_.node || phase_ == Phase::kRecovered) {
+    inner_->on_local_event(proc, event, now);
+    return;
+  }
+  if (phase_ == Phase::kDown) {
+    if (down_left_ == 0) {
+      restart(now);
+      inner_->on_local_event(proc, event, now);
+      return;
+    }
+    journal_.push_back(JournalEntry{false, event});
+    --down_left_;
+    return;
+  }
+  if (delivered_data_ >= plan_.crash_after) {
+    // The crash can trip at a local-event boundary too (this is what makes
+    // every seeded plan actually fire: a node always has local events, but
+    // may see few data envelopes). The tripping event goes straight into the
+    // journal -- it is the node's own durable log entry, not network soft
+    // state -- so recovery replays it.
+    crash();
+    journal_.push_back(JournalEntry{false, event});
+    if (down_left_ > 0) --down_left_;
+    return;
+  }
+  ++delivered_data_;
+  inner_->on_local_event(proc, event, now);
+  take_checkpoint();
+}
+
+void CrashInjector::on_local_termination(int proc, double now) {
+  if (proc != plan_.node || phase_ == Phase::kRecovered) {
+    inner_->on_local_termination(proc, now);
+    return;
+  }
+  if (phase_ == Phase::kDown) {
+    if (down_left_ == 0) {
+      restart(now);
+      inner_->on_local_termination(proc, now);
+      return;
+    }
+    // Termination is durable (journaled) but does not count toward the
+    // restart trigger: it is not a delivery.
+    journal_.push_back(JournalEntry{true, Event{}});
+    return;
+  }
+  inner_->on_local_termination(proc, now);
+  take_checkpoint();
+}
+
+void CrashInjector::on_monitor_message(MonitorMessage msg, double now) {
+  if (msg.to != plan_.node || phase_ == Phase::kRecovered) {
+    inner_->on_monitor_message(std::move(msg), now);
+    return;
+  }
+  const bool is_envelope =
+      msg.payload && msg.payload->tag == ChannelEnvelope::kTag;
+  const bool is_data =
+      is_envelope && static_cast<ChannelEnvelope*>(msg.payload.get())->seq != 0;
+  if (phase_ == Phase::kDown) {
+    if (down_left_ == 0) {
+      restart(now);
+      inner_->on_monitor_message(std::move(msg), now);
+      return;
+    }
+    // Data envelopes are unacked at their senders and will be retransmitted
+    // after the restart; acks and timers are soft state and vanish with the
+    // node. Only countable (recoverable) arrivals tick the restart clock.
+    if (is_data) {
+      ++stats_.dropped_while_down;
+      --down_left_;
+    }
+    return;
+  }
+  if (is_data && delivered_data_ >= plan_.crash_after) {
+    // The crash trips at this delivery boundary: the message is lost with
+    // the node (its sender retransmits it into the restarted node later),
+    // and the node's state is exactly the last checkpoint.
+    crash();
+    if (plan_.down_deliveries > 0) {
+      ++stats_.dropped_while_down;
+      --down_left_;
+    }
+    return;
+  }
+  if (is_data) ++delivered_data_;
+  inner_->on_monitor_message(std::move(msg), now);
+  take_checkpoint();
+}
+
+}  // namespace decmon

@@ -15,6 +15,12 @@ MonitorStats& MonitorStats::operator+=(const MonitorStats& other) {
   peak_global_views += other.peak_global_views;
   peak_waiting_tokens = std::max(peak_waiting_tokens,
                                  other.peak_waiting_tokens);
+  retransmissions += other.retransmissions;
+  acks_sent += other.acks_sent;
+  dup_suppressed += other.dup_suppressed;
+  checkpoints_taken += other.checkpoints_taken;
+  checkpoint_bytes += other.checkpoint_bytes;
+  crash_restarts += other.crash_restarts;
   events_processed += other.events_processed;
   events_delayed += other.events_delayed;
   pending_sum += other.pending_sum;

@@ -1,77 +1,18 @@
 #include "decmon/monitor/wire.hpp"
 
+#include <array>
+
 namespace decmon {
 namespace {
 
 constexpr std::uint8_t kVersion = 1;
 
-/// Little-endian, bounds-checked primitive codec.
-class Writer {
- public:
-  void u8(std::uint8_t x) { buf_.push_back(x); }
-  void u32(std::uint32_t x) {
-    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
-  }
-  void u64(std::uint64_t x) {
-    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
-  }
-  void vc(const VectorClock& clock) {
-    u32(static_cast<std::uint32_t>(clock.size()));
-    for (std::size_t i = 0; i < clock.size(); ++i) u32(clock[i]);
-  }
-  std::vector<std::uint8_t> take() { return std::move(buf_); }
-
- private:
-  std::vector<std::uint8_t> buf_;
-};
-
-class Reader {
- public:
-  explicit Reader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
-
-  std::uint8_t u8() {
-    need(1);
-    return buf_[pos_++];
-  }
-  std::uint32_t u32() {
-    need(4);
-    std::uint32_t x = 0;
-    for (int i = 0; i < 4; ++i) x |= static_cast<std::uint32_t>(buf_[pos_++]) << (8 * i);
-    return x;
-  }
-  std::uint64_t u64() {
-    need(8);
-    std::uint64_t x = 0;
-    for (int i = 0; i < 8; ++i) x |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
-    return x;
-  }
-  VectorClock vc(std::size_t max_width) {
-    const std::uint32_t n = u32();
-    if (n > max_width) throw WireError("vector clock too wide");
-    VectorClock clock(n);
-    for (std::uint32_t i = 0; i < n; ++i) clock[i] = u32();
-    return clock;
-  }
-  void done() const {
-    if (pos_ != buf_.size()) throw WireError("trailing bytes");
-  }
-
- private:
-  void need(std::size_t k) const {
-    // pos_ <= buf_.size() always holds, so the subtraction cannot wrap;
-    // comparing this way keeps a huge k from overflowing pos_ + k.
-    if (k > buf_.size() - pos_) throw WireError("truncated buffer");
-  }
-  const std::vector<std::uint8_t>& buf_;
-  std::size_t pos_ = 0;
-};
-
-void write_header(Writer& w, WireKind kind) {
+void write_header(WireWriter& w, WireKind kind) {
   w.u8(kVersion);
   w.u8(static_cast<std::uint8_t>(kind));
 }
 
-void read_header(Reader& r, WireKind expected) {
+void read_header(WireReader& r, WireKind expected) {
   const std::uint8_t version = r.u8();
   if (version != kVersion) throw WireError("unsupported wire version");
   const std::uint8_t kind = r.u8();
@@ -83,7 +24,7 @@ void read_header(Reader& r, WireKind expected) {
 // Target processes travel as index+1 (0 = unset). A corrupt value near
 // UINT32_MAX would make the decoding subtraction overflow, so bound it by
 // the widest width any decoder accepts before converting.
-int read_target_process(Reader& r) {
+int read_target_process(WireReader& r) {
   const std::uint32_t raw = r.u32();
   if (raw > kMaxWireProcesses) throw WireError("bad target process");
   return static_cast<int>(raw) - 1;
@@ -92,7 +33,7 @@ int read_target_process(Reader& r) {
 // The entry layout predates the flat ProcSlot storage and is kept
 // byte-for-byte: cut[], depend (as a width-prefixed clock), gstate[],
 // conj[], then the scalars and optional loop arrays.
-void write_entry(Writer& w, const TransitionEntry& e) {
+void write_entry(WireWriter& w, const TransitionEntry& e) {
   const std::size_t n = e.width();
   w.u32(static_cast<std::uint32_t>(e.transition_id));
   w.u32(static_cast<std::uint32_t>(n));
@@ -113,7 +54,7 @@ void write_entry(Writer& w, const TransitionEntry& e) {
   }
 }
 
-TransitionEntry read_entry(Reader& r, std::size_t max_width) {
+TransitionEntry read_entry(WireReader& r, std::size_t max_width) {
   TransitionEntry e;
   e.transition_id = static_cast<int>(r.u32());
   const std::uint32_t n = r.u32();
@@ -144,9 +85,7 @@ TransitionEntry read_entry(Reader& r, std::size_t max_width) {
 
 }  // namespace
 
-std::vector<std::uint8_t> encode_token(const Token& token) {
-  Writer w;
-  write_header(w, WireKind::kToken);
+void write_token_body(WireWriter& w, const Token& token) {
   w.u64(token.token_id);
   w.u32(static_cast<std::uint32_t>(token.parent));
   w.u32(token.parent_sn);
@@ -156,13 +95,9 @@ std::vector<std::uint8_t> encode_token(const Token& token) {
   w.u32(static_cast<std::uint32_t>(token.hops));
   w.u32(static_cast<std::uint32_t>(token.entries.size()));
   for (const TransitionEntry& e : token.entries) write_entry(w, e);
-  return w.take();
 }
 
-Token decode_token(const std::vector<std::uint8_t>& buffer,
-                   std::size_t max_width) {
-  Reader r(buffer);
-  read_header(r, WireKind::kToken);
+Token read_token_body(WireReader& r, std::size_t max_width) {
   Token t;
   t.token_id = r.u64();
   t.parent = static_cast<int>(r.u32());
@@ -177,21 +112,38 @@ Token decode_token(const std::vector<std::uint8_t>& buffer,
   for (std::uint32_t i = 0; i < n; ++i) {
     t.entries.push_back(read_entry(r, max_width));
   }
+  return t;
+}
+
+std::vector<std::uint8_t> encode_token(const Token& token) {
+  std::vector<std::uint8_t> buf;
+  WireWriter w(buf);
+  write_header(w, WireKind::kToken);
+  write_token_body(w, token);
+  return buf;
+}
+
+Token decode_token(const std::vector<std::uint8_t>& buffer,
+                   std::size_t max_width) {
+  WireReader r(buffer);
+  read_header(r, WireKind::kToken);
+  Token t = read_token_body(r, max_width);
   r.done();
   return t;
 }
 
 std::vector<std::uint8_t> encode_termination(const TerminationMessage& msg) {
-  Writer w;
+  std::vector<std::uint8_t> buf;
+  WireWriter w(buf);
   write_header(w, WireKind::kTermination);
   w.u32(static_cast<std::uint32_t>(msg.process));
   w.u32(msg.last_sn);
-  return w.take();
+  return buf;
 }
 
 TerminationMessage decode_termination(
     const std::vector<std::uint8_t>& buffer) {
-  Reader r(buffer);
+  WireReader r(buffer);
   read_header(r, WireKind::kTermination);
   TerminationMessage msg;
   msg.process = static_cast<int>(r.u32());
@@ -206,6 +158,61 @@ WireKind wire_kind(const std::vector<std::uint8_t>& buffer) {
   const std::uint8_t kind = buffer[1];
   if (kind != 1 && kind != 2) throw WireError("unknown message kind");
   return static_cast<WireKind>(kind);
+}
+
+void encode_payload_into(const NetPayload& payload,
+                         std::vector<std::uint8_t>& out) {
+  WireWriter w(out);
+  if (payload.tag == TokenMessage::kTag) {
+    const auto& msg = static_cast<const TokenMessage&>(payload);
+    write_header(w, WireKind::kToken);
+    write_token_body(w, msg.token);
+  } else if (payload.tag == TerminationMessage::kTag) {
+    const auto& msg = static_cast<const TerminationMessage&>(payload);
+    write_header(w, WireKind::kTermination);
+    w.u32(static_cast<std::uint32_t>(msg.process));
+    w.u32(msg.last_sn);
+  } else {
+    throw WireError("payload tag has no wire form");
+  }
+}
+
+std::unique_ptr<NetPayload> decode_payload(
+    const std::vector<std::uint8_t>& buffer, std::size_t max_width) {
+  switch (wire_kind(buffer)) {
+    case WireKind::kToken: {
+      auto msg = std::make_unique<TokenMessage>();
+      msg->token = decode_token(buffer, max_width);
+      return msg;
+    }
+    case WireKind::kTermination: {
+      const TerminationMessage decoded = decode_termination(buffer);
+      auto msg = std::make_unique<TerminationMessage>();
+      msg->process = decoded.process;
+      msg->last_sn = decoded.last_sn;
+      return msg;
+    }
+  }
+  throw WireError("unknown message kind");
+}
+
+std::uint32_t wire_crc32(const std::uint8_t* data, std::size_t len) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
 }
 
 }  // namespace decmon

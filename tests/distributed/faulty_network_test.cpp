@@ -173,6 +173,47 @@ TEST(FaultyNetwork, ChannelsAreIndependent) {
   }
 }
 
+TEST(FaultyNetwork, LoseProbSwallowsMessagesForever) {
+  // True loss (the mode the reliable channel exists to survive): no
+  // redelivery is ever scheduled, unlike drop_prob's bounded-loss model.
+  RecordingNetwork inner;
+  FaultConfig config;
+  config.lose_prob = 1.0;
+  FaultyNetwork net(&inner, 2, config);
+  for (int i = 0; i < 10; ++i) net.send(make_msg(0, 1));
+  EXPECT_TRUE(inner.sent.empty());
+  EXPECT_EQ(net.stats().lost, 10u);
+  EXPECT_EQ(net.stats().dropped, 0u);
+}
+
+TEST(FaultyNetwork, LossStreamIsDeterministic) {
+  // Which messages die is a pure function of {seed, config, channel
+  // ordinal}: re-running a lossy config reproduces the exact same carnage,
+  // down to the surviving messages' perturbations.
+  FaultConfig config;
+  config.delay_prob = 0.4;
+  config.lose_prob = 0.3;
+  config.seed = 21;
+
+  auto run = [&config] {
+    RecordingNetwork inner;
+    FaultyNetwork net(&inner, 2, config);
+    for (int i = 0; i < 100; ++i) net.send(make_msg(0, 1));
+    return std::make_pair(inner.sent, net.stats());
+  };
+  auto [sent_a, stats_a] = run();
+  auto [sent_b, stats_b] = run();
+
+  EXPECT_GT(stats_a.lost, 0u);
+  EXPECT_LT(stats_a.lost, 100u);
+  EXPECT_EQ(stats_a.lost, stats_b.lost);
+  ASSERT_EQ(sent_a.size(), sent_b.size());
+  for (std::size_t i = 0; i < sent_a.size(); ++i) {
+    EXPECT_EQ(sent_a[i].perturbation.extra_delay,
+              sent_b[i].perturbation.extra_delay);
+  }
+}
+
 TEST(FaultyNetwork, PayloadsWithoutCloneAreNotDuplicated) {
   struct OpaquePayload : NetPayload {
     OpaquePayload() : NetPayload(77) {}

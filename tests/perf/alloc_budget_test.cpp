@@ -94,5 +94,51 @@ TEST(AllocBudget, CellDStaysUnderBudget) {
       << ", pre-overhaul baseline ~547)";
 }
 
+TEST(AllocBudget, ReliableChannelCleanPathStaysUnderBudget) {
+#ifdef DECMON_ALLOC_TEST_DISABLED
+  GTEST_SKIP() << "allocation counting is disabled under sanitizers";
+#endif
+  // Same cell-D run, but with the ReliableChannel stacked between monitors
+  // and runtime. Envelope shells and byte buffers are pooled, so on a
+  // fault-free run the channel adds only bounded pool warm-up -- the
+  // per-event rate must hold under the same budget as the bare run.
+  const int n = 5;
+  AtomRegistry reg = paper::make_registry(n);
+  MonitorAutomaton automaton =
+      paper::build_automaton(paper::Property::kD, n, reg);
+  automaton.build_dispatch();
+  CompiledProperty prop(&automaton, &reg);
+
+  TraceParams params = paper::experiment_params(
+      paper::Property::kD, n, /*seed=*/1, /*comm_mu=*/3.0,
+      /*comm_enabled=*/true, /*internal_events=*/25);
+  SystemTrace trace = generate_trace(params);
+  force_final_all_true(trace);
+
+  SimRuntime runtime(std::move(trace), &reg, SimConfig{});
+  ReliableChannel channel(&runtime, n);
+  DecentralizedMonitor monitors(
+      &prop, &channel, initial_letters_of(reg, runtime.initial_states()));
+  channel.set_hooks(&monitors);
+  runtime.set_hooks(&channel);
+
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  runtime.run();
+  g_counting.store(false, std::memory_order_relaxed);
+
+  EXPECT_TRUE(monitors.all_finished());
+  const double events = static_cast<double>(runtime.program_events());
+  ASSERT_GT(events, 0.0);
+  const double per_event =
+      static_cast<double>(g_allocs.load(std::memory_order_relaxed)) / events;
+
+  RecordProperty("allocs_per_event_with_channel", std::to_string(per_event));
+  EXPECT_LE(per_event, kAllocsPerEventBudget)
+      << "reliable channel leaks per-event heap traffic on the clean path: "
+      << per_event << " allocations per event (budget "
+      << kAllocsPerEventBudget << ")";
+}
+
 }  // namespace
 }  // namespace decmon

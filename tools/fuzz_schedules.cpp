@@ -6,18 +6,33 @@
 // Usage:
 //   fuzz_schedules [--seed N] [--cases N] [--cells A:3,B:2,E:3]
 //                  [--internal-events N] [--lose-dropped]
+//                  [--reliable-channel] [--lossy] [--crash]
+//                  [--cell-timeout-sec N]
 //                  [--repro-dir DIR] [--repro FILE]
 //
 // --repro FILE re-runs a dumped repro and prints its outcome (exit 1 if the
 // violation reproduces). Everything else runs a sweep (exit 1 on any
-// violation).
+// violation). --crash kills one seeded monitor node per case and restarts it
+// from its checkpoint; --lossy makes the faulty network truly swallow
+// messages (survivable only with --reliable-channel / --crash).
+// --cell-timeout-sec arms a wall-clock watchdog: if any single case runs
+// longer than the budget, the partial repro of the stuck case is dumped
+// (to --repro-dir if set, else stderr) and the process exits 3 instead of
+// hanging CI.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "decmon/distributed/schedule_fuzz.hpp"
@@ -31,9 +46,77 @@ int usage() {
   std::cerr
       << "usage: fuzz_schedules [--seed N] [--cases N] [--cells A:3,B:2]\n"
          "                      [--internal-events N] [--lose-dropped]\n"
+         "                      [--reliable-channel] [--lossy] [--crash]\n"
+         "                      [--cell-timeout-sec N]\n"
          "                      [--repro-dir DIR] [--repro FILE]\n";
   return 2;
 }
+
+/// Wall-clock watchdog over the sweep. run_sweep reports each case's partial
+/// repro through on_case_start; a polling thread checks how long the current
+/// case has been running and, past the budget, dumps that blob and exits
+/// with status 3 -- a hung case must surface as a reproducible artifact, not
+/// as a CI timeout with no evidence.
+class Watchdog {
+ public:
+  Watchdog(int timeout_sec, std::string repro_dir)
+      : timeout_(timeout_sec), repro_dir_(std::move(repro_dir)) {
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~Watchdog() {
+    {
+      std::scoped_lock lock(mutex_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  void case_started(const std::string& partial_repro) {
+    std::scoped_lock lock(mutex_);
+    current_ = partial_repro;
+    started_ = std::chrono::steady_clock::now();
+  }
+
+ private:
+  void run() {
+    std::unique_lock lock(mutex_);
+    while (!done_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(200));
+      if (done_ || current_.empty()) continue;
+      const auto elapsed = std::chrono::steady_clock::now() - started_;
+      if (elapsed < std::chrono::seconds(timeout_)) continue;
+      std::cerr << "fuzz_schedules: case exceeded " << timeout_
+                << "s wall-clock budget\n";
+      if (!repro_dir_.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(repro_dir_, ec);
+        const std::string path = repro_dir_ + "/timeout-partial-repro.txt";
+        std::ofstream out(path);
+        out << current_;
+        out.flush();
+        std::cerr << "fuzz_schedules: partial repro written to " << path
+                  << "\n";
+      } else {
+        std::cerr << "---- partial repro of stuck case ----\n"
+                  << current_ << "-------------------------------------\n";
+      }
+      // The stuck case may hold locks or be livelocked; a clean shutdown is
+      // not available. _Exit skips atexit/destructors on purpose.
+      std::_Exit(3);
+    }
+  }
+
+  const int timeout_;
+  const std::string repro_dir_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::string current_;
+  std::chrono::steady_clock::time_point started_;
+  bool done_ = false;
+  std::thread thread_;
+};
 
 std::vector<Cell> parse_cells(const std::string& text) {
   std::vector<Cell> cells;
@@ -91,6 +174,7 @@ int main(int argc, char** argv) {
   Options options;
   std::string repro_dir;
   std::string repro_file;
+  int cell_timeout_sec = 0;
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -108,6 +192,17 @@ int main(int argc, char** argv) {
         options.internal_events = std::stoi(value());
       } else if (arg == "--lose-dropped") {
         options.lose_dropped = true;
+      } else if (arg == "--reliable-channel") {
+        options.reliable_channel = true;
+      } else if (arg == "--lossy") {
+        options.lossy = true;
+      } else if (arg == "--crash") {
+        options.crash = true;
+      } else if (arg == "--cell-timeout-sec") {
+        cell_timeout_sec = std::stoi(value());
+        if (cell_timeout_sec < 1) {
+          throw std::runtime_error("--cell-timeout-sec wants a positive value");
+        }
       } else if (arg == "--repro-dir") {
         repro_dir = value();
       } else if (arg == "--repro") {
@@ -123,8 +218,17 @@ int main(int argc, char** argv) {
 
   if (!repro_file.empty()) return run_one_repro(repro_file);
 
+  std::unique_ptr<Watchdog> watchdog;
+  if (cell_timeout_sec > 0) {
+    watchdog = std::make_unique<Watchdog>(cell_timeout_sec, repro_dir);
+    options.on_case_start = [&watchdog](const std::string& partial) {
+      watchdog->case_started(partial);
+    };
+  }
+
   const decmon::fuzz::Report report =
       decmon::fuzz::run_sweep(options, &std::cout);
+  watchdog.reset();  // disarm before the (fast) reporting tail
   std::cout << "cases " << report.cases << " skipped " << report.skipped
             << " violations " << report.violation_count << "\n"
             << "faults: messages " << report.faults.messages
@@ -132,6 +236,21 @@ int main(int argc, char** argv) {
             << report.faults.reordered << " duplicated "
             << report.faults.duplicated << " dropped " << report.faults.dropped
             << " lost " << report.faults.lost << "\n";
+  if (options.reliable_channel || options.crash || options.lossy) {
+    std::cout << "channel: data_sent " << report.channel.data_sent
+              << " retransmissions " << report.channel.retransmissions
+              << " acks_sent " << report.channel.acks_sent
+              << " dup_suppressed " << report.channel.dup_suppressed
+              << " timer_fires " << report.channel.timer_fires << "\n";
+  }
+  if (options.crash) {
+    std::cout << "crash: crashes " << report.crash.crashes << " restarts "
+              << report.crash.restarts << " checkpoints "
+              << report.crash.checkpoints_taken << " checkpoint_bytes "
+              << report.crash.checkpoint_bytes << " dropped_while_down "
+              << report.crash.dropped_while_down << " journal_replayed "
+              << report.crash.journal_replayed << "\n";
+  }
 
   int written = 0;
   for (const auto& v : report.violations) {
