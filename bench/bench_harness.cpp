@@ -18,6 +18,7 @@
 //   cell.<P>.n<k>.<comm|nocomm>.global_views     (Fig. 5.8 metric)
 //   cell.<P>.n<k>.<comm|nocomm>.peak_views       aggregate peak live views
 //   cell.<P>.n<k>.<comm|nocomm>.token_hops       total token hops
+//   cell.<P>.n<k>.<comm|nocomm>.wire_bytes       encoded bytes sent (§9)
 //   recovery.clean.wall_ms                       bare distributed run
 //   recovery.channel.wall_ms                     + ReliableChannel (no faults)
 //   recovery.channel.{data_sent,acks_sent}       clean-path channel traffic
@@ -208,11 +209,17 @@ void run_cell_metrics(Metrics& out, paper::Property prop, int n,
   MonitorAutomaton automaton = paper::build_automaton(prop, n, reg);
   MonitorSession session(std::move(reg), std::move(automaton));
 
+  // Same posture as bench_common.hpp: cells measure the deployment
+  // configuration, which batches frames while they are in flight.
+  SimConfig sim;
+  sim.coalesce = CoalesceMode::kTransit;
+
   double wall_ms = 0;
   double monitor_messages = 0;
   double global_views = 0;
   double peak_views = 0;
   double token_hops = 0;
+  double wire_bytes = 0;
   for (int r = 0; r < replications; ++r) {
     TraceParams params = paper::experiment_params(
         prop, n, base_seed + static_cast<std::uint64_t>(r), comm_mu,
@@ -220,13 +227,14 @@ void run_cell_metrics(Metrics& out, paper::Property prop, int n,
     SystemTrace trace = generate_trace(params);
     force_final_all_true(trace);
     const auto t0 = Clock::now();
-    RunResult run = session.run(trace);
+    RunResult run = session.run(trace, sim);
     wall_ms += elapsed_ms(t0);
     monitor_messages += static_cast<double>(run.monitor_messages);
     global_views += static_cast<double>(run.total_global_views);
     peak_views +=
         static_cast<double>(run.verdict.aggregate.peak_global_views);
     token_hops += static_cast<double>(run.verdict.aggregate.token_hops);
+    wire_bytes += static_cast<double>(run.verdict.aggregate.bytes_sent);
   }
   const double k = static_cast<double>(replications);
   const std::string base = "cell." + paper::name(prop) + ".n" +
@@ -237,10 +245,15 @@ void run_cell_metrics(Metrics& out, paper::Property prop, int n,
   out.put(base + ".global_views", global_views / k);
   out.put(base + ".peak_views", peak_views / k);
   out.put(base + ".token_hops", token_hops / k);
+  out.put(base + ".wire_bytes", wire_bytes / k);
 }
 
 void cell_grid(Metrics& out, bool quick) {
-  const int reps = quick ? 1 : 3;
+  // Quick mode shrinks the grid but keeps the full replication count: the
+  // count-valued cell metrics are deterministic per (cell, reps), so a
+  // quick run's cells must match the committed full-mode BENCH_core.json
+  // exactly for tools/bench_check to compare them in CI.
+  const int reps = 3;
   std::vector<paper::Property> props;
   std::vector<int> ns;
   if (quick) {

@@ -21,6 +21,7 @@ SimRuntime::SimRuntime(SystemTrace trace, const AtomRegistry* registry,
   terminated_.assign(static_cast<std::size_t>(n), 0);
   app_last_delivery_.assign(static_cast<std::size_t>(n * n), 0.0);
   mon_last_delivery_.assign(static_cast<std::size_t>(n * n), 0.0);
+  mon_pending_.resize(static_cast<std::size_t>(n * n));
   for (int p = 0; p < n; ++p) {
     remaining_receives_[static_cast<std::size_t>(p)] =
         trace.expected_receives(p);
@@ -137,6 +138,16 @@ void SimRuntime::send_perturbed(MonitorMessage msg,
     throw std::out_of_range("SimRuntime::send: bad destination");
   }
   const bool self = msg.from == msg.to;
+  // Unperturbed cross-node frames ride the convoy engine: per-unit latency
+  // draws with in-flight re-batching. Perturbed sends (fault injection) and
+  // channel envelopes keep the whole-message path below -- a frame inside
+  // an envelope is delayed/reordered/dropped as one unit, which is exactly
+  // the PR 3/4 fault semantics.
+  if (!self && msg.payload && msg.payload->tag == PayloadFrame::kTag &&
+      perturbation.extra_delay == 0.0 && !perturbation.bypass_fifo) {
+    send_frame(std::move(msg));
+    return;
+  }
   if (!self) ++monitor_messages_;  // same-node handoff is not network traffic
   double at = now_;
   if (!self) {
@@ -159,6 +170,72 @@ void SimRuntime::send_perturbed(MonitorMessage msg,
     monitor_end_ = std::max(monitor_end_, now_);
     if (hooks_) hooks_->on_monitor_message(std::move(m), now_);
   });
+}
+
+void SimRuntime::send_frame(MonitorMessage msg) {
+  const int n = num_processes();
+  const int ch = msg.from * n + msg.to;
+  std::deque<PendingFrame>& pending =
+      mon_pending_[static_cast<std::size_t>(ch)];
+  double& prev = mon_last_delivery_[static_cast<std::size_t>(ch)];
+  const bool transit = config_.coalesce == CoalesceMode::kTransit;
+
+  std::unique_ptr<PayloadFrame> incoming(
+      static_cast<PayloadFrame*>(msg.payload.release()));
+  for (std::unique_ptr<NetPayload>& unit : incoming->units) {
+    if (!unit) continue;
+    // One latency draw per unit, in unit order: the single seeded stream
+    // advances exactly as the unbatched simulation would, so everything
+    // else in the schedule (app messages, other channels) is untouched.
+    const double unclamped = now_ + mon_latency_.sample();
+    const double at = std::max(unclamped, prev + 1e-9);
+    // kExact joins the in-flight tail only when the FIFO clamp would have
+    // delivered this unit epsilon-behind the previous one anyway; kTransit
+    // joins whenever the tail has not been delivered yet.
+    const bool join =
+        !pending.empty() && (transit || unclamped <= prev + 1e-9);
+    prev = at;
+    if (join) {
+      auto* tail =
+          static_cast<PayloadFrame*>(pending.back().msg.payload.get());
+      // Transfer the accounting stamp (the flush-time per-unit size; the
+      // re-batched frame's shared header is approximated away).
+      tail->wire_size += unit->wire_size;
+      tail->units.push_back(std::move(unit));
+      continue;
+    }
+    // Open a new in-flight frame headed by this unit.
+    std::unique_ptr<PayloadFrame> head;
+    if (!frame_shells_.empty()) {
+      head = std::move(frame_shells_.back());
+      frame_shells_.pop_back();
+    } else {
+      head = std::make_unique<PayloadFrame>();
+    }
+    head->wire_size = unit->wire_size;
+    head->units.push_back(std::move(unit));
+    ++monitor_messages_;  // one network message per frame that hits the wire
+    pending.push_back(
+        PendingFrame{MonitorMessage{msg.from, msg.to, std::move(head)}, at});
+    schedule(at, [this, ch] { deliver_frame(ch); });
+  }
+  // The drained shell feeds the split path above (bounded like the monitor
+  // pools).
+  if (frame_shells_.size() < 32) {
+    incoming->units.clear();
+    incoming->wire_size = 0;
+    frame_shells_.push_back(std::move(incoming));
+  }
+}
+
+void SimRuntime::deliver_frame(int ch) {
+  std::deque<PendingFrame>& pending =
+      mon_pending_[static_cast<std::size_t>(ch)];
+  assert(!pending.empty());
+  PendingFrame pf = std::move(pending.front());
+  pending.pop_front();
+  monitor_end_ = std::max(monitor_end_, now_);
+  if (hooks_) hooks_->on_monitor_message(std::move(pf.msg), now_);
 }
 
 }  // namespace decmon

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "decmon/util/vector_clock.hpp"
 
@@ -36,6 +37,35 @@ struct NetPayload {
   virtual std::unique_ptr<NetPayload> clone() const { return nullptr; }
 
   const std::uint8_t tag;
+
+  /// Encoded wire-v2 size of this payload, stamped once when the monitor
+  /// flushes it (see MonitorProcess::flush_staged). Zero means "not
+  /// stamped"; transports treat it as advisory accounting, never as a
+  /// framing length.
+  std::uint32_t wire_size = 0;
+};
+
+/// A batch of monitor payloads delivered (and acked, when a reliable
+/// channel is stacked underneath) as one unit. Lives here rather than in
+/// the monitor module so the runtimes can split/merge frames without a
+/// dependency on monitor types: the units stay opaque NetPayloads.
+struct PayloadFrame final : NetPayload {
+  static constexpr std::uint8_t kTag = 5;
+  PayloadFrame() : NetPayload(kTag) {}
+
+  std::vector<std::unique_ptr<NetPayload>> units;
+
+  std::unique_ptr<NetPayload> clone() const override {
+    auto copy = std::make_unique<PayloadFrame>();
+    copy->wire_size = wire_size;
+    copy->units.reserve(units.size());
+    for (const auto& u : units) {
+      auto uc = u ? u->clone() : nullptr;
+      if (!uc) return nullptr;  // a frame clones only if every unit does
+      copy->units.push_back(std::move(uc));
+    }
+    return copy;
+  }
 };
 
 /// A monitor-to-monitor message in flight. Owns its payload exclusively:

@@ -114,6 +114,11 @@ class MonitorProcess {
   void on_local_termination(double now);
   void on_token(Token token, double now);
   void on_peer_termination(int peer, std::uint32_t last_sn, double now);
+  /// Deliver a batched frame: each unit dispatches like a bare token /
+  /// termination message, and the responses the units provoke are
+  /// themselves flushed as batched frames when the whole frame is done.
+  /// Takes ownership of the frame shell (it lands in this monitor's pool).
+  void on_frame(std::unique_ptr<PayloadFrame> frame, double now);
 
   /// Return a drained TokenMessage shell (its token moved out) to this
   /// monitor's free list: the next token this monitor sends reuses it.
@@ -171,10 +176,22 @@ class MonitorProcess {
   /// just past the cut's local component, replaying the shared history.
   void spawn_view(const TransitionEntry& entry, double now);
 
+  // -- send coalescing (DESIGN.md §9) --
+  /// Queue an outgoing payload for `dest`. Nothing touches the network
+  /// until flush_staged() at the end of the current top-level dispatch, so
+  /// a burst of token hops to one peer leaves as one frame.
+  void stage_send(int dest, std::unique_ptr<NetPayload> unit);
+  /// Group the staged sends into per-destination frames (consecutive
+  /// same-destination runs, preserving send order) and hand them to the
+  /// network. No-op while a dispatch is still on the stack.
+  void flush_staged();
+
   // -- free lists (all used from this monitor's dispatch context only) --
   Token acquire_token();
   void recycle_token(Token&& token);
   std::unique_ptr<TokenMessage> acquire_token_payload();
+  std::unique_ptr<PayloadFrame> acquire_frame();
+  void recycle_frame(std::unique_ptr<PayloadFrame> frame);
   GlobalView acquire_view();
 
   // -- bookkeeping --
@@ -206,12 +223,24 @@ class MonitorProcess {
   bool finished_ = false;
   int dispatch_depth_ = 0;  ///< guards view-vector sweeps during re-entrancy
 
+  /// Outgoing payloads staged during the current dispatch; drained by
+  /// flush_staged() when the top-level entry point unwinds. The vector (and
+  /// each pooled frame's unit vector) keeps its capacity across flushes, so
+  /// steady-state staging allocates nothing.
+  struct StagedSend {
+    int dest;
+    std::unique_ptr<NetPayload> unit;
+  };
+  std::vector<StagedSend> staged_;
+
   /// Free lists. Tokens and views recycle their spilled capacity; payload
   /// shells recycle the TokenMessage object itself (the receiver returns
-  /// the husk after moving the token out). Bounded so pathological runs
-  /// cannot hoard memory.
+  /// the husk after moving the token out); frame shells circulate the same
+  /// way through on_frame. Bounded so pathological runs cannot hoard
+  /// memory.
   std::vector<Token> token_pool_;
   std::vector<std::unique_ptr<TokenMessage>> payload_pool_;
+  std::vector<std::unique_ptr<PayloadFrame>> frame_pool_;
   std::vector<GlobalView> view_pool_;
 
   /// Scratch for merge_similar_views (never re-entered; capacity persists).

@@ -15,6 +15,11 @@ struct MonitorStats {
   std::uint64_t token_hops = 0;           ///< total hops over all tokens
   std::uint64_t termination_messages = 0;
 
+  // -- wire (batched frames; see DESIGN.md §9) --
+  std::uint64_t frames_sent = 0;     ///< batched frames flushed to the net
+  std::uint64_t bytes_sent = 0;      ///< wire-v2 encoded bytes, send side
+  std::uint64_t bytes_received = 0;  ///< wire-v2 encoded bytes, receive side
+
   // -- memory --
   std::uint64_t global_views_created = 0;
   std::uint64_t global_views_merged = 0;

@@ -11,6 +11,7 @@
 // system shares one bounds-checked little-endian encoding.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -33,31 +34,72 @@ inline constexpr std::size_t kMaxWireProcesses = 4096;
 
 /// Little-endian primitive encoder appending into a caller-owned buffer, so
 /// pooled buffers can be refilled without reallocating (the reliable
-/// channel's clean path depends on this).
+/// channel's clean path depends on this). Default-constructed writers run
+/// in *counting* mode: no buffer, every write only advances `written()`, so
+/// encoded sizes can be measured without touching memory (bytes-on-wire
+/// accounting stamps frame sizes this way on the flush path).
 class WireWriter {
  public:
-  explicit WireWriter(std::vector<std::uint8_t>& buf) : buf_(buf) {}
+  explicit WireWriter(std::vector<std::uint8_t>& buf) : buf_(&buf) {}
+  WireWriter() = default;  ///< counting mode
 
-  void u8(std::uint8_t x) { buf_.push_back(x); }
+  void u8(std::uint8_t x) {
+    ++written_;
+    if (buf_) buf_->push_back(x);
+  }
   void u32(std::uint32_t x) {
-    for (int i = 0; i < 4; ++i) {
-      buf_.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+    if (!buf_) {  // counting mode: fixed-width, no per-byte work
+      written_ += 4;
+      return;
     }
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(x >> (8 * i)));
   }
   void u64(std::uint64_t x) {
-    for (int i = 0; i < 8; ++i) {
-      buf_.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+    if (!buf_) {
+      written_ += 8;
+      return;
     }
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(x >> (8 * i)));
+  }
+  /// Encoded LEB128 length of `x` without emitting anything: ceil of the
+  /// significant bit count over the 7 value bits per byte (x = 0 is one
+  /// byte, covered by the `| 1`).
+  static std::size_t var_size(std::uint64_t x) {
+    return static_cast<std::size_t>((std::bit_width(x | 1) + 6) / 7);
+  }
+  /// LEB128 unsigned varint: 7 value bits per byte, high bit = continue.
+  void var(std::uint64_t x) {
+    if (!buf_) {  // counting mode: arithmetic size, skip the emit loop
+      written_ += var_size(x);
+      return;
+    }
+    do {
+      std::uint8_t b = static_cast<std::uint8_t>(x & 0x7F);
+      x >>= 7;
+      if (x != 0) b |= 0x80;
+      u8(b);
+    } while (x != 0);
+  }
+  /// Zigzag-mapped signed varint (0, -1, 1, -2, ... -> 0, 1, 2, 3, ...), so
+  /// small deltas of either sign stay one byte.
+  void zig(std::int64_t x) {
+    const auto ux = static_cast<std::uint64_t>(x);
+    var((ux << 1) ^ (x < 0 ? ~std::uint64_t{0} : std::uint64_t{0}));
   }
   void vc(const VectorClock& clock) {
     u32(static_cast<std::uint32_t>(clock.size()));
     for (std::size_t i = 0; i < clock.size(); ++i) u32(clock[i]);
   }
 
-  std::vector<std::uint8_t>& buffer() { return buf_; }
+  /// Bytes emitted so far (both modes).
+  std::size_t written() const { return written_; }
+
+  /// Buffered mode only.
+  std::vector<std::uint8_t>& buffer() { return *buf_; }
 
  private:
-  std::vector<std::uint8_t>& buf_;
+  std::vector<std::uint8_t>* buf_ = nullptr;
+  std::size_t written_ = 0;
 };
 
 /// Bounds-checked little-endian decoder over a borrowed buffer. Every
@@ -85,6 +127,24 @@ class WireReader {
       x |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
     }
     return x;
+  }
+  /// LEB128 unsigned varint. Rejects encodings that overflow 64 bits;
+  /// at most 10 bytes are consumed.
+  std::uint64_t var() {
+    std::uint64_t x = 0;
+    int shift = 0;
+    for (;;) {
+      const std::uint8_t b = u8();
+      if (shift == 63 && (b & 0xFE) != 0) throw WireError("varint overflow");
+      x |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return x;
+      shift += 7;
+      if (shift > 63) throw WireError("varint overflow");
+    }
+  }
+  std::int64_t zig() {
+    const std::uint64_t x = var();
+    return static_cast<std::int64_t>((x >> 1) ^ (std::uint64_t{0} - (x & 1)));
   }
   VectorClock vc(std::size_t max_width) {
     const std::uint32_t n = u32();
@@ -115,10 +175,13 @@ std::vector<std::uint8_t> encode_token(const Token& token);
 /// Serialize a termination signal.
 std::vector<std::uint8_t> encode_termination(const TerminationMessage& msg);
 
-/// What kind of monitor message a buffer holds.
-enum class WireKind : std::uint8_t { kToken = 1, kTermination = 2 };
+/// What kind of monitor message a buffer holds. kToken / kTermination are
+/// version-1 frames (byte layout frozen -- checkpoints embed them); kFrame
+/// is the version-2 batched frame (varints + delta-compressed clocks).
+enum class WireKind : std::uint8_t { kToken = 1, kTermination = 2, kFrame = 3 };
 
-/// Peek at the kind; throws WireError on garbage.
+/// Peek at the kind; throws WireError on garbage. Accepts both wire
+/// versions: v1 buffers hold kToken/kTermination, v2 buffers hold kFrame.
 WireKind wire_kind(const std::vector<std::uint8_t>& buffer);
 
 /// Decode; throws WireError on truncation, bad version or wrong kind.
@@ -143,10 +206,33 @@ void encode_payload_into(const NetPayload& payload,
                          std::vector<std::uint8_t>& out);
 
 /// Decode a buffer produced by encode_payload_into back into a payload
-/// object, dispatching on the embedded kind byte.
+/// object, dispatching on the embedded kind byte. Accepts v1 buffers
+/// (single token / termination) and v2 batched frames.
 std::unique_ptr<NetPayload> decode_payload(
     const std::vector<std::uint8_t>& buffer,
     std::size_t max_width = kMaxWireProcesses);
+
+/// Serialize a batched frame (wire v2: varint integers, frame-level base
+/// clock with per-token zigzag deltas). Unit order is preserved exactly.
+std::vector<std::uint8_t> encode_frame(const PayloadFrame& frame);
+
+/// Decode a v2 frame buffer; throws WireError on truncation, corruption,
+/// or any width exceeding `max_width`.
+std::unique_ptr<PayloadFrame> decode_frame(
+    const std::vector<std::uint8_t>& buffer,
+    std::size_t max_width = kMaxWireProcesses);
+
+/// Encoded size of `payload` under encode_payload_into, computed with a
+/// counting writer -- no bytes are materialized.
+std::size_t payload_wire_size(const NetPayload& payload);
+
+/// One counting-encode pass over a frame that stamps every unit's
+/// `wire_size` (its in-frame encoded bytes) and the frame's own `wire_size`
+/// (the full encoded frame, header + base clock included). Returns the
+/// frame total. This is the bytes-on-wire accounting hook: the monitor
+/// calls it once per flushed frame, and transports that re-batch frames
+/// just transfer the per-unit stamps.
+std::size_t stamp_frame_wire_size(PayloadFrame& frame);
 
 /// CRC-32 (reflected, polynomial 0xEDB88320 -- the zlib/PNG variant) used to
 /// seal checkpoint and channel-state blobs against corruption.

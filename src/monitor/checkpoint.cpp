@@ -124,6 +124,12 @@ class CheckpointCodec {
     if (m.dispatch_depth_ != 0) {
       throw CheckpointError("checkpoint requested during dispatch");
     }
+    // Every entry point flushes its staged sends before returning, so a
+    // quiescent monitor holds none; a non-empty buffer here would mean the
+    // checkpoint silently drops in-flight payloads.
+    if (!m.staged_.empty()) {
+      throw CheckpointError("checkpoint requested with staged sends");
+    }
     std::vector<std::uint8_t> blob;
     WireWriter w(blob);
     for (std::uint8_t b : kMagic) w.u8(b);

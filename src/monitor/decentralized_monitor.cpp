@@ -52,6 +52,11 @@ void DecentralizedMonitor::on_monitor_message(MonitorMessage msg, double now) {
   } else if (payload != nullptr && payload->tag == TerminationMessage::kTag) {
     auto* term = static_cast<TerminationMessage*>(payload);
     target.on_peer_termination(term->process, term->last_sn, now);
+  } else if (payload != nullptr && payload->tag == PayloadFrame::kTag) {
+    msg.payload.release();
+    target.on_frame(
+        std::unique_ptr<PayloadFrame>(static_cast<PayloadFrame*>(payload)),
+        now);
   } else {
     throw std::invalid_argument(
         "DecentralizedMonitor: unknown monitor message payload");

@@ -5,6 +5,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "decmon/monitor/wire.hpp"
+
 namespace decmon {
 namespace {
 
@@ -26,6 +28,7 @@ constexpr std::uint32_t kRunning = 0xFFFFFFFFu;
 /// pathological run cannot hoard memory through the pools.
 constexpr std::size_t kMaxPooledTokens = 128;
 constexpr std::size_t kMaxPooledPayloads = 128;
+constexpr std::size_t kMaxPooledFrames = 32;
 constexpr std::size_t kMaxPooledViews = 128;
 
 }  // namespace
@@ -71,6 +74,7 @@ MonitorProcess::MonitorProcess(int index, const CompiledProperty* property,
     probe_outgoing(views_.back(), history_[0], /*consistent=*/true, 0.0);
   }
   sweep_dead_views();
+  flush_staged();
 }
 
 std::size_t MonitorProcess::num_views() const {
@@ -140,6 +144,21 @@ void MonitorProcess::recycle_token_payload(
   }
 }
 
+std::unique_ptr<PayloadFrame> MonitorProcess::acquire_frame() {
+  if (frame_pool_.empty()) return std::make_unique<PayloadFrame>();
+  std::unique_ptr<PayloadFrame> frame = std::move(frame_pool_.back());
+  frame_pool_.pop_back();
+  frame->wire_size = 0;
+  return frame;
+}
+
+void MonitorProcess::recycle_frame(std::unique_ptr<PayloadFrame> frame) {
+  if (frame && frame_pool_.size() < kMaxPooledFrames) {
+    frame->units.clear();  // keeps the unit vector's capacity
+    frame_pool_.push_back(std::move(frame));
+  }
+}
+
 GlobalView MonitorProcess::acquire_view() {
   GlobalView v;
   if (!view_pool_.empty()) {
@@ -159,10 +178,45 @@ GlobalView MonitorProcess::acquire_view() {
 }
 
 // ---------------------------------------------------------------------------
+// Send coalescing (DESIGN.md §9)
+// ---------------------------------------------------------------------------
+
+void MonitorProcess::stage_send(int dest, std::unique_ptr<NetPayload> unit) {
+  staged_.push_back(StagedSend{dest, std::move(unit)});
+}
+
+void MonitorProcess::flush_staged() {
+  // Flushing mid-dispatch would both break batching (each response would
+  // leave alone) and reorder sends relative to the staging sequence; the
+  // top-level entry point flushes once when its dispatch fully unwinds.
+  if (dispatch_depth_ > 0 || staged_.empty()) return;
+  std::size_t i = 0;
+  while (i < staged_.size()) {
+    const int dest = staged_[i].dest;
+    std::unique_ptr<PayloadFrame> frame = acquire_frame();
+    // One frame per consecutive same-destination run: this preserves the
+    // inter-destination send order exactly (a full per-destination sort
+    // would reorder sends and with them the simulator's latency-draw
+    // sequence, perturbing the schedule goldens).
+    do {
+      frame->units.push_back(std::move(staged_[i].unit));
+      ++i;
+    } while (i < staged_.size() && staged_[i].dest == dest);
+    // Single counting-encode pass: stamps each unit's in-frame size and the
+    // frame total, without materializing bytes (DESIGN.md §9).
+    stats_.bytes_sent += stamp_frame_wire_size(*frame);
+    ++stats_.frames_sent;
+    net_->send(MonitorMessage{index_, dest, std::move(frame)});
+  }
+  staged_.clear();
+}
+
+// ---------------------------------------------------------------------------
 // Event path (Alg. 2)
 // ---------------------------------------------------------------------------
 
 void MonitorProcess::on_local_event(const Event& event, double now) {
+  {
   DepthGuard guard(dispatch_depth_);
   if (event.sn != history_.size()) {
     throw std::logic_error("MonitorProcess: out-of-order local event");
@@ -198,6 +252,8 @@ void MonitorProcess::on_local_event(const Event& event, double now) {
   sample_pending();
   merge_similar_views();
   sweep_dead_views();
+  }  // dispatch scope: the flush below must see depth 0
+  flush_staged();
 }
 
 void MonitorProcess::drain(GlobalView& gv, double now) {
@@ -525,15 +581,49 @@ void MonitorProcess::probe_outgoing(GlobalView& gv, const Event& e,
 // ---------------------------------------------------------------------------
 
 void MonitorProcess::on_token(Token token, double now) {
-  DepthGuard guard(dispatch_depth_);
-  if (token.parent == index_) {
-    handle_returned_token(std::move(token), now);
-  } else {
-    process_token(std::move(token), now);
+  {
+    DepthGuard guard(dispatch_depth_);
+    if (token.parent == index_) {
+      handle_returned_token(std::move(token), now);
+    } else {
+      process_token(std::move(token), now);
+    }
+    merge_similar_views();
+    sweep_dead_views();
+    check_finished(now);
   }
-  merge_similar_views();
-  sweep_dead_views();
-  check_finished(now);
+  // No-op while delivered as part of a frame (on_frame holds the depth):
+  // the whole frame's responses flush together.
+  flush_staged();
+}
+
+void MonitorProcess::on_frame(std::unique_ptr<PayloadFrame> frame,
+                              double now) {
+  stats_.bytes_received += frame->wire_size;
+  {
+    // Hold the dispatch depth across all units so every per-unit flush
+    // no-ops: responses provoked by any unit batch into the frames this
+    // flush_staged() below emits.
+    DepthGuard guard(dispatch_depth_);
+    for (std::unique_ptr<NetPayload>& unit : frame->units) {
+      if (!unit) continue;
+      if (unit->tag == TokenMessage::kTag) {
+        std::unique_ptr<TokenMessage> shell(
+            static_cast<TokenMessage*>(unit.release()));
+        Token token = std::move(shell->token);
+        recycle_token_payload(std::move(shell));
+        on_token(std::move(token), now);
+      } else if (unit->tag == TerminationMessage::kTag) {
+        const auto& t = static_cast<const TerminationMessage&>(*unit);
+        on_peer_termination(t.process, t.last_sn, now);
+      }
+      // Other tags never appear inside a monitor-built frame; tolerate and
+      // skip them (a hostile decoded frame cannot make this path throw).
+    }
+    frame->units.clear();
+  }
+  flush_staged();
+  recycle_frame(std::move(frame));
 }
 
 void MonitorProcess::process_token(Token token, double now) {
@@ -736,10 +826,12 @@ bool MonitorProcess::route_token(Token& token, double now) {
   ++stats_.token_messages_sent;
   // Swap the token into a recycled message shell: the shell's previous
   // token husk lands in `token` and goes back to the pool, so its spilled
-  // capacity (entry vector, wide clocks) keeps circulating.
+  // capacity (entry vector, wide clocks) keeps circulating. The shell is
+  // staged, not sent: it leaves inside a batched frame when the current
+  // dispatch unwinds.
   std::unique_ptr<TokenMessage> payload = acquire_token_payload();
   std::swap(payload->token, token);
-  net_->send(MonitorMessage{index_, dest, std::move(payload)});
+  stage_send(dest, std::move(payload));
   recycle_token(std::move(token));
   return true;
 }
@@ -907,30 +999,37 @@ GlobalView* MonitorProcess::find_view_by_token(std::uint64_t token_id) {
 // ---------------------------------------------------------------------------
 
 void MonitorProcess::on_local_termination(double now) {
-  DepthGuard guard(dispatch_depth_);
-  local_terminated_ = true;
-  peer_last_sn_[static_cast<std::size_t>(index_)] =
-      static_cast<std::uint32_t>(history_.size()) - 1;
-  // Announce to all peers.
-  for (int j = 0; j < n_; ++j) {
-    if (j == index_) continue;
-    auto payload = std::make_unique<TerminationMessage>();
-    payload->process = index_;
-    payload->last_sn = static_cast<std::uint32_t>(history_.size()) - 1;
-    ++stats_.termination_messages;
-    net_->send(MonitorMessage{index_, j, std::move(payload)});
+  {
+    DepthGuard guard(dispatch_depth_);
+    local_terminated_ = true;
+    peer_last_sn_[static_cast<std::size_t>(index_)] =
+        static_cast<std::uint32_t>(history_.size()) - 1;
+    // Announce to all peers. Staged like every send: a token flushed below
+    // toward the same peer shares that peer's frame.
+    for (int j = 0; j < n_; ++j) {
+      if (j == index_) continue;
+      auto payload = std::make_unique<TerminationMessage>();
+      payload->process = index_;
+      payload->last_sn = static_cast<std::uint32_t>(history_.size()) - 1;
+      ++stats_.termination_messages;
+      stage_send(j, std::move(payload));
+    }
+    flush_waiting_tokens(now);
+    merge_similar_views();
+    sweep_dead_views();
+    check_finished(now);
   }
-  flush_waiting_tokens(now);
-  merge_similar_views();
-  sweep_dead_views();
-  check_finished(now);
+  flush_staged();
 }
 
 void MonitorProcess::on_peer_termination(int peer, std::uint32_t last_sn,
                                          double now) {
-  DepthGuard guard(dispatch_depth_);
-  peer_last_sn_[static_cast<std::size_t>(peer)] = last_sn;
-  check_finished(now);
+  {
+    DepthGuard guard(dispatch_depth_);
+    peer_last_sn_[static_cast<std::size_t>(peer)] = last_sn;
+    check_finished(now);
+  }
+  flush_staged();
 }
 
 void MonitorProcess::flush_waiting_tokens(double now) {

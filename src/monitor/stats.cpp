@@ -10,6 +10,9 @@ MonitorStats& MonitorStats::operator+=(const MonitorStats& other) {
   token_messages_sent += other.token_messages_sent;
   token_hops += other.token_hops;
   termination_messages += other.termination_messages;
+  frames_sent += other.frames_sent;
+  bytes_sent += other.bytes_sent;
+  bytes_received += other.bytes_received;
   global_views_created += other.global_views_created;
   global_views_merged += other.global_views_merged;
   peak_global_views += other.peak_global_views;
@@ -33,7 +36,8 @@ MonitorStats& MonitorStats::operator+=(const MonitorStats& other) {
 std::string MonitorStats::to_string() const {
   std::ostringstream os;
   os << "stats{msgs=" << token_messages_sent << " tokens=" << tokens_created
-     << " hops=" << token_hops << " views=" << global_views_created
+     << " hops=" << token_hops << " frames=" << frames_sent
+     << " wire_bytes=" << bytes_sent << " views=" << global_views_created
      << " delayed=" << events_delayed << " avg_queue="
      << average_delayed_events() << "}";
   return os.str();

@@ -14,10 +14,25 @@ namespace {
 
 class CapturingNetwork : public MonitorNetwork {
  public:
-  void send(MonitorMessage msg) override { sent.push_back(std::move(msg)); }
+  // The monitor flushes batched frames; flatten them back into one message
+  // per unit so the assertions below observe individual tokens and
+  // termination signals (frames_seen still counts the actual sends).
+  void send(MonitorMessage msg) override {
+    if (msg.payload && msg.payload->tag == PayloadFrame::kTag) {
+      ++frames_seen;
+      std::unique_ptr<PayloadFrame> frame(
+          static_cast<PayloadFrame*>(msg.payload.release()));
+      for (std::unique_ptr<NetPayload>& unit : frame->units) {
+        sent.push_back(MonitorMessage{msg.from, msg.to, std::move(unit)});
+      }
+      return;
+    }
+    sent.push_back(std::move(msg));
+  }
   double now() const override { return t; }
 
   std::vector<MonitorMessage> sent;
+  int frames_seen = 0;
   double t = 0.0;
 
   std::vector<Token> tokens_to(int proc, int parent = -1) {

@@ -94,6 +94,49 @@ TEST(AllocBudget, CellDStaysUnderBudget) {
       << ", pre-overhaul baseline ~547)";
 }
 
+TEST(AllocBudget, BatchedTransitSendsStayUnderBudget) {
+#ifdef DECMON_ALLOC_TEST_DISABLED
+  GTEST_SKIP() << "allocation counting is disabled under sanitizers";
+#endif
+  // The same run in CoalesceMode::kTransit (the bench posture): every send
+  // goes monitor staging -> frame pool -> convoy re-batching, so this pins
+  // the whole batched path. Frame shells are pooled on both sides and the
+  // staging buffer reuses its capacity, so after warm-up the flush must add
+  // no per-send heap traffic; the budget is the same as the bare run.
+  const int n = 5;
+  AtomRegistry reg = paper::make_registry(n);
+  MonitorAutomaton automaton =
+      paper::build_automaton(paper::Property::kD, n, reg);
+  MonitorSession session(std::move(reg), std::move(automaton));
+
+  TraceParams params = paper::experiment_params(
+      paper::Property::kD, n, /*seed=*/1, /*comm_mu=*/3.0,
+      /*comm_enabled=*/true, /*internal_events=*/25);
+  SystemTrace trace = generate_trace(params);
+  force_final_all_true(trace);
+
+  SimConfig sim;
+  sim.coalesce = CoalesceMode::kTransit;
+
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  RunResult run = session.run(trace, sim);
+  g_counting.store(false, std::memory_order_relaxed);
+
+  const double events = static_cast<double>(run.program_events);
+  ASSERT_GT(events, 0.0);
+  EXPECT_GT(run.verdict.aggregate.bytes_sent, 0u);
+  EXPECT_GT(run.verdict.aggregate.frames_sent, 0u);
+  const double per_event =
+      static_cast<double>(g_allocs.load(std::memory_order_relaxed)) / events;
+
+  RecordProperty("allocs_per_event_transit", std::to_string(per_event));
+  EXPECT_LE(per_event, kAllocsPerEventBudget)
+      << "batched send path regressed: " << per_event
+      << " heap allocations per event (budget " << kAllocsPerEventBudget
+      << ")";
+}
+
 TEST(AllocBudget, ReliableChannelCleanPathStaysUnderBudget) {
 #ifdef DECMON_ALLOC_TEST_DISABLED
   GTEST_SKIP() << "allocation counting is disabled under sanitizers";

@@ -1,0 +1,144 @@
+// bench_check: compare a freshly produced bench_harness JSON against the
+// committed BENCH_core.json and fail on regressions. Used by the CI
+// bench-regression smoke job:
+//
+//   bench_harness --quick --out bench_quick.json
+//   bench_check BENCH_core.json bench_quick.json --wall-tol 4.0
+//
+// Only `cell.*` metrics are compared, and only those present in BOTH files
+// (quick mode runs a sub-grid; recovery.* uses different repetition counts
+// per mode and micro.* is pure wall time, so neither is comparable).
+// Count-valued cell metrics (monitor_messages, global_views, peak_views,
+// token_hops, wire_bytes) are deterministic for a given replication count
+// and must match the baseline EXACTLY -- any drift means the monitor's
+// communication behaviour changed and the baseline must be regenerated
+// deliberately. Time-valued metrics (.wall_ms) are machine- and load-
+// dependent and only need to stay within a tolerance factor of baseline.
+//
+//   bench_check <baseline.json> <candidate.json> [--wall-tol FACTOR]
+//
+// Exit status: 0 all compared metrics pass, 1 any mismatch, 2 usage/IO.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+/// Parse the "metrics" object of a bench_harness file. Accepts exactly the
+/// format bench_harness writes: one `"name": value[,]` pair per line.
+bool parse_metrics(const char* path,
+                   std::vector<std::pair<std::string, double>>* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_check: cannot read %s\n", path);
+    return false;
+  }
+  std::string line;
+  bool in_metrics = false;
+  while (std::getline(in, line)) {
+    if (line.find("\"metrics\"") != std::string::npos) {
+      in_metrics = true;
+      continue;
+    }
+    if (!in_metrics) continue;
+    if (line.find('}') != std::string::npos) break;
+    const auto q0 = line.find('"');
+    const auto q1 = q0 == std::string::npos ? q0 : line.find('"', q0 + 1);
+    const auto colon = q1 == std::string::npos ? q1 : line.find(':', q1 + 1);
+    if (colon == std::string::npos) continue;
+    out->emplace_back(line.substr(q0 + 1, q1 - q0 - 1),
+                      std::strtod(line.c_str() + colon + 1, nullptr));
+  }
+  if (!in_metrics) {
+    std::fprintf(stderr, "bench_check: no \"metrics\" object in %s\n", path);
+    return false;
+  }
+  return true;
+}
+
+bool is_time_metric(const std::string& name) {
+  const auto dot = name.rfind('.');
+  const std::string suffix = dot == std::string::npos ? "" : name.substr(dot);
+  return suffix == ".ns" || suffix == ".ms" || suffix == ".wall_ms";
+}
+
+const double* lookup(const std::vector<std::pair<std::string, double>>& m,
+                     const std::string& name) {
+  for (const auto& [n, v] : m) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* candidate_path = nullptr;
+  double wall_tol = 2.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--wall-tol") == 0 && i + 1 < argc) {
+      wall_tol = std::atof(argv[++i]);
+    } else if (!baseline_path) {
+      baseline_path = argv[i];
+    } else if (!candidate_path) {
+      candidate_path = argv[i];
+    } else {
+      baseline_path = nullptr;
+      break;
+    }
+  }
+  if (!baseline_path || !candidate_path || wall_tol < 1.0) {
+    std::fprintf(stderr,
+                 "usage: bench_check <baseline.json> <candidate.json> "
+                 "[--wall-tol FACTOR>=1]\n");
+    return 2;
+  }
+
+  std::vector<std::pair<std::string, double>> baseline, candidate;
+  if (!parse_metrics(baseline_path, &baseline) ||
+      !parse_metrics(candidate_path, &candidate)) {
+    return 2;
+  }
+
+  int compared = 0;
+  int failures = 0;
+  for (const auto& [name, cand] : candidate) {
+    if (name.rfind("cell.", 0) != 0) continue;
+    const double* base = lookup(baseline, name);
+    if (!base) continue;  // sub-grid runs simply cover fewer cells
+    ++compared;
+    if (is_time_metric(name)) {
+      // Wall clock may go either way with machine load; only flag changes
+      // beyond the tolerance factor. Sub-millisecond cells are dominated by
+      // timer noise, so give them an absolute floor as well.
+      const double lo = *base / wall_tol - 0.5;
+      const double hi = *base * wall_tol + 0.5;
+      if (cand < lo || cand > hi) {
+        ++failures;
+        std::printf("FAIL %-44s baseline %.4f candidate %.4f (tol %.2fx)\n",
+                    name.c_str(), *base, cand, wall_tol);
+      }
+    } else if (*base != cand) {
+      ++failures;
+      std::printf("FAIL %-44s baseline %.6g candidate %.6g (exact)\n",
+                  name.c_str(), *base, cand);
+    }
+  }
+
+  if (compared == 0) {
+    std::fprintf(stderr,
+                 "bench_check: no overlapping cell.* metrics between %s "
+                 "and %s\n",
+                 baseline_path, candidate_path);
+    return 1;
+  }
+  std::printf("bench_check: %d cell metrics compared, %d failed\n", compared,
+              failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -58,5 +58,8 @@ int main(int argc, char** argv) {
   std::cout << "\nmonitors drained: "
             << (r.verdict.all_finished ? "yes" : "no")
             << ", monitoring messages: " << r.monitor_messages << "\n";
+  const MonitorStats& agg = r.verdict.aggregate;
+  std::cout << "wire: " << agg.frames_sent << " frames, " << agg.bytes_sent
+            << " bytes sent, " << agg.bytes_received << " bytes received\n";
   return r.verdict.all_finished ? 0 : 1;
 }
