@@ -18,7 +18,13 @@
 //   cell.<P>.n<k>.<comm|nocomm>.global_views     (Fig. 5.8 metric)
 //   cell.<P>.n<k>.<comm|nocomm>.peak_views       aggregate peak live views
 //   cell.<P>.n<k>.<comm|nocomm>.token_hops       total token hops
-//   cell.<P>.n<k>.<comm|nocomm>.wire_bytes       encoded bytes sent (§9)
+//   cell.<P>.n<k>.<comm|nocomm>.wire_bytes       encoded bytes sent (§9,
+//                                                sampled-stride estimate)
+//   socket.<P>.n<k>.<batched|unbatched>.wall_ms  SocketRuntime run (§10)
+//   socket.<P>.n<k>.<batched|unbatched>.{wire_bytes,wire_frames}
+//                                                transport-truth counters
+//   socket.<P>.n<k>.batched.coalesced_frames     congestion merges
+//   socket.<P>.n<k>.{program_events,app_messages} trace-determined counts
 //   recovery.clean.wall_ms                       bare distributed run
 //   recovery.channel.wall_ms                     + ReliableChannel (no faults)
 //   recovery.channel.{data_sent,acks_sent}       clean-path channel traffic
@@ -214,6 +220,12 @@ void run_cell_metrics(Metrics& out, paper::Property prop, int n,
   SimConfig sim;
   sim.coalesce = CoalesceMode::kTransit;
 
+  // Deployment accounting posture: stamp 1-in-16 frames and extrapolate.
+  // The simulator is deterministic, so the estimate is still an exact
+  // replayable count for bench_check purposes.
+  MonitorOptions options;
+  options.wire_accounting = WireAccounting::kSampled;
+
   double wall_ms = 0;
   double monitor_messages = 0;
   double global_views = 0;
@@ -227,14 +239,15 @@ void run_cell_metrics(Metrics& out, paper::Property prop, int n,
     SystemTrace trace = generate_trace(params);
     force_final_all_true(trace);
     const auto t0 = Clock::now();
-    RunResult run = session.run(trace, sim);
+    RunResult run = session.run(trace, sim, options);
     wall_ms += elapsed_ms(t0);
     monitor_messages += static_cast<double>(run.monitor_messages);
     global_views += static_cast<double>(run.total_global_views);
     peak_views +=
         static_cast<double>(run.verdict.aggregate.peak_global_views);
     token_hops += static_cast<double>(run.verdict.aggregate.token_hops);
-    wire_bytes += static_cast<double>(run.verdict.aggregate.bytes_sent);
+    wire_bytes +=
+        static_cast<double>(run.verdict.aggregate.estimated_bytes_sent());
   }
   const double k = static_cast<double>(replications);
   const std::string base = "cell." + paper::name(prop) + ".n" +
@@ -271,6 +284,100 @@ void cell_grid(Metrics& out, bool quick) {
         run_cell_metrics(out, p, n, 3.0, /*comm_enabled=*/false, reps);
       }
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Socket suite: the same Chapter-5 cells run over SocketRuntime -- real TCP
+// loopback sockets, epoll, wire-v2 serialization -- in both transport
+// postures. wall/bytes/frames are measured at the socket (transport truth),
+// so this is where frame batching's syscall and header savings become a
+// number instead of an inference. time_scale=0 collapses the trace waits:
+// the grid measures processing + I/O, not scripted sleeping, and the
+// resulting backlog is exactly the congestion that makes the batched
+// posture's coalescing matter.
+// ---------------------------------------------------------------------------
+
+void run_socket_cell(Metrics& out, paper::Property prop, int n,
+                     int replications, std::uint64_t base_seed = 2015) {
+  AtomRegistry reg = paper::make_registry(n);
+  MonitorAutomaton automaton = paper::build_automaton(prop, n, reg);
+  automaton.build_dispatch();
+  CompiledProperty compiled(&automaton, &reg);
+
+  MonitorOptions options;
+  options.wire_accounting = WireAccounting::kSampled;
+
+  const std::string base =
+      "socket." + paper::name(prop) + ".n" + std::to_string(n);
+  double program_events = 0, app_messages = 0;
+  for (const bool batch : {true, false}) {
+    double wall_ms = 0, wire_bytes = 0, wire_frames = 0, coalesced = 0;
+    program_events = 0;
+    app_messages = 0;
+    for (int r = 0; r < replications; ++r) {
+      // Comm-heavy posture: broadcasts at twice the default rate so the
+      // transport carries real traffic in both planes.
+      TraceParams params = paper::experiment_params(
+          prop, n, base_seed + static_cast<std::uint64_t>(r),
+          /*comm_mu=*/1.5);
+      SystemTrace trace = generate_trace(params);
+      force_final_all_true(trace);
+
+      SocketConfig config;
+      config.time_scale = 0.0;
+      config.batch = batch;
+      // Bounded kernel buffers: loopback's multi-megabyte defaults never
+      // push back, which would leave the congestion/coalescing path idle.
+      // 32 KiB models a real NIC-bounded link and makes the batched
+      // posture's convoy behaviour part of what the grid measures.
+      config.sndbuf = 32 * 1024;
+      config.rcvbuf = 32 * 1024;
+      const auto t0 = Clock::now();
+      SocketRuntime runtime(std::move(trace), &reg, config);
+      DecentralizedMonitor monitors(
+          &compiled, &runtime,
+          initial_letters_of(reg, runtime.initial_states()), options);
+      runtime.set_hooks(&monitors);
+      runtime.run();
+      wall_ms += elapsed_ms(t0);
+      if (!monitors.all_finished()) std::abort();
+      wire_bytes += static_cast<double>(runtime.wire_bytes());
+      wire_frames += static_cast<double>(runtime.wire_frames());
+      coalesced += static_cast<double>(runtime.coalesced_frames());
+      program_events += static_cast<double>(runtime.program_events());
+      app_messages += static_cast<double>(runtime.app_messages_sent());
+    }
+    const double k = static_cast<double>(replications);
+    const std::string posture = base + (batch ? ".batched" : ".unbatched");
+    out.put(posture + ".wall_ms", wall_ms / k);
+    out.put(posture + ".wire_bytes", wire_bytes / k);
+    out.put(posture + ".wire_frames", wire_frames / k);
+    if (batch) out.put(posture + ".coalesced_frames", coalesced / k);
+  }
+  // Trace-determined counts, identical in both postures: the exact CI gate
+  // that proves quick and full runs drive the same workload.
+  const double k = static_cast<double>(replications);
+  out.put(base + ".program_events", program_events / k);
+  out.put(base + ".app_messages", app_messages / k);
+}
+
+void socket_grid(Metrics& out, bool quick) {
+  // Like cell_grid: quick mode shrinks the grid, never the replication
+  // count, so the metrics emitted by both modes are comparable.
+  const int reps = 3;
+  std::vector<paper::Property> props;
+  std::vector<int> ns;
+  if (quick) {
+    props = {paper::Property::kA, paper::Property::kD};
+    ns = {3};
+  } else {
+    props.assign(std::begin(paper::kAllProperties),
+                 std::end(paper::kAllProperties));
+    ns = {3, 5};
+  }
+  for (paper::Property p : props) {
+    for (int n : ns) run_socket_cell(out, p, n, reps);
   }
 }
 
@@ -475,6 +582,8 @@ int main(int argc, char** argv) {
   micro_suite(metrics, quick);
   std::printf("bench_harness: run_cell grid...\n");
   cell_grid(metrics, quick);
+  std::printf("bench_harness: socket grid...\n");
+  socket_grid(metrics, quick);
   std::printf("bench_harness: recovery suite...\n");
   recovery_suite(metrics, quick);
 

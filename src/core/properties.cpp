@@ -1,7 +1,9 @@
 #include "decmon/core/properties.hpp"
 
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "decmon/ltl/parser.hpp"
 
@@ -209,10 +211,65 @@ FormulaPtr formula(Property p, int n, AtomRegistry& registry) {
   return parse_ltl(formula_text(p, n), registry);
 }
 
+namespace {
+
+/// Process-wide memo for build_automaton. The mutex covers lookups and
+/// inserts; the stored automata are immutable once inserted and hits hand
+/// out copies, so no reference ever escapes the lock.
+struct SynthesisCache {
+  std::mutex mutex;
+  std::unordered_map<std::string, MonitorAutomaton> memo;
+  SynthesisCacheStats stats;
+};
+
+SynthesisCache& synthesis_cache() {
+  static SynthesisCache cache;
+  return cache;
+}
+
+/// A registry fingerprint that pins every input the construction reads:
+/// process count plus each atom's (name, process, var, op, rhs). Two
+/// registries with the same signature yield byte-identical automata.
+std::string atom_signature(const AtomRegistry& registry) {
+  std::ostringstream os;
+  os << registry.num_processes();
+  for (const Atom& a : registry.atoms()) {
+    os << ';' << a.name << ',' << a.process << ',' << a.var << ','
+       << static_cast<int>(a.op) << ',' << a.rhs;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+SynthesisCacheStats synthesis_cache_stats() {
+  SynthesisCache& cache = synthesis_cache();
+  std::scoped_lock lock(cache.mutex);
+  return cache.stats;
+}
+
+void synthesis_cache_clear() {
+  SynthesisCache& cache = synthesis_cache();
+  std::scoped_lock lock(cache.mutex);
+  cache.memo.clear();
+  cache.stats = SynthesisCacheStats{};
+}
+
 MonitorAutomaton build_automaton(Property p, int n,
                                  const AtomRegistry& registry) {
   if (registry.num_processes() != n) {
     throw std::invalid_argument("build_automaton: registry/process mismatch");
+  }
+  const std::string key = formula_text(p, n) + '|' + atom_signature(registry);
+  {
+    SynthesisCache& cache = synthesis_cache();
+    std::scoped_lock lock(cache.mutex);
+    auto it = cache.memo.find(key);
+    if (it != cache.memo.end()) {
+      ++cache.stats.hits;
+      return it->second;  // copy
+    }
+    ++cache.stats.misses;
   }
   auto p_atoms = [&](int from, int to) {
     std::vector<int> out;
@@ -252,6 +309,13 @@ MonitorAutomaton build_automaton(Property p, int n,
     throw std::logic_error("paper::build_automaton: " + *err);
   }
   m.build_dispatch();
+  {
+    SynthesisCache& cache = synthesis_cache();
+    std::scoped_lock lock(cache.mutex);
+    // A racing builder may have inserted meanwhile; both built the same
+    // immutable value, so either copy serves.
+    cache.memo.emplace(key, m);
+  }
   return m;
 }
 

@@ -1,0 +1,678 @@
+#include "decmon/distributed/socket_runtime.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <system_error>
+
+#include "decmon/monitor/wire.hpp"
+
+namespace decmon {
+
+namespace {
+
+// Record type bytes (after the u32 length prefix).
+constexpr std::uint8_t kAppRecord = 0x01;
+constexpr std::uint8_t kMonRecord = 0x02;
+constexpr std::size_t kRecordHeader = 5;  // u32 length + type byte
+
+// epoll user-data sentinel for the per-node eventfd.
+constexpr std::uint32_t kEventFdTag = std::numeric_limits<std::uint32_t>::max();
+
+/// Saturation bound for trace-time -> wall-time conversion (same rationale
+/// as ThreadRuntime's).
+constexpr std::chrono::nanoseconds kMaxWall{
+    std::numeric_limits<std::int64_t>::max() / 4};
+
+std::chrono::nanoseconds to_wall(double trace_seconds, double scale) {
+  const double wall_ns = std::max(0.0, trace_seconds * scale) * 1e9;
+  if (!(wall_ns < static_cast<double>(kMaxWall.count()))) return kMaxWall;
+  return std::chrono::nanoseconds(static_cast<std::int64_t>(wall_ns));
+}
+
+std::chrono::steady_clock::time_point advance_saturated(
+    std::chrono::steady_clock::time_point tp, std::chrono::nanoseconds d) {
+  using TP = std::chrono::steady_clock::time_point;
+  if (tp >= TP::max() - d) return TP::max();
+  return tp + std::chrono::duration_cast<TP::duration>(d);
+}
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl O_NONBLOCK");
+  }
+}
+
+void apply_buffer_sizes(int fd, const SocketConfig& config) {
+  if (config.sndbuf > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config.sndbuf,
+                 sizeof config.sndbuf);
+  }
+  if (config.rcvbuf > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &config.rcvbuf,
+                 sizeof config.rcvbuf);
+  }
+  // Loopback negotiates an MSS near its 64 KiB MTU. When the configured
+  // buffers are of the same order, the advertised receive window can sink
+  // below one segment whenever the reader lags; the sender's silly-window
+  // avoidance then refuses to transmit at all and the stream degenerates
+  // into zero-window persist probes -- hundreds of milliseconds apart and
+  // exponentially backed off -- while both ends sit idle (observed as
+  // multi-second whole-run stalls: `ss` shows notsent > 0, snd_wnd < mss,
+  // timer:(persist,...) and rwnd_limited ~90%). Clamp the MSS so the
+  // window always holds several segments, as it would on a real network
+  // path where the MTU is tiny relative to any sane buffer size.
+  int cap = config.rcvbuf;
+  if (config.sndbuf > 0 && (cap <= 0 || config.sndbuf < cap)) {
+    cap = config.sndbuf;
+  }
+  if (cap > 0) {
+    const int mss = std::clamp(cap / 4, 1024, 65483);
+    ::setsockopt(fd, IPPROTO_TCP, TCP_MAXSEG, &mss, sizeof mss);
+  }
+}
+
+void close_if_open(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FrameReassembler
+// ---------------------------------------------------------------------------
+
+void FrameReassembler::feed(const std::uint8_t* data, std::size_t len) {
+  // Compact the consumed prefix before it dominates the buffer, so a
+  // long-lived stream does not grow without bound.
+  if (pos_ > 4096 && pos_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+bool FrameReassembler::next(std::vector<std::uint8_t>* out) {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 4) return false;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(buf_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+  }
+  if (len == 0 || len > kMaxRecordBytes) {
+    throw WireError("bad record length prefix");
+  }
+  if (avail - 4 < len) return false;
+  const auto body = buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4);
+  out->assign(body, body + static_cast<std::ptrdiff_t>(len));
+  pos_ += 4 + len;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Construction: TCP loopback mesh + per-node epoll/eventfd
+// ---------------------------------------------------------------------------
+
+SocketRuntime::SocketRuntime(SystemTrace trace, const AtomRegistry* registry,
+                             SocketConfig config)
+    : registry_(registry), config_(config), start_(Clock::now()) {
+  const int n = trace.num_processes();
+  history_.resize(static_cast<std::size_t>(n));
+  nodes_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto node = std::make_unique<Node>();
+    node->process = std::make_unique<ProgramProcess>(
+        i, n, trace.procs[static_cast<std::size_t>(i)], registry_);
+    node->expected_receives = trace.expected_receives(i);
+    node->receives_left = node->expected_receives;
+    node->reassembly.resize(static_cast<std::size_t>(n));
+    node->peer_open.assign(static_cast<std::size_t>(n), false);
+    node->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (node->epoll_fd < 0) throw_errno("epoll_create1");
+    node->event_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (node->event_fd < 0) throw_errno("eventfd");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u32 = kEventFdTag;
+    if (::epoll_ctl(node->epoll_fd, EPOLL_CTL_ADD, node->event_fd, &ev) < 0) {
+      throw_errno("epoll_ctl eventfd");
+    }
+    nodes_.push_back(std::move(node));
+  }
+
+  channels_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (auto& ch : channels_) ch = std::make_unique<Channel>();
+
+  // Connect the mesh: one loopback TCP connection per unordered pair, set
+  // up sequentially (the listen backlog absorbs the connect while nobody
+  // accepts yet), then both ends go nonblocking. TCP_NODELAY keeps small
+  // monitor records from being Nagle-delayed behind unacked data.
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      int listener = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      if (listener < 0) throw_errno("socket");
+      apply_buffer_sizes(listener, config_);  // inherited by accept()
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = 0;
+      if (::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof addr) < 0 ||
+          ::listen(listener, 1) < 0) {
+        throw_errno("bind/listen");
+      }
+      socklen_t addr_len = sizeof addr;
+      if (::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                        &addr_len) < 0) {
+        throw_errno("getsockname");
+      }
+      const int client = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      if (client < 0) throw_errno("socket");
+      apply_buffer_sizes(client, config_);
+      if (::connect(client, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof addr) < 0) {
+        throw_errno("connect");
+      }
+      const int accepted = ::accept(listener, nullptr, nullptr);
+      if (accepted < 0) throw_errno("accept");
+      ::close(listener);
+      const int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      ::setsockopt(accepted, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      // Small-buffer meshes can still drop segments at the receive queue
+      // when skb overhead overruns SO_RCVBUF (TCPRcvQDrop); the retransmit
+      // that repairs a drop is then the channel's latency floor. Monitor
+      // streams are exactly the "thin stream" the linear-timeout option
+      // targets -- few packets in flight, latency-critical -- so keep the
+      // retransmit clock flat instead of exponential, and on kernels that
+      // support it clamp the RTO ceiling too. Both are best-effort.
+      ::setsockopt(client, IPPROTO_TCP, TCP_THIN_LINEAR_TIMEOUTS, &one,
+                   sizeof one);
+      ::setsockopt(accepted, IPPROTO_TCP, TCP_THIN_LINEAR_TIMEOUTS, &one,
+                   sizeof one);
+#ifdef TCP_RTO_MAX_MS
+      const unsigned rto_max_ms = 1000;  // kernel-enforced floor
+      ::setsockopt(client, IPPROTO_TCP, TCP_RTO_MAX_MS, &rto_max_ms,
+                   sizeof rto_max_ms);
+      ::setsockopt(accepted, IPPROTO_TCP, TCP_RTO_MAX_MS, &rto_max_ms,
+                   sizeof rto_max_ms);
+#endif
+      set_nonblocking(client);
+      set_nonblocking(accepted);
+      channel(i, j).fd = client;
+      channel(j, i).fd = accepted;
+    }
+  }
+
+  // Register every node's peer fds for reading and fill in channel owner
+  // metadata (the sender side arms EPOLLOUT on the same fd when congested).
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      Channel& ch = channel(i, j);
+      ch.owner_epoll = nodes_[static_cast<std::size_t>(i)]->epoll_fd;
+      ch.peer = j;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u32 = static_cast<std::uint32_t>(j);
+      if (::epoll_ctl(ch.owner_epoll, EPOLL_CTL_ADD, ch.fd, &ev) < 0) {
+        throw_errno("epoll_ctl peer fd");
+      }
+      nodes_[static_cast<std::size_t>(i)]
+          ->peer_open[static_cast<std::size_t>(j)] = true;
+    }
+  }
+}
+
+SocketRuntime::~SocketRuntime() {
+  stop_.store(true);
+  for (int i = 0; i < num_processes(); ++i) wake(i);
+  threads_.clear();  // jthread joins
+  for (auto& ch : channels_) {
+    if (ch) close_if_open(ch->fd);
+  }
+  for (auto& node : nodes_) {
+    close_if_open(node->event_fd);
+    close_if_open(node->epoll_fd);
+  }
+}
+
+std::vector<LocalState> SocketRuntime::initial_states() const {
+  std::vector<LocalState> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) out.push_back(node->process->state());
+  return out;
+}
+
+double SocketRuntime::now() const {
+  return std::chrono::duration<double>(
+             Clock::now() - start_.load(std::memory_order_relaxed))
+      .count();
+}
+
+void SocketRuntime::wake(int index) {
+  const std::uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t r =
+      ::write(nodes_[static_cast<std::size_t>(index)]->event_fd, &one,
+              sizeof one);
+}
+
+void SocketRuntime::finish_one() {
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Lock-then-notify: run() checks the counter under the mutex, so the
+    // notification cannot slip between its check and its wait.
+    std::scoped_lock lock(quiesce_mutex_);
+    quiesce_cv_.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Send path
+// ---------------------------------------------------------------------------
+
+void SocketRuntime::encode_record_locked(Channel& ch,
+                                         const NetPayload& payload) {
+  std::vector<std::uint8_t> rec(kRecordHeader, 0);
+  rec[4] = kMonRecord;
+  encode_payload_into(payload, rec);
+  const std::size_t body = rec.size() - 4;  // type byte + payload bytes
+  for (int i = 0; i < 4; ++i) {
+    rec[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(body >> (8 * i));
+  }
+  // Transport-truth accounting: TCP delivers every queued byte, so the
+  // encoded length is the on-wire cost -- no size-walking here.
+  wire_bytes_.fetch_add(rec.size(), std::memory_order_relaxed);
+  wire_frames_.fetch_add(1, std::memory_order_relaxed);
+  ch.queued_bytes += rec.size();
+  ch.queue.push_back(std::move(rec));
+}
+
+void SocketRuntime::materialize_staging_locked(Channel& ch) {
+  encode_record_locked(ch, *ch.staging);
+  ch.staging.reset();
+}
+
+void SocketRuntime::flush_locked(Channel& ch) {
+  bool blocked = false;
+  while (!blocked) {
+    if (ch.queue.empty()) {
+      if (!ch.staging) break;
+      materialize_staging_locked(ch);
+    }
+    std::vector<std::uint8_t>& front = ch.queue.front();
+    while (ch.front_off < front.size()) {
+      const ssize_t k =
+          ::send(ch.fd, front.data() + ch.front_off,
+                 front.size() - ch.front_off, MSG_NOSIGNAL);
+      if (k >= 0) {
+        if (static_cast<std::size_t>(k) < front.size() - ch.front_off) {
+          partial_writes_.fetch_add(1, std::memory_order_relaxed);
+        }
+        ch.front_off += static_cast<std::size_t>(k);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        partial_writes_.fetch_add(1, std::memory_order_relaxed);
+        blocked = true;
+        break;
+      }
+      throw_errno("send");
+    }
+    if (!blocked) {
+      ch.queued_bytes -= front.size();
+      ch.front_off = 0;
+      ch.queue.pop_front();
+    }
+  }
+  // Keep epoll write-interest in sync with the queue state. epoll_ctl is
+  // thread-safe; want_write is guarded by ch.mutex, which the caller holds.
+  const bool need_write = !ch.queue.empty() || ch.staging != nullptr;
+  if (need_write != ch.want_write) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (need_write ? EPOLLOUT : 0u);
+    ev.data.u32 = static_cast<std::uint32_t>(ch.peer);
+    if (::epoll_ctl(ch.owner_epoll, EPOLL_CTL_MOD, ch.fd, &ev) == 0) {
+      ch.want_write = need_write;
+    }
+  }
+}
+
+void SocketRuntime::enqueue_monitor(int from, int to,
+                                    std::unique_ptr<NetPayload> payload) {
+  Channel& ch = channel(from, to);
+  std::scoped_lock lock(ch.mutex);
+  if (payload->tag == PayloadFrame::kTag) {
+    std::unique_ptr<PayloadFrame> frame(
+        static_cast<PayloadFrame*>(payload.release()));
+    if (frame->units.empty()) {
+      finish_one();  // nothing to deliver; retire the message's credit
+      return;
+    }
+    if (!config_.batch) {
+      // Unbatched control posture: every unit crosses as its own record.
+      // The frame's single work credit becomes one credit per record; add
+      // the difference before any record can complete at the receiver.
+      outstanding_.fetch_add(
+          static_cast<std::int64_t>(frame->units.size()) - 1,
+          std::memory_order_acq_rel);
+      for (const auto& unit : frame->units) encode_record_locked(ch, *unit);
+    } else if (ch.staging) {
+      // Channel congested and a frame is already parked: merge (this is
+      // the kTransit convoy on real congestion). The merged frame's bytes
+      // are now owed by the staging frame's credit, so this one retires.
+      for (auto& unit : frame->units) {
+        ch.staging->units.push_back(std::move(unit));
+      }
+      coalesced_frames_.fetch_add(1, std::memory_order_relaxed);
+      finish_one();
+    } else if (!ch.queue.empty() || ch.queued_bytes >= config_.max_queue_bytes) {
+      // Earlier bytes still queued: park instead of encoding, so later
+      // frames can join and the queue stays bounded.
+      ch.staging = std::move(frame);
+    } else {
+      encode_record_locked(ch, *frame);
+    }
+  } else {
+    // Singleton payloads (tokens, terminations, channel envelopes) keep
+    // FIFO order with frames: anything parked must hit the queue first.
+    if (ch.staging) materialize_staging_locked(ch);
+    encode_record_locked(ch, *payload);
+  }
+  flush_locked(ch);
+}
+
+void SocketRuntime::send(MonitorMessage msg) {
+  send_perturbed(std::move(msg), DeliveryPerturbation{});
+}
+
+void SocketRuntime::send_perturbed(MonitorMessage msg,
+                                   const DeliveryPerturbation& perturbation) {
+  if (msg.from < 0 || msg.from >= num_processes() || msg.to < 0 ||
+      msg.to >= num_processes() || !msg.payload) {
+    throw std::out_of_range("SocketRuntime::send: bad message");
+  }
+  // Count the work unit before it becomes visible anywhere (credit-counting
+  // quiescence, see header).
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  if (msg.from == msg.to) {
+    // Self-delivery, possibly delayed (reliable-channel retransmit timers).
+    // Nothing crosses the network; honored via the node's timer heap.
+    Clock::time_point at = Clock::now();
+    if (perturbation.extra_delay > 0.0) {
+      at = advance_saturated(
+          at, to_wall(perturbation.extra_delay, config_.time_scale));
+    }
+    Node& node = *nodes_[static_cast<std::size_t>(msg.to)];
+    {
+      std::scoped_lock lock(node.timer_mutex);
+      node.timers.push(
+          Timer{at, timer_seq_.fetch_add(1, std::memory_order_relaxed),
+                std::move(msg)});
+    }
+    wake(msg.to);
+    return;
+  }
+  // Cross-node: the transport is a real TCP stream, so there is no modeled
+  // latency to perturb and per-channel FIFO is physical; extra_delay and
+  // bypass_fifo are simulation concepts and are ignored here.
+  monitor_sends_.fetch_add(1, std::memory_order_relaxed);
+  enqueue_monitor(msg.from, msg.to, std::move(msg.payload));
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+void SocketRuntime::record_event(int index, const Event& event) {
+  program_events_.fetch_add(1, std::memory_order_relaxed);
+  history_[static_cast<std::size_t>(index)].push_back(event);
+  if (hooks_) hooks_->on_local_event(index, event, now());
+}
+
+void SocketRuntime::dispatch_record(int index, int peer,
+                                    const std::vector<std::uint8_t>& rec) {
+  Node& node = *nodes_[static_cast<std::size_t>(index)];
+  if (rec.empty()) throw WireError("empty record");
+  node.scratch.assign(rec.begin() + 1, rec.end());
+  if (rec[0] == kAppRecord) {
+    WireReader r(node.scratch);
+    AppMessage msg;
+    msg.from = static_cast<int>(r.u32());
+    msg.to = index;
+    msg.send_sn = r.u32();
+    msg.vc = r.vc(nodes_.size());
+    r.done();
+    if (msg.from != peer) throw WireError("app record from wrong peer");
+    const Event e = node.process->receive(msg, now());
+    --node.receives_left;
+    record_event(index, e);
+    finish_one();
+  } else if (rec[0] == kMonRecord) {
+    auto payload = decode_payload(node.scratch, nodes_.size());
+    monitor_deliveries_.fetch_add(1, std::memory_order_relaxed);
+    if (hooks_) {
+      hooks_->on_monitor_message(MonitorMessage{peer, index, std::move(payload)},
+                                 now());
+    }
+    finish_one();
+  } else {
+    throw WireError("unknown record type");
+  }
+}
+
+void SocketRuntime::read_peer(int index, int peer) {
+  Node& node = *nodes_[static_cast<std::size_t>(index)];
+  if (!node.peer_open[static_cast<std::size_t>(peer)]) return;
+  const int fd = channel(index, peer).fd;
+  FrameReassembler& ra = node.reassembly[static_cast<std::size_t>(peer)];
+  std::uint8_t buf[65536];
+  std::vector<std::uint8_t> rec;
+  for (;;) {
+    const ssize_t k = ::recv(fd, buf, sizeof buf, 0);
+    if (k > 0) {
+      ra.feed(buf, static_cast<std::size_t>(k));
+      while (ra.next(&rec)) dispatch_record(index, peer, rec);
+      continue;
+    }
+    if (k == 0) {
+      // Orderly shutdown from the peer. Mid-record EOF means truncation --
+      // surface it loudly (it cannot happen in a healthy run: sockets are
+      // closed only after every node thread has joined).
+      if (!stop_.load(std::memory_order_acquire) && ra.mid_record()) {
+        std::fprintf(stderr,
+                     "decmon: node %d: peer %d closed mid-record (%zu bytes "
+                     "buffered)\n",
+                     index, peer, ra.buffered());
+      }
+      node.peer_open[static_cast<std::size_t>(peer)] = false;
+      ::epoll_ctl(node.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    throw_errno("recv");
+  }
+}
+
+void SocketRuntime::broadcast_app(int index, const AppMessage& message) {
+  // Encode the body once (identical for every destination: the receiver id
+  // is implied by the stream) and enqueue a copy per peer.
+  std::vector<std::uint8_t> body;
+  WireWriter w(body);
+  w.u32(static_cast<std::uint32_t>(message.from));
+  w.u32(message.send_sn);
+  w.vc(message.vc);
+  for (int to = 0; to < num_processes(); ++to) {
+    if (to == index) continue;
+    app_messages_.fetch_add(1, std::memory_order_relaxed);
+    outstanding_.fetch_add(1, std::memory_order_acq_rel);
+    Channel& ch = channel(index, to);
+    std::scoped_lock lock(ch.mutex);
+    std::vector<std::uint8_t> rec(kRecordHeader + body.size());
+    const std::size_t len = body.size() + 1;  // type byte + body
+    for (int i = 0; i < 4; ++i) {
+      rec[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(len >> (8 * i));
+    }
+    rec[4] = kAppRecord;
+    std::memcpy(rec.data() + kRecordHeader, body.data(), body.size());
+    app_bytes_.fetch_add(rec.size(), std::memory_order_relaxed);
+    ch.queued_bytes += rec.size();
+    ch.queue.push_back(std::move(rec));
+    flush_locked(ch);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Node event loop + run()
+// ---------------------------------------------------------------------------
+
+void SocketRuntime::node_main(int index) {
+  Node& node = *nodes_[static_cast<std::size_t>(index)];
+  ProgramProcess& proc = *node.process;
+  const Clock::time_point run_start = start_.load(std::memory_order_relaxed);
+
+  bool announced_termination = false;
+  // Action times derive from the *scheduled* time of the previous action
+  // (not Clock::now() after it ran), so processing latency never compounds
+  // into trace-time drift.
+  Clock::time_point next_action =
+      proc.has_next_action()
+          ? advance_saturated(
+                run_start, to_wall(proc.next_action_wait(), config_.time_scale))
+          : Clock::time_point::max();
+
+  epoll_event events[16];
+  while (!stop_.load(std::memory_order_acquire)) {
+    // 1. Deliver due timers (delayed self-sends).
+    for (;;) {
+      std::optional<MonitorMessage> due;
+      {
+        std::scoped_lock lock(node.timer_mutex);
+        if (!node.timers.empty() && node.timers.top().at <= Clock::now()) {
+          due = std::move(const_cast<Timer&>(node.timers.top()).msg);
+          node.timers.pop();
+        }
+      }
+      if (!due) break;
+      monitor_deliveries_.fetch_add(1, std::memory_order_relaxed);
+      if (hooks_) hooks_->on_monitor_message(std::move(*due), now());
+      finish_one();
+    }
+    // 2. Execute a due program action.
+    if (proc.has_next_action() && Clock::now() >= next_action) {
+      ProgramProcess::ActionResult result = proc.execute_next_action(now());
+      record_event(index, result.event);
+      if (result.is_comm) broadcast_app(index, result.message);
+      next_action = proc.has_next_action()
+                        ? advance_saturated(next_action,
+                                            to_wall(proc.next_action_wait(),
+                                                    config_.time_scale))
+                        : Clock::time_point::max();
+      continue;  // more actions may already be due
+    }
+    // 3. Termination: the program's work unit ends after its hook, so
+    // sends made by the hook are counted before the release.
+    if (!announced_termination && !proc.has_next_action() &&
+        node.receives_left == 0) {
+      announced_termination = true;
+      if (hooks_) hooks_->on_local_termination(index, now());
+      finish_one();
+    }
+    // 4. Block on epoll until bytes arrive, a socket drains, a wakeup is
+    // posted, or the earliest local deadline passes. The 50 ms cap is
+    // insurance only -- every state change also posts a wakeup.
+    Clock::time_point wake_at = next_action;
+    {
+      std::scoped_lock lock(node.timer_mutex);
+      if (!node.timers.empty()) wake_at = std::min(wake_at, node.timers.top().at);
+    }
+    int timeout_ms = 50;
+    const Clock::time_point wall = Clock::now();
+    if (wake_at <= wall) {
+      timeout_ms = 0;
+    } else if (wake_at != Clock::time_point::max()) {
+      const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          wake_at - wall)
+                          .count() +
+                      1;
+      timeout_ms = static_cast<int>(std::clamp<long long>(ms, 0, 50));
+    }
+    const int nev = ::epoll_wait(node.epoll_fd, events, 16, timeout_ms);
+    for (int e = 0; e < nev; ++e) {
+      const std::uint32_t tag = events[e].data.u32;
+      if (tag == kEventFdTag) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(node.event_fd, &drained, sizeof drained);
+        continue;
+      }
+      const int peer = static_cast<int>(tag);
+      if (events[e].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
+        read_peer(index, peer);
+      }
+      if (events[e].events & EPOLLOUT) {
+        Channel& ch = channel(index, peer);
+        std::scoped_lock lock(ch.mutex);
+        flush_locked(ch);
+      }
+    }
+  }
+}
+
+void SocketRuntime::run() {
+  start_.store(Clock::now(), std::memory_order_relaxed);
+  stop_.store(false);
+  // One work unit per program; pre-run sends were already counted by
+  // send_perturbed.
+  outstanding_.fetch_add(num_processes(), std::memory_order_acq_rel);
+  threads_.clear();
+  threads_.reserve(static_cast<std::size_t>(num_processes()));
+  for (int i = 0; i < num_processes(); ++i) {
+    history_[static_cast<std::size_t>(i)].clear();
+    history_[static_cast<std::size_t>(i)].push_back(
+        nodes_[static_cast<std::size_t>(i)]->process->initial_event());
+    threads_.emplace_back([this, i] { node_main(i); });
+  }
+  {
+    std::unique_lock lock(quiesce_mutex_);
+    quiesce_cv_.wait(lock, [&] {
+      return outstanding_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  stop_.store(true);
+  for (int i = 0; i < num_processes(); ++i) wake(i);
+  threads_.clear();  // join
+}
+
+}  // namespace decmon

@@ -40,8 +40,24 @@ FormulaPtr formula(Property p, int num_processes, AtomRegistry& registry);
 /// Build the thesis-shaped monitor automaton for the property. `registry`
 /// must come from make_registry(num_processes). The result is validated
 /// (deterministic + complete).
+///
+/// Results are memoized process-wide, keyed by (formula text, registry atom
+/// signature): the bench grid, the fuzz drivers and repeated sessions
+/// request identical automata thousands of times, and construction +
+/// validation + dispatch-table build is pure. Cache hits return a copy.
 MonitorAutomaton build_automaton(Property p, int num_processes,
                                  const AtomRegistry& registry);
+
+/// Hit/miss counters for the build_automaton memo (process-wide,
+/// monotonic; thread-safe snapshot).
+struct SynthesisCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+SynthesisCacheStats synthesis_cache_stats();
+
+/// Drop every memoized automaton and zero the counters (tests).
+void synthesis_cache_clear();
 
 /// Workload parameters for the experiments of Chapter 5: Evt ~ N(3, 1),
 /// Comm ~ N(comm_mu, 1), with the proposition distribution tuned per

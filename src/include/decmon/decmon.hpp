@@ -27,6 +27,7 @@
 #include "decmon/distributed/replay_runtime.hpp"
 #include "decmon/distributed/runtime.hpp"
 #include "decmon/distributed/sim_runtime.hpp"
+#include "decmon/distributed/socket_runtime.hpp"
 #include "decmon/distributed/thread_runtime.hpp"
 #include "decmon/distributed/trace.hpp"
 #include "decmon/lattice/augmented_time.hpp"

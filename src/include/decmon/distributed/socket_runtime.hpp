@@ -1,0 +1,256 @@
+// Socket-backed runtime: real I/O sibling of SimRuntime / ThreadRuntime.
+//
+// One thread per node (program process + its monitor replica), but unlike
+// ThreadRuntime the nodes exchange *bytes*, not pointers: every pair of
+// nodes is connected by a nonblocking TCP loopback socket, each node runs
+// an epoll event loop, monitor payloads are serialized with the wire-v2
+// codec on send and reassembled from length-prefixed records on receive.
+// This is where frame batching finally pays for its encode cost -- fewer,
+// larger records mean fewer syscalls and fewer bytes (shared frame header
+// and base clock), measured at the socket, not inferred from stamps.
+//
+// Record framing (per TCP stream, both directions):
+//
+//   [u32 LE body length][u8 record type][body]
+//
+//   type 0x01 = application message  (u32 from, u32 send_sn, vc)
+//   type 0x02 = monitor payload      (encode_payload_into bytes)
+//
+// Reassembly is incremental (FrameReassembler below): partial reads leave
+// a prefix buffered; a peer that closes mid-record is detected as a
+// truncated stream, never silent data loss.
+//
+// Send path and backpressure: each (from, to) channel owns a bounded queue
+// of encoded records. send() never blocks -- it encodes, enqueues, and
+// attempts an immediate nonblocking flush; on EAGAIN the residue stays
+// queued and EPOLLOUT is armed. While earlier bytes are still queued (the
+// socket pushed back), newly sent PayloadFrames are not encoded at all:
+// they park in a per-channel *staging* frame and later frames to the same
+// destination merge into it (unit order preserved). This mirrors
+// SimRuntime's kTransit convoy -- congestion converts many small frames
+// into one large record -- and bounds queue growth by construction.
+//
+// Accounting is transport-truth: wire_bytes()/wire_frames() count encoded
+// record bytes as they are queued (TCP delivers every queued byte), so no
+// size-walking ever runs on this path.
+//
+// Quiescence reuses ThreadRuntime's credit-counting proof: outstanding_
+// counts running programs + every sent-but-unprocessed message; a merge
+// into staging retires the merged frame's credit immediately (its bytes
+// are now owed by the staging frame's credit). run() blocks until the
+// counter proves no work exists or can be created, then joins.
+//
+// Thread-safety contract: all callbacks for node i run on node i's thread.
+// Channel send state is per-channel mutex-guarded (off-thread sends are
+// legal, as in ThreadRuntime); epoll interest updates for a channel happen
+// under that same mutex.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "decmon/distributed/process.hpp"
+#include "decmon/distributed/runtime.hpp"
+#include "decmon/distributed/trace.hpp"
+
+namespace decmon {
+
+struct SocketConfig {
+  /// Wall-clock seconds per trace second (same convention as ThreadConfig).
+  /// 0 collapses every wait to "now". There is no modeled message latency:
+  /// delivery takes whatever the kernel takes.
+  double time_scale = 0.002;
+  /// Coalesce same-destination PayloadFrames while the channel has queued
+  /// bytes (the batched posture). false = the unbatched control: every
+  /// frame is split and each unit crosses the wire as its own record.
+  bool batch = true;
+  /// Socket buffer sizes in bytes; 0 keeps the kernel default. Tests use
+  /// tiny values to force partial reads/writes.
+  int sndbuf = 0;
+  int rcvbuf = 0;
+  /// Soft bound on encoded-but-unsent bytes per channel before frames stop
+  /// being encoded eagerly and coalesce in staging instead.
+  std::size_t max_queue_bytes = 1 << 20;
+  std::uint64_t seed = 1;
+};
+
+/// Incremental reassembly of `[u32 len][type][body]` records from a TCP
+/// byte stream. feed() accepts arbitrary fragments; next() yields complete
+/// records ([type][body], length prefix stripped). Public for direct unit
+/// testing of the partial-read state machine.
+class FrameReassembler {
+ public:
+  /// Hard ceiling on a record body; a corrupt length field fails fast
+  /// instead of asking the allocator for gigabytes.
+  static constexpr std::uint32_t kMaxRecordBytes = 64u << 20;
+
+  void feed(const std::uint8_t* data, std::size_t len);
+  /// Move the next complete record into `out` (type byte first). Returns
+  /// false when no complete record is buffered. Throws WireError on an
+  /// oversized or zero length prefix.
+  bool next(std::vector<std::uint8_t>* out);
+  /// True when a partial record is buffered -- a stream that ends here was
+  /// truncated mid-record.
+  bool mid_record() const { return buf_.size() - pos_ > 0; }
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buf_
+};
+
+class SocketRuntime final : public MonitorNetwork {
+ public:
+  SocketRuntime(SystemTrace trace, const AtomRegistry* registry,
+                SocketConfig config = {});
+  ~SocketRuntime() override;
+
+  SocketRuntime(const SocketRuntime&) = delete;
+  SocketRuntime& operator=(const SocketRuntime&) = delete;
+
+  void set_hooks(MonitorHooks* hooks) { hooks_ = hooks; }
+
+  /// Run to quiescence (blocking): all trace actions executed, all bytes
+  /// delivered, all messages processed. On return every node thread has
+  /// been joined -- no callback can fire afterwards.
+  void run();
+
+  // MonitorNetwork (safe from any thread; sender identity is msg.from):
+  void send(MonitorMessage msg) override;
+  void send_perturbed(MonitorMessage msg,
+                      const DeliveryPerturbation& perturbation) override;
+  double now() const override;
+
+  int num_processes() const { return static_cast<int>(nodes_.size()); }
+  const std::vector<std::vector<Event>>& history() const { return history_; }
+  std::vector<LocalState> initial_states() const;
+
+  // Transport-truth counters (stable after run() returns).
+  std::uint64_t program_events() const { return program_events_; }
+  std::uint64_t app_messages_sent() const { return app_messages_; }
+  /// Monitor payloads handed to send() (before any split/merge).
+  std::uint64_t monitor_messages_sent() const { return monitor_sends_; }
+  std::uint64_t monitor_messages_processed() const {
+    return monitor_deliveries_;
+  }
+  /// Monitor records written to sockets (after split/merge) and their
+  /// encoded bytes including the 5-byte record header.
+  std::uint64_t wire_frames() const { return wire_frames_; }
+  std::uint64_t wire_bytes() const { return wire_bytes_; }
+  /// Application records and bytes (VC piggyback traffic).
+  std::uint64_t app_bytes() const { return app_bytes_; }
+  /// Frames that merged into a congested channel's staging frame instead
+  /// of being encoded as their own record.
+  std::uint64_t coalesced_frames() const { return coalesced_frames_; }
+  /// Nonblocking writes that could not take the whole residue (EAGAIN or
+  /// short write) -- proof the partial-write path actually ran.
+  std::uint64_t partial_writes() const { return partial_writes_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Sender side of one directed (from, to) socket channel. All fields are
+  /// guarded by `mutex`; epoll interest for the fd is changed only while
+  /// holding it (the owner loop and foreign senders both flush).
+  struct Channel {
+    std::mutex mutex;
+    int fd = -1;
+    int owner_epoll = -1;  ///< sender-side epoll watching this fd for OUT
+    int peer = -1;         ///< destination node (epoll event data)
+    /// Encoded records awaiting the socket; front record may be partially
+    /// written (`front_off` bytes already gone).
+    std::deque<std::vector<std::uint8_t>> queue;
+    std::size_t front_off = 0;
+    std::size_t queued_bytes = 0;
+    /// Congestion parking spot: frames coalesce here while queue is
+    /// nonempty (see file comment). Owns one outstanding_ credit when set.
+    std::unique_ptr<PayloadFrame> staging;
+    bool want_write = false;  ///< EPOLLOUT currently armed
+  };
+
+  /// Delayed self-delivery (reliable-channel retransmit timers).
+  struct Timer {
+    Clock::time_point at;
+    std::uint64_t seq = 0;
+    MonitorMessage msg;
+    bool operator>(const Timer& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  struct Node {
+    std::unique_ptr<ProgramProcess> process;
+    int expected_receives = 0;
+    int receives_left = 0;  ///< own thread only
+    int epoll_fd = -1;
+    int event_fd = -1;  ///< cross-thread wakeup (timers, stop)
+    /// Record-body scratch for decoding; own thread only.
+    std::vector<std::uint8_t> scratch;
+    /// Self-delivery queue: immediate self-sends and due timers, guarded
+    /// by `timer_mutex` (pushed by own thread and by channel layers above).
+    std::mutex timer_mutex;
+    std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers;
+    /// Receive-side reassembly, one per peer; touched only by this node's
+    /// thread.
+    std::vector<FrameReassembler> reassembly;
+    std::vector<bool> peer_open;
+  };
+
+  void node_main(int index);
+  void record_event(int index, const Event& event);
+  void broadcast_app(int index, const AppMessage& message);
+  void read_peer(int index, int peer);
+  void dispatch_record(int index, int peer,
+                       const std::vector<std::uint8_t>& rec);
+  void enqueue_monitor(int from, int to, std::unique_ptr<NetPayload> payload);
+  /// Encode `payload` as a monitor record appended to `ch.queue`.
+  /// Caller must hold ch.mutex.
+  void encode_record_locked(Channel& ch, const NetPayload& payload);
+  /// Drain ch.queue (and then staging) into the socket until empty or
+  /// EAGAIN; arms/clears EPOLLOUT to match. Caller must hold ch.mutex.
+  void flush_locked(Channel& ch);
+  void materialize_staging_locked(Channel& ch);
+  Channel& channel(int from, int to) {
+    return *channels_[static_cast<std::size_t>(from) * nodes_.size() +
+                      static_cast<std::size_t>(to)];
+  }
+  void wake(int index);
+  /// Release one unit of outstanding work; wakes run() at zero.
+  void finish_one();
+
+  const AtomRegistry* registry_;
+  SocketConfig config_;
+  MonitorHooks* hooks_ = nullptr;
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Channel>> channels_;  ///< n*n, diagonal unused
+  std::vector<std::vector<Event>> history_;
+  std::vector<std::jthread> threads_;
+
+  std::atomic<Clock::time_point> start_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::int64_t> outstanding_{0};
+  std::mutex quiesce_mutex_;
+  std::condition_variable quiesce_cv_;
+
+  std::atomic<std::uint64_t> app_messages_{0};
+  std::atomic<std::uint64_t> monitor_sends_{0};
+  std::atomic<std::uint64_t> monitor_deliveries_{0};
+  std::atomic<std::uint64_t> program_events_{0};
+  std::atomic<std::uint64_t> wire_frames_{0};
+  std::atomic<std::uint64_t> wire_bytes_{0};
+  std::atomic<std::uint64_t> app_bytes_{0};
+  std::atomic<std::uint64_t> coalesced_frames_{0};
+  std::atomic<std::uint64_t> partial_writes_{0};
+  std::atomic<std::uint64_t> timer_seq_{0};
+};
+
+}  // namespace decmon

@@ -90,6 +90,11 @@ class WireWriter {
     u32(static_cast<std::uint32_t>(clock.size()));
     for (std::size_t i = 0; i < clock.size(); ++i) u32(clock[i]);
   }
+  /// Append `len` pre-encoded bytes verbatim (envelope payload embedding).
+  void raw(const std::uint8_t* data, std::size_t len) {
+    written_ += len;
+    if (buf_) buf_->insert(buf_->end(), data, data + len);
+  }
 
   /// Bytes emitted so far (both modes).
   std::size_t written() const { return written_; }
@@ -177,11 +182,20 @@ std::vector<std::uint8_t> encode_termination(const TerminationMessage& msg);
 
 /// What kind of monitor message a buffer holds. kToken / kTermination are
 /// version-1 frames (byte layout frozen -- checkpoints embed them); kFrame
-/// is the version-2 batched frame (varints + delta-compressed clocks).
-enum class WireKind : std::uint8_t { kToken = 1, kTermination = 2, kFrame = 3 };
+/// is the version-2 batched frame (varints + delta-compressed clocks);
+/// kEnvelope is the version-2 reliable-channel envelope (seq/ack header
+/// around an embedded payload encoding), added so a channel stacked over a
+/// socket transport can serialize its protocol messages.
+enum class WireKind : std::uint8_t {
+  kToken = 1,
+  kTermination = 2,
+  kFrame = 3,
+  kEnvelope = 4,
+};
 
 /// Peek at the kind; throws WireError on garbage. Accepts both wire
-/// versions: v1 buffers hold kToken/kTermination, v2 buffers hold kFrame.
+/// versions: v1 buffers hold kToken/kTermination, v2 buffers hold
+/// kFrame/kEnvelope.
 WireKind wire_kind(const std::vector<std::uint8_t>& buffer);
 
 /// Decode; throws WireError on truncation, bad version or wrong kind.
@@ -207,7 +221,10 @@ void encode_payload_into(const NetPayload& payload,
 
 /// Decode a buffer produced by encode_payload_into back into a payload
 /// object, dispatching on the embedded kind byte. Accepts v1 buffers
-/// (single token / termination) and v2 batched frames.
+/// (single token / termination), v2 batched frames, and v2 channel
+/// envelopes. A decoded envelope carries its payload as raw `bytes` only
+/// (never a reconstructed `inner` object) -- the channel's receive path
+/// decodes those bytes itself, exactly as it does for retransmissions.
 std::unique_ptr<NetPayload> decode_payload(
     const std::vector<std::uint8_t>& buffer,
     std::size_t max_width = kMaxWireProcesses);

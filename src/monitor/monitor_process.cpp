@@ -46,6 +46,9 @@ MonitorProcess::MonitorProcess(int index, const CompiledProperty* property,
   if (static_cast<int>(initial_letters.size()) != n_) {
     throw std::invalid_argument("MonitorProcess: bad initial_letters size");
   }
+  // Stride 0 would divide by zero in flush_staged; treat it as "sample
+  // every frame".
+  if (options_.wire_sample_stride == 0) options_.wire_sample_stride = 1;
   // INIT (Alg. 1): the initial global view points at the bottom cut; the
   // initial global state is the first letter the automaton consumes.
   Event init;
@@ -134,6 +137,10 @@ std::unique_ptr<TokenMessage> MonitorProcess::acquire_token_payload() {
   if (payload_pool_.empty()) return std::make_unique<TokenMessage>();
   std::unique_ptr<TokenMessage> shell = std::move(payload_pool_.back());
   payload_pool_.pop_back();
+  // A recycled shell keeps its last stamp; under sampled accounting the
+  // next flush may skip restamping, and a stale size would masquerade as a
+  // fresh measurement downstream (SimRuntime's convoy merges transfer it).
+  shell->wire_size = 0;
   return shell;
 }
 
@@ -203,8 +210,14 @@ void MonitorProcess::flush_staged() {
       ++i;
     } while (i < staged_.size() && staged_[i].dest == dest);
     // Single counting-encode pass: stamps each unit's in-frame size and the
-    // frame total, without materializing bytes (DESIGN.md §9).
-    stats_.bytes_sent += stamp_frame_wire_size(*frame);
+    // frame total, without materializing bytes (DESIGN.md §9). Under
+    // sampled accounting only every stride-th frame pays for the walk;
+    // estimated_bytes_sent() extrapolates from the measured subset.
+    if (options_.wire_accounting == WireAccounting::kExact ||
+        stats_.frames_sent % options_.wire_sample_stride == 0) {
+      stats_.bytes_sent += stamp_frame_wire_size(*frame);
+      ++stats_.frames_sampled;
+    }
     ++stats_.frames_sent;
     net_->send(MonitorMessage{index_, dest, std::move(frame)});
   }

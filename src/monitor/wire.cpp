@@ -4,6 +4,8 @@
 
 #include <limits>
 
+#include "decmon/distributed/reliable_channel.hpp"
+
 namespace decmon {
 namespace {
 
@@ -490,10 +492,11 @@ WireKind wire_kind(const std::vector<std::uint8_t>& buffer) {
     return static_cast<WireKind>(kind);
   }
   if (buffer[0] == kVersion2) {
-    if (kind != static_cast<std::uint8_t>(WireKind::kFrame)) {
+    if (kind != static_cast<std::uint8_t>(WireKind::kFrame) &&
+        kind != static_cast<std::uint8_t>(WireKind::kEnvelope)) {
       throw WireError("unknown message kind");
     }
-    return WireKind::kFrame;
+    return static_cast<WireKind>(kind);
   }
   throw WireError("unsupported wire version");
 }
@@ -519,6 +522,25 @@ void encode_payload_impl(WireWriter& w, const NetPayload& payload) {
     for (const auto& unit : frame.units) {
       if (!unit) throw WireError("null frame unit");
       write_frame_unit(w, *unit, base);
+    }
+  } else if (payload.tag == ChannelEnvelope::kTag) {
+    // Reliable-channel envelope: seq/ack header, then the embedded payload
+    // encoding as the remainder of the buffer (records are externally
+    // framed, so no inner length prefix is needed). First transmissions
+    // carry the payload object; retransmissions carry the retained bytes.
+    const auto& env = static_cast<const ChannelEnvelope&>(payload);
+    w.u8(kVersion2);
+    w.u8(static_cast<std::uint8_t>(WireKind::kEnvelope));
+    w.var(env.seq);
+    w.var(env.ack);
+    if (env.inner) {
+      w.u8(1);
+      encode_payload_impl(w, *env.inner);
+    } else if (!env.bytes.empty()) {
+      w.u8(1);
+      w.raw(env.bytes.data(), env.bytes.size());
+    } else {
+      w.u8(0);  // pure ack
     }
   } else {
     throw WireError("payload tag has no wire form");
@@ -607,6 +629,27 @@ std::unique_ptr<NetPayload> decode_payload(
     }
     case WireKind::kFrame:
       return decode_frame(buffer, max_width);
+    case WireKind::kEnvelope: {
+      WireReader r(buffer);
+      r.u8();  // version, validated by wire_kind
+      r.u8();  // kind
+      auto env = std::make_unique<ChannelEnvelope>();
+      env->seq = r.var();
+      env->ack = r.var();
+      const bool has_payload = r.u8() != 0;
+      if (has_payload) {
+        if (r.remaining() == 0) throw WireError("empty envelope payload");
+        // The embedded encoding stays opaque bytes: the channel's receive
+        // path decodes them (and validates widths) exactly as it does for
+        // retransmissions.
+        env->bytes.assign(buffer.begin() + static_cast<std::ptrdiff_t>(
+                                               r.position()),
+                          buffer.end());
+      } else {
+        r.done();
+      }
+      return env;
+    }
   }
   throw WireError("unknown message kind");
 }

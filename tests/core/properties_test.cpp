@@ -143,5 +143,75 @@ TEST(PaperProperties, RegistryMismatchThrows) {
                std::invalid_argument);
 }
 
+TEST(SynthesisCache, CountsHitsAndMissesPerDistinctKey) {
+  paper::synthesis_cache_clear();
+  AtomRegistry reg3 = paper::make_registry(3);
+  paper::build_automaton(Property::kD, 3, reg3);
+  auto s = paper::synthesis_cache_stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 0u);
+
+  paper::build_automaton(Property::kD, 3, reg3);
+  AtomRegistry other3 = paper::make_registry(3);  // same signature
+  paper::build_automaton(Property::kD, 3, other3);
+  s = paper::synthesis_cache_stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 2u);
+
+  AtomRegistry reg4 = paper::make_registry(4);  // different key: n changed
+  paper::build_automaton(Property::kD, 4, reg4);
+  paper::build_automaton(Property::kA, 3, reg3);  // different key: formula
+  s = paper::synthesis_cache_stats();
+  EXPECT_EQ(s.misses, 3u);
+  EXPECT_EQ(s.hits, 2u);
+}
+
+TEST(SynthesisCache, HitReturnsAutomatonEqualToFreshBuild) {
+  paper::synthesis_cache_clear();
+  for (Property p : paper::kAllProperties) {
+    AtomRegistry reg = paper::make_registry(3);
+    MonitorAutomaton fresh = paper::build_automaton(p, 3, reg);
+    MonitorAutomaton cached = paper::build_automaton(p, 3, reg);
+    EXPECT_EQ(cached.num_states(), fresh.num_states()) << paper::name(p);
+    EXPECT_EQ(cached.initial_state(), fresh.initial_state())
+        << paper::name(p);
+    EXPECT_EQ(cached.count_total(), fresh.count_total()) << paper::name(p);
+    EXPECT_EQ(cached.count_outgoing(), fresh.count_outgoing())
+        << paper::name(p);
+    EXPECT_EQ(cached.count_self_loops(), fresh.count_self_loops())
+        << paper::name(p);
+    for (int q = 0; q < fresh.num_states(); ++q) {
+      EXPECT_EQ(cached.verdict(q), fresh.verdict(q))
+          << paper::name(p) << " state " << q;
+    }
+    EXPECT_FALSE(cached.validate().has_value()) << paper::name(p);
+  }
+}
+
+TEST(SynthesisCache, HandsOutIndependentCopies) {
+  paper::synthesis_cache_clear();
+  AtomRegistry reg = paper::make_registry(3);
+  MonitorAutomaton first = paper::build_automaton(Property::kB, 3, reg);
+  const int states = first.num_states();
+  first.add_state(Verdict::kUnknown);  // mutate the handed-out copy
+  MonitorAutomaton second = paper::build_automaton(Property::kB, 3, reg);
+  EXPECT_EQ(second.num_states(), states);  // memoized value untouched
+}
+
+TEST(SynthesisCache, ClearResetsMemoAndCounters) {
+  paper::synthesis_cache_clear();
+  AtomRegistry reg = paper::make_registry(3);
+  paper::build_automaton(Property::kC, 3, reg);
+  paper::build_automaton(Property::kC, 3, reg);
+  paper::synthesis_cache_clear();
+  auto s = paper::synthesis_cache_stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 0u);
+  paper::build_automaton(Property::kC, 3, reg);
+  s = paper::synthesis_cache_stats();
+  EXPECT_EQ(s.misses, 1u);  // really rebuilt, not served stale
+  EXPECT_EQ(s.hits, 0u);
+}
+
 }  // namespace
 }  // namespace decmon

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "decmon/distributed/message.hpp"
+#include "decmon/distributed/reliable_channel.hpp"
 #include "decmon/monitor/wire.hpp"
 
 namespace decmon {
@@ -364,6 +365,106 @@ TEST(WireV2, FrameCloneDeepCopies) {
   EXPECT_NE(
       static_cast<TokenMessage*>(copied->units[0].get())->token.hops,
       static_cast<TokenMessage*>(frame->units[0].get())->token.hops);
+}
+
+// ---------------------------------------------------------------------------
+// Channel envelopes (wire kind 4): the reliable channel's protocol messages
+// gained a wire form so the channel can be stacked over a socket transport.
+// ---------------------------------------------------------------------------
+
+TEST(WireV2, EnvelopeWithInnerPayloadRoundTrips) {
+  std::mt19937_64 rng(37);
+  auto inner = random_frame(rng, 3, 4);
+  const auto inner_bytes = encode_frame(*inner);
+
+  ChannelEnvelope env;
+  env.seq = 42;
+  env.ack = 17;
+  env.inner = std::move(inner);
+
+  std::vector<std::uint8_t> bytes;
+  encode_payload_into(env, bytes);
+  EXPECT_EQ(wire_kind(bytes), WireKind::kEnvelope);
+  EXPECT_EQ(payload_wire_size(env), bytes.size());  // counting mode agrees
+
+  auto back = decode_payload(bytes, 5);
+  ASSERT_EQ(back->tag, ChannelEnvelope::kTag);
+  auto* decoded = static_cast<ChannelEnvelope*>(back.get());
+  EXPECT_EQ(decoded->seq, 42u);
+  EXPECT_EQ(decoded->ack, 17u);
+  EXPECT_EQ(decoded->inner, nullptr);  // payload stays opaque bytes
+  // ... and those bytes are exactly the inner payload's own encoding, so
+  // the channel's retransmission decode path accepts them unchanged.
+  EXPECT_EQ(decoded->bytes, inner_bytes);
+  auto inner_back = decode_payload(decoded->bytes, 5);
+  EXPECT_EQ(inner_back->tag, PayloadFrame::kTag);
+}
+
+TEST(WireV2, EnvelopeFirstSendAndRetransmitEncodeIdentically) {
+  // First transmissions carry the payload object, retransmissions the
+  // retained bytes; the receiver must not be able to tell them apart.
+  std::mt19937_64 rng(41);
+  auto inner = random_frame(rng, 2, 3);
+
+  ChannelEnvelope retransmit;
+  retransmit.seq = 7;
+  retransmit.ack = 3;
+  encode_payload_into(*inner, retransmit.bytes);
+
+  ChannelEnvelope first;
+  first.seq = 7;
+  first.ack = 3;
+  first.inner = std::move(inner);
+
+  std::vector<std::uint8_t> a, b;
+  encode_payload_into(first, a);
+  encode_payload_into(retransmit, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(WireV2, PureAckEnvelopeRoundTrips) {
+  ChannelEnvelope env;
+  env.seq = 0;
+  env.ack = 123456789;
+
+  std::vector<std::uint8_t> bytes;
+  encode_payload_into(env, bytes);
+  EXPECT_EQ(payload_wire_size(env), bytes.size());
+
+  auto back = decode_payload(bytes, 4);
+  ASSERT_EQ(back->tag, ChannelEnvelope::kTag);
+  auto* decoded = static_cast<ChannelEnvelope*>(back.get());
+  EXPECT_EQ(decoded->seq, 0u);
+  EXPECT_EQ(decoded->ack, 123456789u);
+  EXPECT_TRUE(decoded->bytes.empty());
+  EXPECT_EQ(decoded->inner, nullptr);
+}
+
+TEST(WireV2, EnvelopeRejectsHeaderTruncationAndEmptyPayload) {
+  std::mt19937_64 rng(43);
+  auto inner = random_frame(rng, 1, 2);
+  ChannelEnvelope env;
+  env.seq = 99;
+  env.ack = 1;
+  env.inner = std::move(inner);
+  std::vector<std::uint8_t> bytes;
+  encode_payload_into(env, bytes);
+
+  // Truncating inside the seq/ack/flag header must throw; truncating the
+  // embedded payload throws when the channel decodes the bytes, so here we
+  // only pin the "has payload but zero payload bytes" case.
+  for (std::size_t cut = 1; cut < 6; ++cut) {
+    std::vector<std::uint8_t> shorter(bytes.begin(),
+                                      bytes.begin() + static_cast<long>(cut));
+    EXPECT_THROW(decode_payload(shorter, 3), WireError) << "cut at " << cut;
+  }
+
+  ChannelEnvelope flagged;
+  flagged.seq = 1;
+  std::vector<std::uint8_t> truncated;
+  encode_payload_into(flagged, truncated);
+  truncated.back() = 1;  // has_payload flag set, but no bytes follow
+  EXPECT_THROW(decode_payload(truncated, 3), WireError);
 }
 
 }  // namespace
