@@ -32,6 +32,11 @@
 //   recovery.crash.{retransmissions,acks_sent,dup_suppressed,
 //                   checkpoints,checkpoint_bytes,restarts,
 //                   dropped_while_down,journal_replayed}   (DESIGN.md §8)
+//   service.<P>.n<k>.s<K>.{sessions,events,monitor_messages}  exact counts
+//   service.<P>.n<k>.s<K>.{wall_ms,sessions_per_s,events_per_s} throughput
+//   service.<P>.n<k>.s<K>.{lat_p50_ms,lat_p95_ms,lat_p99_ms,queue_p99_ms}
+//                                                HDR-histogram percentiles
+//   service.<P>.n<k>.s<K>_vs_s1.speedup          K-shard scaling factor
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -175,6 +180,37 @@ constexpr int kMicroRuns = 3;
   out.put("micro.BM_MonitorSynthesis.ms", ms / iters);
 }
 
+[[gnu::noinline]] void micro_monitor_synthesis_cached(Metrics& out,
+                                                      bool quick) {
+  // The fleet-warm path: after one miss populates the process-wide memo,
+  // every further build_automaton call is a shared-lock lookup plus an
+  // automaton copy. This is the per-shard catalog-warm cost in the service.
+  const int n = 3;
+  paper::synthesis_cache_clear();
+  AtomRegistry reg = paper::make_registry(n);
+  {
+    MonitorAutomaton warm =
+        paper::build_automaton(paper::Property::kD, n, reg);
+    if (warm.num_states() == 0) std::abort();
+  }
+  const int iters = quick ? 500 : 5000;
+  volatile int sink = 0;
+  const double ms = best_of(kMicroRuns, [&] {
+    int acc = 0;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+      MonitorAutomaton m =
+          paper::build_automaton(paper::Property::kD, n, reg);
+      acc += m.num_states();
+    }
+    sink = acc;
+    return elapsed_ms(t0);
+  });
+  (void)sink;
+  out.put("micro.BM_MonitorSynthesisCached.ns",
+          ms * 1e6 / static_cast<double>(iters));
+}
+
 [[gnu::noinline]] void micro_monitored_run(Metrics& out, bool quick) {
   // Whole monitored run, property C, n=4 (BM_MonitoredRun workload).
   AtomRegistry reg = paper::make_registry(4);
@@ -200,6 +236,7 @@ void micro_suite(Metrics& out, bool quick) {
   micro_locally_satisfied(out, quick);
   micro_vector_clock_compare(out, quick);
   micro_monitor_synthesis(out, quick);
+  micro_monitor_synthesis_cached(out, quick);
   micro_monitored_run(out, quick);
 }
 
@@ -500,6 +537,93 @@ void recovery_suite(Metrics& out, bool quick) {
 }
 
 // ---------------------------------------------------------------------------
+// Service suite: the sharded MonitoringService driven to saturation -- every
+// session admitted up front, workers drain the backlog -- so wall clock
+// measures fleet throughput and the latency histogram captures the queue
+// drain. Session counts and trace seeds are identical across shard counts
+// (and across quick/full modes for the shared cells), so the .sessions,
+// .events, and .monitor_messages metrics are exact CI gates while the rates
+// and percentiles are banded. The sK_vs_s1 speedup metric is where multi-
+// core scaling shows up; on a 1-core runner it sits near 1.0 by design.
+// ---------------------------------------------------------------------------
+
+void run_service_cell(Metrics& out, paper::Property prop, int n, int shards,
+                      int sessions, double* s1_wall_ms) {
+  service::ServiceConfig config;
+  config.num_shards = shards;
+  config.keep_outcomes = false;  // fleet posture: scalars only
+  service::MonitoringService svc(config);
+
+  const auto t0 = Clock::now();
+  for (int i = 0; i < sessions; ++i) {
+    service::SessionSpec spec;
+    spec.property = prop;
+    spec.num_processes = n;
+    spec.trace_seed = 2015 + static_cast<std::uint64_t>(i);
+    spec.sim.coalesce = CoalesceMode::kTransit;
+    spec.options.wire_accounting = WireAccounting::kSampled;
+    svc.submit(spec);
+  }
+  svc.drain();
+  const double wall_ms = elapsed_ms(t0);
+  const service::ServiceStats st = svc.stats();
+  if (st.completed != static_cast<std::uint64_t>(sessions) || st.failed != 0) {
+    std::abort();  // a bench cell must drain every session cleanly
+  }
+
+  const std::string base = "service." + paper::name(prop) + ".n" +
+                           std::to_string(n) + ".s" + std::to_string(shards);
+  out.put(base + ".sessions", static_cast<double>(st.completed));
+  out.put(base + ".events", static_cast<double>(st.program_events));
+  out.put(base + ".monitor_messages",
+          static_cast<double>(st.monitor_messages));
+  out.put(base + ".wall_ms", wall_ms);
+  out.put(base + ".sessions_per_s",
+          static_cast<double>(st.completed) * 1e3 / wall_ms);
+  out.put(base + ".events_per_s",
+          static_cast<double>(st.program_events) * 1e3 / wall_ms);
+  out.put(base + ".lat_p50_ms",
+          static_cast<double>(st.latency_ns.quantile(0.50)) / 1e6);
+  out.put(base + ".lat_p95_ms",
+          static_cast<double>(st.latency_ns.quantile(0.95)) / 1e6);
+  out.put(base + ".lat_p99_ms",
+          static_cast<double>(st.latency_ns.quantile(0.99)) / 1e6);
+  out.put(base + ".queue_p99_ms",
+          static_cast<double>(st.queue_ns.quantile(0.99)) / 1e6);
+  if (shards == 1) {
+    *s1_wall_ms = wall_ms;
+  } else if (*s1_wall_ms > 0) {
+    out.put(base + "_vs_s1.speedup", *s1_wall_ms / wall_ms);
+  }
+}
+
+void service_grid(Metrics& out, bool quick) {
+  // Quick mode is a strict subset of the full grid with identical session
+  // counts and seeds, so its exact count metrics match the committed
+  // full-mode BENCH_core.json (same contract as cell_grid/socket_grid).
+  constexpr int kSessions = 48;
+  struct Cell {
+    paper::Property prop;
+    int n;
+  };
+  std::vector<Cell> cells = {{paper::Property::kA, 3},
+                             {paper::Property::kD, 3}};
+  std::vector<int> shard_counts = {1, 2};
+  if (!quick) {
+    cells.push_back({paper::Property::kD, 5});  // comm-heavy scaling cells
+    cells.push_back({paper::Property::kF, 5});
+    shard_counts.push_back(4);
+  }
+  for (const Cell& cell : cells) {
+    double s1_wall_ms = 0;
+    for (int shards : shard_counts) {
+      run_service_cell(out, cell.prop, cell.n, shards, kSessions,
+                       &s1_wall_ms);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // JSON in/out (flat "name": number pairs; no external JSON dependency).
 // ---------------------------------------------------------------------------
 
@@ -586,6 +710,8 @@ int main(int argc, char** argv) {
   socket_grid(metrics, quick);
   std::printf("bench_harness: recovery suite...\n");
   recovery_suite(metrics, quick);
+  std::printf("bench_harness: service grid...\n");
+  service_grid(metrics, quick);
 
   std::vector<std::pair<std::string, double>> baseline;
   std::vector<std::pair<std::string, double>> speedup;

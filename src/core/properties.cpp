@@ -1,6 +1,8 @@
 #include "decmon/core/properties.hpp"
 
+#include <atomic>
 #include <mutex>
+#include <shared_mutex>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
@@ -213,13 +215,18 @@ FormulaPtr formula(Property p, int n, AtomRegistry& registry) {
 
 namespace {
 
-/// Process-wide memo for build_automaton. The mutex covers lookups and
-/// inserts; the stored automata are immutable once inserted and hits hand
-/// out copies, so no reference ever escapes the lock.
+/// Process-wide memo for build_automaton. Reader-writer locking: the
+/// steady state of a sharded fleet is all-hits from many threads at once,
+/// so lookups take the shared side and copy the stored automaton under it
+/// (entries are immutable once inserted -- no reference ever escapes the
+/// lock). Only a miss's insert and clear() take the exclusive side. The
+/// hit/miss counters are atomics so shared-side readers never write the
+/// struct itself.
 struct SynthesisCache {
-  std::mutex mutex;
+  std::shared_mutex mutex;
   std::unordered_map<std::string, MonitorAutomaton> memo;
-  SynthesisCacheStats stats;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
 };
 
 SynthesisCache& synthesis_cache() {
@@ -244,15 +251,18 @@ std::string atom_signature(const AtomRegistry& registry) {
 
 SynthesisCacheStats synthesis_cache_stats() {
   SynthesisCache& cache = synthesis_cache();
-  std::scoped_lock lock(cache.mutex);
-  return cache.stats;
+  SynthesisCacheStats stats;
+  stats.hits = cache.hits.load(std::memory_order_relaxed);
+  stats.misses = cache.misses.load(std::memory_order_relaxed);
+  return stats;
 }
 
 void synthesis_cache_clear() {
   SynthesisCache& cache = synthesis_cache();
-  std::scoped_lock lock(cache.mutex);
+  std::unique_lock lock(cache.mutex);
   cache.memo.clear();
-  cache.stats = SynthesisCacheStats{};
+  cache.hits.store(0, std::memory_order_relaxed);
+  cache.misses.store(0, std::memory_order_relaxed);
 }
 
 MonitorAutomaton build_automaton(Property p, int n,
@@ -263,13 +273,13 @@ MonitorAutomaton build_automaton(Property p, int n,
   const std::string key = formula_text(p, n) + '|' + atom_signature(registry);
   {
     SynthesisCache& cache = synthesis_cache();
-    std::scoped_lock lock(cache.mutex);
+    std::shared_lock lock(cache.mutex);
     auto it = cache.memo.find(key);
     if (it != cache.memo.end()) {
-      ++cache.stats.hits;
-      return it->second;  // copy
+      cache.hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;  // copy, made under the shared lock
     }
-    ++cache.stats.misses;
+    cache.misses.fetch_add(1, std::memory_order_relaxed);
   }
   auto p_atoms = [&](int from, int to) {
     std::vector<int> out;
@@ -311,9 +321,9 @@ MonitorAutomaton build_automaton(Property p, int n,
   m.build_dispatch();
   {
     SynthesisCache& cache = synthesis_cache();
-    std::scoped_lock lock(cache.mutex);
+    std::unique_lock lock(cache.mutex);
     // A racing builder may have inserted meanwhile; both built the same
-    // immutable value, so either copy serves.
+    // immutable value, so either copy serves (emplace keeps the first).
     cache.memo.emplace(key, m);
   }
   return m;

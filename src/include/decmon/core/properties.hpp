@@ -42,9 +42,12 @@ FormulaPtr formula(Property p, int num_processes, AtomRegistry& registry);
 /// (deterministic + complete).
 ///
 /// Results are memoized process-wide, keyed by (formula text, registry atom
-/// signature): the bench grid, the fuzz drivers and repeated sessions
-/// request identical automata thousands of times, and construction +
-/// validation + dispatch-table build is pure. Cache hits return a copy.
+/// signature): the bench grid, the fuzz drivers, repeated sessions and the
+/// sharded service request identical automata thousands of times, and
+/// construction + validation + dispatch-table build is pure. Cache hits
+/// return a copy. Thread-safe: hits run concurrently under a shared lock
+/// (the service's shards all warm their catalogs from this one memo);
+/// misses serialize only the insert.
 MonitorAutomaton build_automaton(Property p, int num_processes,
                                  const AtomRegistry& registry);
 

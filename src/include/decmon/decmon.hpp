@@ -9,6 +9,7 @@
 //   * Lattice & oracle:   decmon/lattice/{computation,oracle,slicer}.hpp
 //   * Monitoring:         decmon/monitor/{monitor_process,...}.hpp
 //   * Facade:             decmon/core/{session,properties}.hpp
+//   * Service layer:      decmon/service/{service,latency_histogram}.hpp
 #pragma once
 
 #include "decmon/automata/buchi.hpp"
@@ -49,6 +50,8 @@
 #include "decmon/monitor/stats.hpp"
 #include "decmon/monitor/token.hpp"
 #include "decmon/monitor/wire.hpp"
+#include "decmon/service/latency_histogram.hpp"
+#include "decmon/service/service.hpp"
 #include "decmon/util/rng.hpp"
 #include "decmon/util/strings.hpp"
 #include "decmon/util/vector_clock.hpp"

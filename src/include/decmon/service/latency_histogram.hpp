@@ -1,0 +1,107 @@
+// HDR-style latency histogram for the monitoring service (DESIGN.md §11).
+//
+// Fixed-size, allocation-free, mergeable. Values (nanoseconds) are bucketed
+// into power-of-two magnitude bands, each split into 2^kSubBits linear
+// sub-buckets, so relative resolution is a constant ~1/2^kSubBits (~3%)
+// across the whole 64-bit range -- the shape HdrHistogram popularized and
+// the standard way to report p50/p95/p99 without keeping every sample.
+//
+// Thread model: record() is single-writer (each shard owns one histogram);
+// aggregation merges the per-shard histograms under the service lock.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace decmon::service {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 5;
+  static constexpr std::uint64_t kSubBuckets = std::uint64_t{1} << kSubBits;
+  /// Band 0 holds the exact values [0, kSubBuckets); bands 1..59 each cover
+  /// one power-of-two magnitude range up to 2^64 - 1.
+  static constexpr int kBands = 64 - kSubBits + 1;
+
+  void record(std::uint64_t value) {
+    if (count_ == 0 || value < min_) min_ = value;
+    if (value > max_) max_ = value;
+    ++count_;
+    sum_ += value;
+    ++counts_[index_of(value)];
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  /// Value at quantile q in [0, 1]: the representative (bucket midpoint,
+  /// clamped to the observed min/max) of the bucket holding the ceil(q *
+  /// count)-th smallest sample. 0 when empty.
+  std::uint64_t quantile(double q) const {
+    if (count_ == 0) return 0;
+    if (q <= 0.0) return min();
+    std::uint64_t target =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5);
+    if (target < 1) target = 1;
+    if (target >= count_) return max_;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      seen += counts_[i];
+      if (seen >= target) {
+        std::uint64_t rep = representative(i);
+        if (rep < min_) rep = min_;
+        if (rep > max_) rep = max_;
+        return rep;
+      }
+    }
+    return max_;
+  }
+
+  void merge(const LatencyHistogram& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+  }
+
+  void reset() { *this = LatencyHistogram{}; }
+
+ private:
+  /// Band b >= 1 covers [kSubBuckets << (b-1), kSubBuckets << b); sub-bucket
+  /// width there is 2^(b-1).
+  static std::size_t index_of(std::uint64_t v) {
+    if (v < kSubBuckets) return static_cast<std::size_t>(v);
+    const int band = std::bit_width(v) - kSubBits;
+    const std::uint64_t sub = (v >> (band - 1)) - kSubBuckets;
+    return static_cast<std::size_t>(band) * kSubBuckets +
+           static_cast<std::size_t>(sub);
+  }
+
+  static std::uint64_t representative(std::size_t index) {
+    const std::uint64_t band = index >> kSubBits;
+    const std::uint64_t sub = index & (kSubBuckets - 1);
+    if (band == 0) return sub;
+    const std::uint64_t lo = (kSubBuckets + sub) << (band - 1);
+    return lo + (std::uint64_t{1} << (band - 1)) / 2;
+  }
+
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  std::array<std::uint64_t, static_cast<std::size_t>(kBands) * kSubBuckets>
+      counts_{};
+};
+
+}  // namespace decmon::service

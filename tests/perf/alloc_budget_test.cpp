@@ -183,5 +183,64 @@ TEST(AllocBudget, ReliableChannelCleanPathStaysUnderBudget) {
       << kAllocsPerEventBudget << ")";
 }
 
+TEST(AllocBudget, SteadyStateShardStaysUnderBudget) {
+#ifdef DECMON_ALLOC_TEST_DISABLED
+  GTEST_SKIP() << "allocation counting is disabled under sanitizers";
+#endif
+  // The bare-run tests above exclude trace generation from the counted
+  // window; the service cannot, because its workers generate traces inline.
+  // Measured steady state is ~36 allocs/event, almost all of it trace
+  // construction and the per-session SimRuntime setup -- the monitor hot
+  // loop itself still runs at the bare-run rate. 60 gives the same ~1.6x
+  // headroom proportion as the bare budget over its measurement.
+  constexpr double kServiceAllocsPerEventBudget = 60.0;
+
+  // One service shard at steady state: the first drain warms the shard's
+  // session catalog, the synthesis memo, and the frame/envelope pools, and
+  // then a second batch of identical cell-D sessions must run at the same
+  // per-event allocation rate as a bare MonitorSession::run. Admission
+  // (slot deque, queue push), trace generation, and outcome recording all
+  // happen inside the counted window, so this budget covers the whole
+  // service path, not just the monitor hot loop.
+  service::ServiceConfig config;
+  config.num_shards = 1;
+  config.keep_outcomes = false;  // large-fleet posture: scalars only
+  service::MonitoringService svc(config);
+
+  auto spec_for = [](std::uint64_t seed) {
+    service::SessionSpec spec;
+    spec.property = paper::Property::kD;
+    spec.num_processes = 5;
+    spec.trace_seed = seed;
+    return spec;
+  };
+
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) svc.submit(spec_for(seed));
+  svc.drain();  // warm-up: catalog build + pool growth land here
+
+  const std::uint64_t events_before = svc.stats().program_events;
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  for (std::uint64_t seed = 3; seed <= 6; ++seed) svc.submit(spec_for(seed));
+  svc.drain();
+  g_counting.store(false, std::memory_order_relaxed);
+
+  const service::ServiceStats st = svc.stats();
+  EXPECT_EQ(st.completed, 6u);
+  EXPECT_EQ(st.failed, 0u);
+  const double events =
+      static_cast<double>(st.program_events - events_before);
+  ASSERT_GT(events, 0.0);
+  const double per_event =
+      static_cast<double>(g_allocs.load(std::memory_order_relaxed)) / events;
+
+  RecordProperty("allocs_per_event_service", std::to_string(per_event));
+  EXPECT_LE(per_event, kServiceAllocsPerEventBudget)
+      << "steady-state shard regressed: " << per_event
+      << " heap allocations per event across admission + trace generation + "
+         "monitoring (budget "
+      << kServiceAllocsPerEventBudget << ")";
+}
+
 }  // namespace
 }  // namespace decmon

@@ -1,0 +1,118 @@
+// LatencyHistogram: HDR-style bucketing invariants -- exact small values,
+// ~3% relative resolution above the linear band, merge == union, quantile
+// monotonicity and clamping to observed extremes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "decmon/service/latency_histogram.hpp"
+
+namespace decmon::service {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsAllZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  // Band 0 stores [0, kSubBuckets) one value per bucket: every quantile of
+  // a small-valued distribution is an actually-observed value.
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+    h.record(v);
+  }
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), LatencyHistogram::kSubBuckets - 1);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(1.0), LatencyHistogram::kSubBuckets - 1);
+  const std::uint64_t p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 14u);
+  EXPECT_LE(p50, 17u);
+}
+
+TEST(LatencyHistogram, RelativeResolutionHolds) {
+  // A single large sample must come back within one sub-bucket width
+  // (2^-kSubBits relative error) of the recorded value.
+  for (std::uint64_t v :
+       {std::uint64_t{31}, std::uint64_t{32}, std::uint64_t{63},
+        std::uint64_t{64}, std::uint64_t{1000}, std::uint64_t{123456},
+        std::uint64_t{987654321}, std::uint64_t{3} << 40,
+        std::uint64_t{1} << 62}) {
+    LatencyHistogram h;
+    h.record(v);
+    const std::uint64_t got = h.quantile(0.5);
+    const double rel =
+        v ? std::abs(static_cast<double>(got) - static_cast<double>(v)) /
+                static_cast<double>(v)
+          : 0.0;
+    EXPECT_LE(rel, 1.0 / LatencyHistogram::kSubBuckets)
+        << "value " << v << " came back as " << got;
+  }
+}
+
+TEST(LatencyHistogram, QuantilesOfUniformRange) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 100000; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100000u);
+  // 3% bucket resolution plus discretization: allow 5%.
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.50)), 50000.0, 2500.0);
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.95)), 95000.0, 4750.0);
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.99)), 99000.0, 4950.0);
+  EXPECT_EQ(h.quantile(1.0), 100000u);
+  EXPECT_NEAR(h.mean(), 50000.5, 1.0);
+}
+
+TEST(LatencyHistogram, QuantileIsMonotone) {
+  LatencyHistogram h;
+  std::uint64_t x = 88172645463325252ull;
+  for (int i = 0; i < 5000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    h.record(x % 1000000);
+  }
+  std::uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const std::uint64_t v = h.quantile(q);
+    EXPECT_GE(v, prev) << "quantile not monotone at q=" << q;
+    prev = v;
+  }
+}
+
+TEST(LatencyHistogram, MergeEqualsUnion) {
+  LatencyHistogram a, b, all;
+  std::uint64_t x = 2463534242u;
+  for (int i = 0; i < 4000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    const std::uint64_t v = x % 500000;
+    (i % 2 ? a : b).record(v);
+    all.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+  for (double q : {0.1, 0.5, 0.9, 0.95, 0.99}) {
+    EXPECT_EQ(a.quantile(q), all.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, ResetClears) {
+  LatencyHistogram h;
+  h.record(42);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+}  // namespace
+}  // namespace decmon::service

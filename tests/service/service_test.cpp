@@ -1,0 +1,179 @@
+// MonitoringService behaviour: admission, drain, stats aggregation, work
+// stealing, affinity, failure isolation, and the keep_outcomes=false
+// large-fleet posture.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "decmon/decmon.hpp"
+
+namespace decmon::service {
+namespace {
+
+SessionSpec cell_spec(paper::Property prop, int n, std::uint64_t seed) {
+  SessionSpec spec;
+  spec.property = prop;
+  spec.num_processes = n;
+  spec.trace_seed = seed;
+  return spec;
+}
+
+TEST(MonitoringService, SubmitDrainCollect) {
+  ServiceConfig config;
+  config.num_shards = 2;
+  MonitoringService svc(config);
+  for (int i = 0; i < 16; ++i) {
+    svc.submit(cell_spec(paper::Property::kA, 3, 100 + i));
+  }
+  svc.drain();
+
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.admitted, 16u);
+  EXPECT_EQ(st.completed, 16u);
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_GT(st.program_events, 0u);
+  EXPECT_GT(st.monitor_messages, 0u);
+  EXPECT_EQ(st.latency_ns.count(), 16u);
+  EXPECT_EQ(st.queue_ns.count(), 16u);
+  std::uint64_t per_shard_total = 0;
+  for (std::uint64_t c : st.per_shard_completed) per_shard_total += c;
+  EXPECT_EQ(per_shard_total, 16u);
+
+  const auto outcomes = svc.outcomes();
+  ASSERT_EQ(outcomes.size(), 16u);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].id, i);
+    EXPECT_TRUE(outcomes[i].ok) << outcomes[i].error;
+    EXPECT_TRUE(outcomes[i].result.verdict.all_finished);
+    EXPECT_GT(outcomes[i].result.program_events, 0u);
+    EXPECT_GE(outcomes[i].latency_ms, outcomes[i].queue_ms);
+    EXPECT_GE(outcomes[i].shard, 0);
+    EXPECT_LT(outcomes[i].shard, 2);
+  }
+}
+
+TEST(MonitoringService, DrainOnEmptyServiceReturns) {
+  MonitoringService svc;
+  svc.drain();
+  EXPECT_EQ(svc.stats().completed, 0u);
+  EXPECT_TRUE(svc.outcomes().empty());
+}
+
+TEST(MonitoringService, WorkStealingDrainsASkewedQueue) {
+  // Pin every session's affinity to shard 0 of 4: the other three shards
+  // have nothing of their own and must steal to participate. With 32
+  // multi-millisecond sessions queued on one shard, at least one steal is
+  // effectively certain; every session must complete regardless of where
+  // it ran.
+  ServiceConfig config;
+  config.num_shards = 4;
+  MonitoringService svc(config);
+  for (int i = 0; i < 32; ++i) {
+    SessionSpec spec = cell_spec(paper::Property::kD, 3, 500 + i);
+    spec.affinity = 0;
+    svc.submit(spec);
+  }
+  svc.drain();
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.completed, 32u);
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_GT(st.stolen, 0u);
+  std::set<int> shards_used;
+  for (const SessionOutcome& out : svc.outcomes()) {
+    EXPECT_TRUE(out.ok) << out.error;
+    shards_used.insert(out.shard);
+    if (out.shard != 0) {
+      EXPECT_TRUE(out.stolen);
+    }
+  }
+  EXPECT_GT(shards_used.size(), 1u);
+}
+
+TEST(MonitoringService, StealDisabledRespectsAffinity) {
+  ServiceConfig config;
+  config.num_shards = 3;
+  config.steal = false;
+  MonitoringService svc(config);
+  for (int i = 0; i < 9; ++i) {
+    SessionSpec spec = cell_spec(paper::Property::kA, 3, 900 + i);
+    spec.affinity = 1;
+    svc.submit(spec);
+  }
+  svc.drain();
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.completed, 9u);
+  EXPECT_EQ(st.stolen, 0u);
+  ASSERT_EQ(st.per_shard_completed.size(), 3u);
+  EXPECT_EQ(st.per_shard_completed[0], 0u);
+  EXPECT_EQ(st.per_shard_completed[1], 9u);
+  EXPECT_EQ(st.per_shard_completed[2], 0u);
+  for (const SessionOutcome& out : svc.outcomes()) {
+    EXPECT_EQ(out.shard, 1);
+    EXPECT_FALSE(out.stolen);
+  }
+}
+
+TEST(MonitoringService, FailedSessionIsIsolated) {
+  // n=1 has no paper property: the worker's construction throws, the
+  // session is reported failed, and its neighbours are untouched.
+  MonitoringService svc;
+  svc.submit(cell_spec(paper::Property::kA, 3, 1));
+  svc.submit(cell_spec(paper::Property::kA, 1, 2));  // invalid: n < 2
+  svc.submit(cell_spec(paper::Property::kA, 3, 3));
+  svc.drain();
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.completed, 3u);
+  EXPECT_EQ(st.failed, 1u);
+  const auto outcomes = svc.outcomes();
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[0].ok);
+  EXPECT_FALSE(outcomes[1].ok);
+  EXPECT_FALSE(outcomes[1].error.empty());
+  EXPECT_TRUE(outcomes[2].ok);
+}
+
+TEST(MonitoringService, KeepOutcomesFalseKeepsScalars) {
+  ServiceConfig config;
+  config.num_shards = 2;
+  config.keep_outcomes = false;
+  MonitoringService svc(config);
+  for (int i = 0; i < 8; ++i) {
+    svc.submit(cell_spec(paper::Property::kD, 3, 40 + i));
+  }
+  svc.drain();
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.completed, 8u);
+  EXPECT_GT(st.program_events, 0u);
+  for (const SessionOutcome& out : svc.outcomes()) {
+    EXPECT_TRUE(out.ok);
+    EXPECT_GT(out.result.program_events, 0u);       // scalars survive
+    EXPECT_TRUE(out.result.verdict.per_monitor.empty());  // bulk dropped
+  }
+}
+
+TEST(MonitoringService, VerdictCountersMatchOutcomes) {
+  ServiceConfig config;
+  config.num_shards = 2;
+  MonitoringService svc(config);
+  for (int i = 0; i < 12; ++i) {
+    svc.submit(cell_spec(i % 2 ? paper::Property::kB : paper::Property::kD, 3,
+                         700 + i));
+  }
+  svc.drain();
+  const ServiceStats st = svc.stats();
+  std::uint64_t violations = 0, satisfactions = 0, events = 0, messages = 0;
+  for (const SessionOutcome& out : svc.outcomes()) {
+    if (out.result.verdict.violated()) ++violations;
+    if (out.result.verdict.satisfied()) ++satisfactions;
+    events += out.result.program_events;
+    messages += out.result.monitor_messages;
+  }
+  EXPECT_EQ(st.violations, violations);
+  EXPECT_EQ(st.satisfactions, satisfactions);
+  EXPECT_EQ(st.program_events, events);
+  EXPECT_EQ(st.monitor_messages, messages);
+}
+
+}  // namespace
+}  // namespace decmon::service

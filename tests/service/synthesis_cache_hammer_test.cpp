@@ -1,0 +1,124 @@
+// Multi-threaded hammer for the paper::build_automaton synthesis cache.
+//
+// The sharded service warms every shard's catalog from this one process-
+// wide memo, so hits must be safe from many threads at once (shared-lock
+// lookups, copy-on-hit) while misses insert and clear() swaps the whole
+// table out from under them. Run under TSan this is the test that falsifies
+// the locking; in a plain build it still checks the returned automata are
+// complete, independently owned copies and the hit/miss counters add up.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "decmon/decmon.hpp"
+
+namespace decmon {
+namespace {
+
+struct Key {
+  paper::Property prop;
+  int n;
+};
+
+const Key kKeys[] = {
+    {paper::Property::kA, 3}, {paper::Property::kB, 3},
+    {paper::Property::kC, 4}, {paper::Property::kD, 5},
+    {paper::Property::kE, 4}, {paper::Property::kF, 3},
+};
+
+/// Exercise the automaton enough to catch a torn or shallow copy: walk the
+/// dispatch table from the initial state over every registered letter.
+void check_automaton(const MonitorAutomaton& m, int n) {
+  ASSERT_GT(m.num_states(), 0);
+  const AtomSet all = (AtomSet{1} << (2 * n)) - 1;
+  int q = m.initial_state();
+  for (AtomSet letter : {AtomSet{0}, all, AtomSet{1}, all >> 1}) {
+    const auto next = m.step(q, letter);
+    ASSERT_TRUE(next.has_value());
+    q = *next;
+  }
+}
+
+TEST(SynthesisCacheHammer, ConcurrentHitsMissesAndClears) {
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 300;
+
+  paper::synthesis_cache_clear();
+  std::atomic<bool> go{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &go, &failures] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const Key& key = kKeys[(t + i) % std::size(kKeys)];
+        AtomRegistry reg = paper::make_registry(key.n);
+        MonitorAutomaton m = paper::build_automaton(key.prop, key.n, reg);
+        if (m.num_states() == 0 || !m.step(m.initial_state(), 0)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // One antagonist clearing the table mid-hammer: readers must never see a
+  // dangling entry, and post-clear calls just become misses.
+  threads.emplace_back([&go] {
+    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+    for (int i = 0; i < 20; ++i) {
+      paper::synthesis_cache_clear();
+      std::this_thread::yield();
+    }
+  });
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Every returned automaton is an independent copy: mutating one obtained
+  // now cannot affect what the cache serves next.
+  AtomRegistry reg = paper::make_registry(3);
+  MonitorAutomaton mine = paper::build_automaton(paper::Property::kA, 3, reg);
+  const int states_before = mine.num_states();
+  mine.add_state(Verdict::kUnknown);
+  MonitorAutomaton again = paper::build_automaton(paper::Property::kA, 3, reg);
+  EXPECT_EQ(again.num_states(), states_before);
+}
+
+TEST(SynthesisCacheHammer, CountersAccountForEveryCall) {
+  paper::synthesis_cache_clear();
+  constexpr int kThreads = 6;
+  constexpr int kItersPerThread = 100;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &go] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const Key& key = kKeys[(t + i) % std::size(kKeys)];
+        AtomRegistry reg = paper::make_registry(key.n);
+        MonitorAutomaton m = paper::build_automaton(key.prop, key.n, reg);
+        check_automaton(m, key.n);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+
+  // No clear() ran, so every call was either a hit or a miss; misses can
+  // exceed the key count (racing builders both count a miss) but stay
+  // bounded by the thread count per key.
+  const paper::SynthesisCacheStats stats = paper::synthesis_cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kItersPerThread);
+  EXPECT_GE(stats.misses, std::size(kKeys));
+  EXPECT_LE(stats.misses,
+            static_cast<std::uint64_t>(kThreads) * std::size(kKeys));
+  EXPECT_GT(stats.hits, 0u);
+}
+
+}  // namespace
+}  // namespace decmon

@@ -5,12 +5,12 @@
 //   bench_harness --quick --out bench_quick.json
 //   bench_check BENCH_core.json bench_quick.json --wall-tol 4.0
 //
-// Only `cell.*` and `socket.*` metrics are compared, and only those present
-// in BOTH files (quick mode runs a sub-grid; recovery.* uses different
-// repetition counts per mode and micro.* is pure wall time, so neither is
-// comparable). Count-valued cell metrics (monitor_messages, global_views,
-// peak_views, token_hops, wire_bytes) are deterministic for a given
-// replication count and must match the baseline EXACTLY -- any drift means
+// Only `cell.*`, `socket.*`, and `service.*` metrics are compared, and only
+// those present in BOTH files (quick mode runs a sub-grid; recovery.* uses
+// different repetition counts per mode and micro.* is pure wall time, so
+// neither is comparable). Count-valued cell metrics (monitor_messages,
+// global_views, peak_views, token_hops, wire_bytes) are deterministic for a
+// given replication count and must match the baseline EXACTLY -- any drift means
 // the monitor's communication behaviour changed and the baseline must be
 // regenerated deliberately. Time-valued metrics (.wall_ms) are machine- and
 // load-dependent and only need to stay within a tolerance factor of
@@ -24,8 +24,14 @@
 // exact -- they are the proof that quick and full modes drive the same
 // workload.
 //
+// service.* cells run real shard worker threads: their .sessions/.events/
+// .monitor_messages counts are schedule-independent (the cross-shard
+// determinism invariant) and stay exact, while throughput, latency
+// percentiles, and scaling factors are banded by --service-tol.
+//
 //   bench_check <baseline.json> <candidate.json>
 //               [--wall-tol FACTOR] [--socket-tol FACTOR]
+//               [--service-tol FACTOR]
 //
 // Exit status: 0 all compared metrics pass, 1 any mismatch, 2 usage/IO.
 #include <cmath>
@@ -92,6 +98,15 @@ bool is_banded_socket_count(const std::string& name) {
          !has_suffix(name, ".app_messages");
 }
 
+/// Service cells run real worker threads, so only the trace-determined
+/// counts (.sessions, .events, .monitor_messages -- the cross-shard
+/// determinism invariant) are exact; throughput, percentiles, and scaling
+/// factors depend on the machine and are banded by --service-tol.
+bool is_exact_service_count(const std::string& name) {
+  return has_suffix(name, ".sessions") || has_suffix(name, ".events") ||
+         has_suffix(name, ".monitor_messages");
+}
+
 const double* lookup(const std::vector<std::pair<std::string, double>>& m,
                      const std::string& name) {
   for (const auto& [n, v] : m) {
@@ -107,11 +122,14 @@ int main(int argc, char** argv) {
   const char* candidate_path = nullptr;
   double wall_tol = 2.0;
   double socket_tol = 2.0;
+  double service_tol = 2.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--wall-tol") == 0 && i + 1 < argc) {
       wall_tol = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--socket-tol") == 0 && i + 1 < argc) {
       socket_tol = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--service-tol") == 0 && i + 1 < argc) {
+      service_tol = std::atof(argv[++i]);
     } else if (!baseline_path) {
       baseline_path = argv[i];
     } else if (!candidate_path) {
@@ -122,10 +140,11 @@ int main(int argc, char** argv) {
     }
   }
   if (!baseline_path || !candidate_path || wall_tol < 1.0 ||
-      socket_tol < 1.0) {
+      socket_tol < 1.0 || service_tol < 1.0) {
     std::fprintf(stderr,
                  "usage: bench_check <baseline.json> <candidate.json> "
-                 "[--wall-tol FACTOR>=1] [--socket-tol FACTOR>=1]\n");
+                 "[--wall-tol FACTOR>=1] [--socket-tol FACTOR>=1] "
+                 "[--service-tol FACTOR>=1]\n");
     return 2;
   }
 
@@ -138,13 +157,25 @@ int main(int argc, char** argv) {
   int compared = 0;
   int failures = 0;
   for (const auto& [name, cand] : candidate) {
-    if (name.rfind("cell.", 0) != 0 && name.rfind("socket.", 0) != 0) {
+    const bool is_service = name.rfind("service.", 0) == 0;
+    if (name.rfind("cell.", 0) != 0 && name.rfind("socket.", 0) != 0 &&
+        !is_service) {
       continue;
     }
     const double* base = lookup(baseline, name);
     if (!base) continue;  // sub-grid runs simply cover fewer cells
     ++compared;
-    if (is_time_metric(name)) {
+    if (is_service && !is_exact_service_count(name)) {
+      // Threaded-run throughput/latency: band like wall time, with the same
+      // absolute floor so sub-millisecond percentiles ride out timer noise.
+      const double lo = *base / service_tol - 0.5;
+      const double hi = *base * service_tol + 0.5;
+      if (cand < lo || cand > hi) {
+        ++failures;
+        std::printf("FAIL %-44s baseline %.6g candidate %.6g (tol %.2fx)\n",
+                    name.c_str(), *base, cand, service_tol);
+      }
+    } else if (is_time_metric(name)) {
       // Wall clock may go either way with machine load; only flag changes
       // beyond the tolerance factor. Sub-millisecond cells are dominated by
       // timer noise, so give them an absolute floor as well.
@@ -175,7 +206,8 @@ int main(int argc, char** argv) {
 
   if (compared == 0) {
     std::fprintf(stderr,
-                 "bench_check: no overlapping cell.*/socket.* metrics "
+                 "bench_check: no overlapping cell.*/socket.*/service.* "
+                 "metrics "
                  "between %s and %s\n",
                  baseline_path, candidate_path);
     return 1;
