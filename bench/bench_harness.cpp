@@ -37,6 +37,10 @@
 //   service.<P>.n<k>.s<K>.{lat_p50_ms,lat_p95_ms,lat_p99_ms,queue_p99_ms}
 //                                                HDR-histogram percentiles
 //   service.<P>.n<k>.s<K>_vs_s1.speedup          K-shard scaling factor
+//   stream.F.n5.len<L>.<streaming|control>.peak_history  max retained
+//                                                history window (events)
+//   stream.F.n5.len<L>.<streaming|control>.{peak_views,wall_ms}
+//   stream.F.n5.len<L>.streaming.{history_trimmed,gc_sweeps}
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -624,6 +628,65 @@ void service_grid(Metrics& out, bool quick) {
 }
 
 // ---------------------------------------------------------------------------
+// Stream suite: the bounded-memory claim as a number (DESIGN.md §12). One
+// comm-heavy cell (property F, n=5) at 10x and 20x the default cell trace
+// length, run in both postures against the same trace. The control's
+// peak_history grows linearly with the trace; the streaming run's must stay
+// flat between the two lengths -- that pair of rows is the committed
+// evidence that GC actually bounds the window, not just that it runs.
+// (Deliberately no RSS metric here: the harness process's high-water mark
+// is polluted by every suite that ran before this one; the soak CI job
+// measures RSS in a dedicated load_gen process instead.)
+// ---------------------------------------------------------------------------
+
+void run_stream_cell(Metrics& out, int internal_events, bool streaming) {
+  constexpr int n = 5;
+  AtomRegistry reg = paper::make_registry(n);
+  MonitorAutomaton automaton =
+      paper::build_automaton(paper::Property::kF, n, reg);
+  MonitorSession session(std::move(reg), std::move(automaton));
+  TraceParams params = paper::experiment_params(
+      paper::Property::kF, n, 2015, 3.0, /*comm_enabled=*/true,
+      internal_events);
+  SystemTrace trace = generate_trace(params);
+  force_final_all_true(trace);
+
+  MonitorOptions options;
+  if (streaming) {
+    options.streaming = true;
+    options.gc_interval = 16;
+  }
+  const auto t0 = Clock::now();
+  RunResult run = session.run(trace, SimConfig{}, options);
+  const double wall_ms = elapsed_ms(t0);
+  if (!run.verdict.all_finished) std::abort();
+
+  const MonitorStats& agg = run.verdict.aggregate;
+  const std::string base = "stream.F.n5.len" + std::to_string(internal_events) +
+                           (streaming ? ".streaming" : ".control");
+  out.put(base + ".wall_ms", wall_ms);
+  out.put(base + ".peak_history", static_cast<double>(agg.peak_history));
+  out.put(base + ".peak_views", static_cast<double>(agg.peak_global_views));
+  if (streaming) {
+    out.put(base + ".history_trimmed",
+            static_cast<double>(agg.history_trimmed));
+    out.put(base + ".gc_sweeps", static_cast<double>(agg.gc_sweeps));
+  }
+}
+
+void stream_suite(Metrics& out, bool quick) {
+  // Quick mode emits the 10x length only (a strict subset with identical
+  // parameters, same contract as the other grids); full mode adds the 20x
+  // row that makes the flat-vs-linear comparison visible.
+  std::vector<int> lengths = {250};
+  if (!quick) lengths.push_back(500);
+  for (int len : lengths) {
+    run_stream_cell(out, len, /*streaming=*/false);
+    run_stream_cell(out, len, /*streaming=*/true);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // JSON in/out (flat "name": number pairs; no external JSON dependency).
 // ---------------------------------------------------------------------------
 
@@ -712,6 +775,8 @@ int main(int argc, char** argv) {
   recovery_suite(metrics, quick);
   std::printf("bench_harness: service grid...\n");
   service_grid(metrics, quick);
+  std::printf("bench_harness: stream suite...\n");
+  stream_suite(metrics, quick);
 
   std::vector<std::pair<std::string, double>> baseline;
   std::vector<std::pair<std::string, double>> speedup;

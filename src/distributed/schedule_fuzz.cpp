@@ -34,7 +34,12 @@ struct CaseSpec {
   bool reliable_channel = false;
   ReliableChannelConfig channel;
   CrashPlan crash;  ///< node < 0 means no crash
+  bool gc = false;  ///< streaming posture with an aggressive GC cadence
 };
+
+/// Sweep cadence for gc cases: every 3 local events, so trims interleave
+/// with parked tokens and in-flight probes as tightly as possible.
+constexpr std::uint32_t kFuzzGcInterval = 3;
 
 struct CaseOutcome {
   std::set<Verdict> oracle;
@@ -132,6 +137,11 @@ CaseOutcome execute_case(const CaseSpec& spec, const Computation* recorded) {
       /*comm_enabled=*/true, spec.internal_events);
   SimConfig sim;
   sim.seed = spec.sim_seed;
+  MonitorOptions mopts;
+  if (spec.gc) {
+    mopts.streaming = true;
+    mopts.gc_interval = kFuzzGcInterval;
+  }
 
   CaseOutcome out;
   if (spec.mode == Mode::kSim) {
@@ -139,7 +149,7 @@ CaseOutcome execute_case(const CaseSpec& spec, const Computation* recorded) {
     CaseStack stack(spec, &runtime);
     DecentralizedMonitor monitors(
         &prop, stack.net(),
-        initial_letters_of(registry, runtime.initial_states()));
+        initial_letters_of(registry, runtime.initial_states()), mopts);
     runtime.set_hooks(stack.attach(spec, &monitors));
     runtime.run();
     out.comp = Computation(runtime.history());
@@ -161,7 +171,7 @@ CaseOutcome execute_case(const CaseSpec& spec, const Computation* recorded) {
     }
     ReplayRuntime runtime;
     CaseStack stack(spec, &runtime);
-    DecentralizedMonitor monitors(&prop, stack.net(), letters);
+    DecentralizedMonitor monitors(&prop, stack.net(), letters, mopts);
     MonitorHooks* hooks = stack.attach(spec, &monitors);
     runtime.run(out.comp, *hooks, spec.schedule_seed);
     stack.collect(out);
@@ -246,6 +256,7 @@ void write_spec(std::ostream& os, const CaseSpec& spec) {
   os << "fault " << spec.fault.to_string() << "\n";
   if (spec.reliable_channel) os << "channel " << spec.channel.to_string() << "\n";
   if (spec.crash.node >= 0) os << "crash " << spec.crash.to_string() << "\n";
+  if (spec.gc) os << "gc 1\n";
 }
 
 std::string make_repro(const CaseSpec& spec, const CaseOutcome& out,
@@ -369,6 +380,7 @@ Report run_sweep(const Options& options, std::ostream* progress) {
                                        options.lossy);
       spec.reliable_channel = options.reliable_channel || options.crash;
       if (spec.reliable_channel) spec.channel.seed = rng.next();
+      spec.gc = options.gc && !options.crash;
       if (options.crash) {
         // Every node broadcasts at least a termination token, so small
         // crash_after values always trip; down_deliveries controls how much
@@ -493,6 +505,10 @@ ReproOutcome run_repro(const std::string& repro_text) {
       std::string rest;
       std::getline(ls, rest);
       spec.crash = crash_from_string(rest);
+    } else if (key == "gc") {
+      int b = 0;
+      ls >> b;
+      spec.gc = b != 0;
     } else if (key == "partial") {
       int b = 0;
       ls >> b;

@@ -10,9 +10,13 @@
 // to soundness, so a restored monitor resumes on the same lattice paths it
 // was tracing when the snapshot was taken.
 //
-// Format ("DMCK" blob, version 1):
+// Format ("DMCK" blob):
 //   magic "DMCK" | version u8 | index u32 | n u32 | body_size u32 |
 //   body | crc32 u32
+// Version 2 prepends the streaming-GC window state to the body -- the
+// history base offset, per-peer trim floors and the GC cadence counter --
+// and the history section holds only the retained window (events
+// base..base+count). Version-1 blobs still restore (base 0, floors 0).
 // The CRC (wire_crc32, reflected 0xEDB88320) covers every byte before it.
 // Unordered sets are written sorted, so snapshot -> restore -> snapshot is
 // byte-identical. Decoding is all-or-nothing: any truncation, flipped byte,
@@ -36,7 +40,7 @@ class CheckpointError : public WireError {
   explicit CheckpointError(const std::string& what) : WireError(what) {}
 };
 
-inline constexpr std::uint8_t kCheckpointVersion = 1;
+inline constexpr std::uint8_t kCheckpointVersion = 2;
 
 /// Snapshot the monitor's full algorithmic state. The monitor must be
 /// quiescent (not inside a dispatch) -- checkpoints are taken between hook

@@ -28,6 +28,7 @@
 #include <functional>
 #include <memory>
 #include <set>
+#include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -54,6 +55,17 @@ enum class WalkMode : std::uint8_t {
   /// linear in the events, as Fig. 5.4/5.5 report -- but admits verdicts on
   /// paths that do not exist (see EXPERIMENTS.md for a pinned example).
   kJoinJump,
+};
+
+/// An intentional resource bound tripped (max_views or max_history): the
+/// monitored run exceeded its configured budget. Derives from
+/// std::length_error so existing cap handling keeps working, but is a
+/// distinct type so harnesses can tell "hit the configured bound" from a
+/// genuine error. The throwing monitor is left in a valid, checkpointable
+/// state (no half-applied mutation, all staged sends flushed).
+class MonitorOverflow : public std::length_error {
+ public:
+  using std::length_error::length_error;
 };
 
 /// How flush_staged accounts bytes-on-wire. kExact stamps every flushed
@@ -107,6 +119,21 @@ struct MonitorOptions {
   /// Hard cap on simultaneously live views (debugging guard; 0 = none).
   std::size_t max_views = 0;
 
+  /// Streaming posture (DESIGN.md §12): periodically trim the prefix of the
+  /// shared history that no live lattice path -- local or remote -- can
+  /// revisit, behind a base-offset indirection so cursors stay stable.
+  /// Monitors gossip per-process GC floors so remote walks are never cut
+  /// off. Off by default: finite-trace runs keep the full history and send
+  /// no floor messages, so their goldens are untouched.
+  bool streaming = false;
+  /// Local events between GC sweeps (floor gossip + prefix trim) when
+  /// streaming; 0 falls back to the default cadence.
+  std::uint32_t gc_interval = 64;
+  /// Hard cap on the retained history window (events kept after GC; 0 =
+  /// none). Exceeding it throws MonitorOverflow -- the memory analogue of
+  /// max_views.
+  std::size_t max_history = 0;
+
   /// Optional trace sink: receives one line per significant monitor action
   /// (probe creation, entry resolution, view spawn/resurrect). For
   /// debugging and the examples' verbose modes; null = silent.
@@ -134,6 +161,10 @@ class MonitorProcess {
   /// themselves flushed as batched frames when the whole frame is done.
   /// Takes ownership of the frame shell (it lands in this monitor's pool).
   void on_frame(std::unique_ptr<PayloadFrame> frame, double now);
+  /// GC floor gossip from `peer` (streaming posture): the peer's live views
+  /// will never again reference our events below `floor`. Monotone --
+  /// duplicated or reordered floors are absorbed by the max.
+  void on_history_floor(int peer, std::uint32_t floor, double now);
 
   /// Return a drained TokenMessage shell (its token moved out) to this
   /// monitor's free list: the next token this monitor sends reuses it.
@@ -160,12 +191,33 @@ class MonitorProcess {
   const MonitorStats& stats() const { return stats_; }
   std::size_t num_views() const;
   std::size_t num_waiting_tokens() const { return w_tokens_.size(); }
+  /// First retained history sequence number (0 unless streaming GC trimmed).
+  std::uint32_t history_base() const { return history_base_; }
+  /// Retained history window size (events currently held).
+  std::size_t history_size() const { return history_.size(); }
 
   /// Callback invoked on each declared satisfaction/violation (optional).
   using VerdictCallback = std::function<void(Verdict, double now)>;
   void set_verdict_callback(VerdictCallback cb) { on_verdict_ = std::move(cb); }
 
  private:
+  // -- shared history window (DESIGN.md §12) --
+  /// Event by absolute sequence number; `sn` must lie in the retained
+  /// window [history_base_, history_end()).
+  const Event& event_at(std::uint32_t sn) const {
+    return history_[static_cast<std::size_t>(sn - history_base_)];
+  }
+  /// One past the last appended sequence number (the pre-GC history size).
+  std::uint32_t history_end() const {
+    return history_base_ + static_cast<std::uint32_t>(history_.size());
+  }
+  /// Streaming GC sweep: gossip our per-peer floors, then trim the history
+  /// prefix no live path -- local cursor, parked token, or remote walk
+  /// (bounded by the gossiped peer floors) -- can revisit.
+  void gc_sweep(double now);
+  /// The highest sequence number safe to trim below (see gc_sweep).
+  std::uint32_t trim_bound() const;
+
   // -- event path (Alg. 2) --
   void drain(GlobalView& gv, double now);
   void process_event(GlobalView& gv, const Event& e, double now);
@@ -228,7 +280,16 @@ class MonitorProcess {
 
   /// Local events by sn (0 = initial). Shared, append-only: views index
   /// into it with their next_sn cursors instead of holding event copies.
+  /// Under the streaming posture gc_sweep trims a prefix; history_[k] then
+  /// holds the event with absolute sn == history_base_ + k (use event_at).
   std::vector<Event> history_;
+  /// Absolute sn of history_[0]; 0 until streaming GC first trims.
+  std::uint32_t history_base_ = 0;
+  /// Per-peer GC floors received via gossip: peer j's live views never
+  /// reference our events below peer_floor_[j]. Monotone nondecreasing.
+  std::vector<std::uint32_t> peer_floor_;
+  /// Local events since the last gc_sweep (streaming cadence counter).
+  std::uint32_t events_since_gc_ = 0;
   /// Deque: views are pushed while references to existing views are live on
   /// the dispatch stack; deque growth never invalidates references.
   std::deque<GlobalView> views_;

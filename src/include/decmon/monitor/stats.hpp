@@ -26,6 +26,13 @@ struct MonitorStats {
   std::uint64_t global_views_merged = 0;
   std::uint64_t peak_global_views = 0;
   std::uint64_t peak_waiting_tokens = 0;
+  std::uint64_t views_overflowed = 0;  ///< cap breaches (MonitorOverflow)
+
+  // -- streaming GC (DESIGN.md §12; zero when streaming is off) --
+  std::uint64_t gc_sweeps = 0;        ///< trim passes run
+  std::uint64_t history_trimmed = 0;  ///< events removed from the window
+  std::uint64_t peak_history = 0;     ///< max retained history window
+  std::uint64_t floor_messages = 0;   ///< GC floor gossip messages sent
 
   // -- crash tolerance (filled in from ReliableChannel / CrashInjector
   //    counters by the harnesses; zero on fault-free runs) --

@@ -191,4 +191,22 @@ struct TerminationMessage final : NetPayload {
   }
 };
 
+/// Streaming-GC gossip (DESIGN.md §12): the sender promises that no token
+/// walk or view spawn it can still launch references the receiver's events
+/// below `floor`. Floors are monotone at the receiver (max-merge), so
+/// duplicated or reordered copies are harmless.
+struct HistoryFloorMessage final : NetPayload {
+  static constexpr std::uint8_t kTag = 6;
+  HistoryFloorMessage() : NetPayload(kTag) {}
+  int process = -1;          ///< sender index
+  std::uint32_t floor = 0;   ///< receiver-local sequence number bound
+
+  std::unique_ptr<NetPayload> clone() const override {
+    auto copy = std::make_unique<HistoryFloorMessage>();
+    copy->process = process;
+    copy->floor = floor;
+    return copy;
+  }
+};
+
 }  // namespace decmon

@@ -191,6 +191,7 @@ enum class WireKind : std::uint8_t {
   kTermination = 2,
   kFrame = 3,
   kEnvelope = 4,
+  kFloor = 5,  ///< streaming-GC history floor gossip (v2 only)
 };
 
 /// Peek at the kind; throws WireError on garbage. Accepts both wire

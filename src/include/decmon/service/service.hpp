@@ -72,6 +72,9 @@ struct SessionOutcome {
   int shard = -1;      ///< shard that executed the session
   bool stolen = false; ///< executed off its affinity shard
   bool ok = false;     ///< run completed (verdict.all_finished, no throw)
+  /// The session tripped a configured memory bound (MonitorOverflow:
+  /// view cap or history cap) -- an intentional outcome, not a failure.
+  bool overflowed = false;
   std::string error;   ///< exception text when !ok
   RunResult result;
   double queue_ms = 0.0;   ///< admission -> execution start
@@ -93,7 +96,9 @@ struct ServiceConfig {
 struct ServiceStats {
   std::uint64_t admitted = 0;
   std::uint64_t completed = 0;
-  std::uint64_t failed = 0;  ///< !ok sessions (also counted in completed)
+  std::uint64_t failed = 0;  ///< !ok sessions (also counted in completed),
+                             ///< excluding intentional cap overflows
+  std::uint64_t overflowed = 0;  ///< sessions that hit a configured cap
   std::uint64_t stolen = 0;
   std::uint64_t program_events = 0;
   std::uint64_t monitor_messages = 0;
@@ -150,6 +155,7 @@ class MonitoringService {
     std::deque<Slot*> queue;
     std::uint64_t completed = 0;
     std::uint64_t failed = 0;
+    std::uint64_t overflowed = 0;
     std::uint64_t stolen = 0;
     std::uint64_t program_events = 0;
     std::uint64_t monitor_messages = 0;

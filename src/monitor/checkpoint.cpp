@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <deque>
+#include <limits>
 #include <set>
 #include <unordered_set>
 
@@ -139,6 +140,12 @@ class CheckpointCodec {
     w.u32(0);  // body_size backpatched below
     const std::size_t body_start = blob.size();
 
+    // v2: streaming-GC window state. The history section below holds only
+    // the retained window, whose first event carries sn == history_base_.
+    w.u32(m.history_base_);
+    for (std::uint32_t f : m.peer_floor_) w.u32(f);
+    w.u32(m.events_since_gc_);
+
     w.u32(static_cast<std::uint32_t>(m.history_.size()));
     for (const Event& e : m.history_) write_event(w, e);
     w.u32(static_cast<std::uint32_t>(m.views_.size()));
@@ -174,7 +181,8 @@ class CheckpointCodec {
     for (std::uint8_t b : kMagic) {
       if (r.u8() != b) throw CheckpointError("bad checkpoint magic");
     }
-    if (r.u8() != kCheckpointVersion) {
+    const std::uint8_t version = r.u8();
+    if (version != 1 && version != kCheckpointVersion) {
       throw CheckpointError("unsupported checkpoint version");
     }
     if (r.u32() != static_cast<std::uint32_t>(m.index_)) {
@@ -190,13 +198,29 @@ class CheckpointCodec {
     }
     const std::size_t n = static_cast<std::size_t>(m.n_);
 
+    // v1 blobs predate the streaming GC: the window starts at 0 and no
+    // floors were ever advertised.
+    std::uint32_t history_base = 0;
+    std::vector<std::uint32_t> peer_floor(n, 0);
+    std::uint32_t events_since_gc = 0;
+    if (version == kCheckpointVersion) {
+      history_base = r.u32();
+      for (std::size_t i = 0; i < n; ++i) peer_floor[i] = r.u32();
+      events_since_gc = r.u32();
+    }
+
     const std::uint32_t history_n = r.u32();
     if (history_n > kMaxItems) throw CheckpointError("history too large");
+    if (history_base > std::numeric_limits<std::uint32_t>::max() - history_n) {
+      throw CheckpointError("history window overflow");
+    }
     std::vector<Event> history;
     history.reserve(history_n);
     for (std::uint32_t i = 0; i < history_n; ++i) {
       Event e = read_event(r, m.index_, n);
-      if (e.sn != i) throw CheckpointError("history not sequential");
+      if (e.sn != history_base + i) {
+        throw CheckpointError("history not sequential");
+      }
       history.push_back(std::move(e));
     }
     const std::uint32_t views_n = r.u32();
@@ -204,7 +228,7 @@ class CheckpointCodec {
     std::deque<GlobalView> views;
     for (std::uint32_t i = 0; i < views_n; ++i) {
       GlobalView gv = read_view(r, n);
-      if (gv.next_sn > history.size()) {
+      if (gv.next_sn > history_base + history.size()) {
         throw CheckpointError("view cursor past history");
       }
       views.push_back(std::move(gv));
@@ -236,6 +260,9 @@ class CheckpointCodec {
     r.done();
 
     m.history_ = std::move(history);
+    m.history_base_ = history_base;
+    m.peer_floor_ = std::move(peer_floor);
+    m.events_since_gc_ = events_since_gc;
     m.views_ = std::move(views);
     m.w_tokens_ = std::move(w_tokens);
     m.peer_last_sn_ = std::move(peer_last_sn);

@@ -57,6 +57,9 @@ void DecentralizedMonitor::on_monitor_message(MonitorMessage msg, double now) {
     target.on_frame(
         std::unique_ptr<PayloadFrame>(static_cast<PayloadFrame*>(payload)),
         now);
+  } else if (payload != nullptr && payload->tag == HistoryFloorMessage::kTag) {
+    auto* floor = static_cast<HistoryFloorMessage*>(payload);
+    target.on_history_floor(floor->process, floor->floor, now);
   } else {
     throw std::invalid_argument(
         "DecentralizedMonitor: unknown monitor message payload");

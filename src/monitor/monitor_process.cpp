@@ -42,6 +42,7 @@ MonitorProcess::MonitorProcess(int index, const CompiledProperty* property,
       prop_(property),
       net_(network),
       options_(options),
+      peer_floor_(static_cast<std::size_t>(n_), 0),
       peer_last_sn_(static_cast<std::size_t>(n_), kRunning) {
   if (static_cast<int>(initial_letters.size()) != n_) {
     throw std::invalid_argument("MonitorProcess: bad initial_letters size");
@@ -49,6 +50,7 @@ MonitorProcess::MonitorProcess(int index, const CompiledProperty* property,
   // Stride 0 would divide by zero in flush_staged; treat it as "sample
   // every frame".
   if (options_.wire_sample_stride == 0) options_.wire_sample_stride = 1;
+  if (options_.gc_interval == 0) options_.gc_interval = 64;
   // INIT (Alg. 1): the initial global view points at the bottom cut; the
   // initial global state is the first letter the automaton consumes.
   Event init;
@@ -58,6 +60,7 @@ MonitorProcess::MonitorProcess(int index, const CompiledProperty* property,
   init.vc = VectorClock(static_cast<std::size_t>(n_));
   init.letter = initial_letters[static_cast<std::size_t>(index_)];
   history_.push_back(init);
+  stats_.peak_history = 1;
 
   GlobalView gv0;
   gv0.id = next_view_id_++;
@@ -229,12 +232,15 @@ void MonitorProcess::flush_staged() {
 // ---------------------------------------------------------------------------
 
 void MonitorProcess::on_local_event(const Event& event, double now) {
+  try {
   {
   DepthGuard guard(dispatch_depth_);
-  if (event.sn != history_.size()) {
+  if (event.sn != history_end()) {
     throw std::logic_error("MonitorProcess: out-of-order local event");
   }
   history_.push_back(event);
+  stats_.peak_history =
+      std::max<std::uint64_t>(stats_.peak_history, history_.size());
   ++stats_.events_processed;
 
   // Tokens parked for this event (Alg. 2 lines 4-8). Extract first: token
@@ -265,7 +271,24 @@ void MonitorProcess::on_local_event(const Event& event, double now) {
   sample_pending();
   merge_similar_views();
   sweep_dead_views();
+  if (options_.streaming && ++events_since_gc_ >= options_.gc_interval) {
+    events_since_gc_ = 0;
+    gc_sweep(now);
+  }
+  if (options_.max_history && history_.size() > options_.max_history) {
+    // The retained window outgrew its budget even after GC: surface the
+    // bound. Nothing is half-applied -- the event fully dispatched -- so
+    // the monitor stays valid and checkpointable.
+    throw MonitorOverflow("MonitorProcess: history cap exceeded");
+  }
   }  // dispatch scope: the flush below must see depth 0
+  } catch (const MonitorOverflow&) {
+    // An intentional bound tripped mid-dispatch. The DepthGuard has already
+    // unwound, so the staged sends can leave before the throw surfaces --
+    // checkpointing refuses monitors with staged traffic.
+    flush_staged();
+    throw;
+  }
   flush_staged();
 }
 
@@ -273,8 +296,8 @@ void MonitorProcess::drain(GlobalView& gv, double now) {
   // history_ only grows at the top of on_local_event -- never during a
   // dispatch -- so the reference into it stays valid across process_event
   // (which can spawn views, walk tokens and recurse back into drain).
-  while (!gv.dead && !gv.waiting && gv.next_sn < history_.size()) {
-    const Event& e = history_[gv.next_sn++];
+  while (!gv.dead && !gv.waiting && gv.next_sn < history_end()) {
+    const Event& e = event_at(gv.next_sn++);
     process_event(gv, e, now);
   }
 }
@@ -377,7 +400,7 @@ void MonitorProcess::probe_outgoing(GlobalView& gv, const Event& e,
   if (candidates.empty()) return;
 
   const AtomSet pre_letter =
-      history_[static_cast<std::size_t>(e.sn - (e.sn > 0 ? 1 : 0))].letter;
+      event_at(e.sn - (e.sn > 0 ? 1 : 0)).letter;
 
   // Entries are built directly into a pooled token; if the probe turns out
   // empty or a duplicate, the token (and its capacity) goes back unsent.
@@ -469,7 +492,7 @@ void MonitorProcess::probe_outgoing(GlobalView& gv, const Event& e,
       // check while missing remote events it happened-after -- the walk
       // then certifies stay-points and enables transitions at cuts that lie
       // on no lattice path (fuzz-found unsound verdicts).
-      entry.merge_depend(history_[static_cast<std::size_t>(e.sn - 1)].vc);
+      entry.merge_depend(event_at(e.sn - 1).vc);
     } else {
       entry.merge_depend(e.vc);
     }
@@ -551,6 +574,16 @@ void MonitorProcess::probe_outgoing(GlobalView& gv, const Event& e,
     }
   }
 
+  // A consistent probe forks a copy below; surface a cap breach before any
+  // state mutates: the pooled token goes back, the view never starts
+  // waiting, no signature is registered, and nothing is counted as created.
+  if (consistent && options_.max_views &&
+      views_.size() >= options_.max_views) {
+    ++stats_.views_overflowed;
+    recycle_token(std::move(token));
+    throw MonitorOverflow("MonitorProcess: view cap exceeded (fork)");
+  }
+
   token.token_id =
       (static_cast<std::uint64_t>(index_) << 32) | next_token_serial_++;
   token.parent = index_;
@@ -576,11 +609,8 @@ void MonitorProcess::probe_outgoing(GlobalView& gv, const Event& e,
     copy.q = gv.q;
     copy.next_sn = gv.next_sn;
     copy.id = next_view_id_++;
-    ++stats_.global_views_created;
-    if (options_.max_views && views_.size() >= options_.max_views) {
-      throw std::length_error("MonitorProcess: view cap exceeded");
-    }
     views_.push_back(std::move(copy));
+    ++stats_.global_views_created;
     drain(views_.back(), now);  // deque: pushing does not invalidate `gv`
   }
   // Dispatch: walks local targets over history (pre-cut entries re-consume
@@ -594,7 +624,7 @@ void MonitorProcess::probe_outgoing(GlobalView& gv, const Event& e,
 // ---------------------------------------------------------------------------
 
 void MonitorProcess::on_token(Token token, double now) {
-  {
+  try {
     DepthGuard guard(dispatch_depth_);
     if (token.parent == index_) {
       handle_returned_token(std::move(token), now);
@@ -604,6 +634,9 @@ void MonitorProcess::on_token(Token token, double now) {
     merge_similar_views();
     sweep_dead_views();
     check_finished(now);
+  } catch (const MonitorOverflow&) {
+    flush_staged();  // no-op inside a frame; the frame's wrapper flushes
+    throw;
   }
   // No-op while delivered as part of a frame (on_frame holds the depth):
   // the whole frame's responses flush together.
@@ -613,7 +646,7 @@ void MonitorProcess::on_token(Token token, double now) {
 void MonitorProcess::on_frame(std::unique_ptr<PayloadFrame> frame,
                               double now) {
   stats_.bytes_received += frame->wire_size;
-  {
+  try {
     // Hold the dispatch depth across all units so every per-unit flush
     // no-ops: responses provoked by any unit batch into the frames this
     // flush_staged() below emits.
@@ -629,11 +662,17 @@ void MonitorProcess::on_frame(std::unique_ptr<PayloadFrame> frame,
       } else if (unit->tag == TerminationMessage::kTag) {
         const auto& t = static_cast<const TerminationMessage&>(*unit);
         on_peer_termination(t.process, t.last_sn, now);
+      } else if (unit->tag == HistoryFloorMessage::kTag) {
+        const auto& f = static_cast<const HistoryFloorMessage&>(*unit);
+        on_history_floor(f.process, f.floor, now);
       }
       // Other tags never appear inside a monitor-built frame; tolerate and
       // skip them (a hostile decoded frame cannot make this path throw).
     }
     frame->units.clear();
+  } catch (const MonitorOverflow&) {
+    flush_staged();  // the guard unwound with the unit loop
+    throw;
   }
   flush_staged();
   recycle_frame(std::move(frame));
@@ -649,7 +688,23 @@ void MonitorProcess::process_token(Token token, double now) {
       continue;
     }
     const std::uint32_t sn = token.next_target_event;
-    if (sn >= history_.size()) {
+    if (sn < history_base_) {
+      // Trimmed prefix. The floor gossip keeps live walks above the GC
+      // base, so only a duplicate-delivered token can still target it: its
+      // first copy already walked these events and spawned their pivots.
+      // Fail the re-walk's entries instead of replaying history that is
+      // gone.
+      for (TransitionEntry& entry : token.entries) {
+        if (entry.eval == EntryEval::kUnset &&
+            entry.next_target_process == index_ &&
+            entry.next_target_event < history_base_) {
+          entry.eval = EntryEval::kFalse;
+        }
+      }
+      if (route_token(token, now)) return;
+      continue;  // stays here, now targeting a retained event
+    }
+    if (sn >= history_end()) {
       if (!local_terminated_) {
         w_tokens_.push_back(std::move(token));
         stats_.peak_waiting_tokens = std::max<std::uint64_t>(
@@ -661,7 +716,7 @@ void MonitorProcess::process_token(Token token, double now) {
       for (TransitionEntry& entry : token.entries) {
         if (entry.eval == EntryEval::kUnset &&
             entry.next_target_process == index_ &&
-            entry.next_target_event >= history_.size()) {
+            entry.next_target_event >= history_end()) {
           entry.eval = EntryEval::kFalse;
         }
       }
@@ -671,7 +726,7 @@ void MonitorProcess::process_token(Token token, double now) {
       }
       return;
     }
-    apply_event_to_token(token, history_[sn]);
+    apply_event_to_token(token, event_at(sn));
     if (route_token(token, now)) return;
     // Token stays here, now targeting a later local event; keep walking.
   }
@@ -925,12 +980,17 @@ void MonitorProcess::handle_returned_token(Token token, double now) {
       // A copy has been tracing the path from the launch position since the
       // probe went out: the launchpad is redundant.
       gv->dead = true;
-    } else if (cert) {
+    } else if (cert &&
+               cert_cut[static_cast<std::size_t>(index_)] >= history_base_) {
       // Resurrection (design note): the launchpad had no copy continuing
       // the path (its triggering event was inconsistent), but the token
       // certified a consistent cut where the path can stay at the source
       // state. Resume the view there instead of killing it -- this is what
       // preserves the '?' path of the paper's running example (path beta).
+      // The waiting view's GC keep-bound retains the certified cut's local
+      // predecessor, so a first-delivery resurrection never rewinds below
+      // the base; only a duplicate token can fail the check above, and it
+      // falls through to the quarantine branch instead.
       gv->cut = std::move(cert_cut);
       gv->gstate = std::move(cert_gstate);
       gv->probe_sig = 0;
@@ -960,6 +1020,11 @@ void MonitorProcess::handle_returned_token(Token token, double now) {
 }
 
 void MonitorProcess::spawn_view(const TransitionEntry& entry, double now) {
+  // A duplicate-delivered token can carry a pivot whose local component
+  // precedes the GC base (the first copy spawned it before the trim); its
+  // replay would read below the retained window, so skip it -- the first
+  // copy's view already traces this path.
+  if (entry.cut(static_cast<std::size_t>(index_)) < history_base_) return;
   // Dedupe pivots: distinct tokens can detect the same (state, cut) pivot;
   // one view per pivot suffices (its continuation covers the rest).
   {
@@ -970,7 +1035,15 @@ void MonitorProcess::spawn_view(const TransitionEntry& entry, double now) {
       h ^= entry.cut(j);
       h *= 1099511628211ull;
     }
-    if (!spawned_memo_.insert(h).second) return;
+    if (spawned_memo_.count(h)) return;
+    // Cap check before the memo insert and the pool acquire: a breach must
+    // not leave a pivot marked spawned without its view, abandon a pooled
+    // shell, or count a view that was never pushed.
+    if (options_.max_views && views_.size() >= options_.max_views) {
+      ++stats_.views_overflowed;
+      throw MonitorOverflow("MonitorProcess: view cap exceeded (spawn)");
+    }
+    spawned_memo_.insert(h);
   }
   if (options_.trace) {
     options_.trace("M" + std::to_string(index_) + " spawn via " +
@@ -991,12 +1064,9 @@ void MonitorProcess::spawn_view(const TransitionEntry& entry, double now) {
   // the parent's position, and drain() replays the shared history from
   // there.
   v.next_sn = entry.cut(static_cast<std::size_t>(index_)) + 1;
-  ++stats_.global_views_created;
-  if (options_.max_views && views_.size() >= options_.max_views) {
-    throw std::length_error("MonitorProcess: view cap exceeded");
-  }
   declare(v.q, now);
   views_.push_back(std::move(v));
+  ++stats_.global_views_created;
   drain(views_.back(), now);
 }
 
@@ -1012,18 +1082,17 @@ GlobalView* MonitorProcess::find_view_by_token(std::uint64_t token_id) {
 // ---------------------------------------------------------------------------
 
 void MonitorProcess::on_local_termination(double now) {
-  {
+  try {
     DepthGuard guard(dispatch_depth_);
     local_terminated_ = true;
-    peer_last_sn_[static_cast<std::size_t>(index_)] =
-        static_cast<std::uint32_t>(history_.size()) - 1;
+    peer_last_sn_[static_cast<std::size_t>(index_)] = history_end() - 1;
     // Announce to all peers. Staged like every send: a token flushed below
     // toward the same peer shares that peer's frame.
     for (int j = 0; j < n_; ++j) {
       if (j == index_) continue;
       auto payload = std::make_unique<TerminationMessage>();
       payload->process = index_;
-      payload->last_sn = static_cast<std::uint32_t>(history_.size()) - 1;
+      payload->last_sn = history_end() - 1;
       ++stats_.termination_messages;
       stage_send(j, std::move(payload));
     }
@@ -1031,6 +1100,9 @@ void MonitorProcess::on_local_termination(double now) {
     merge_similar_views();
     sweep_dead_views();
     check_finished(now);
+  } catch (const MonitorOverflow&) {
+    flush_staged();
+    throw;
   }
   flush_staged();
 }
@@ -1045,6 +1117,93 @@ void MonitorProcess::on_peer_termination(int peer, std::uint32_t last_sn,
   flush_staged();
 }
 
+// ---------------------------------------------------------------------------
+// Streaming history GC (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+void MonitorProcess::on_history_floor(int peer, std::uint32_t floor,
+                                      double now) {
+  (void)now;
+  if (peer < 0 || peer >= n_ || peer == index_) return;  // hostile decode
+  // Floors only rise: a duplicated or reordered gossip message can carry a
+  // stale (lower) value, and taking the max absorbs it.
+  std::uint32_t& slot = peer_floor_[static_cast<std::size_t>(peer)];
+  slot = std::max(slot, floor);
+}
+
+std::uint32_t MonitorProcess::trim_bound() const {
+  std::uint32_t bound = history_end();
+  auto lower = [&bound](std::uint32_t x) { bound = std::min(bound, x); };
+  for (const GlobalView& gv : views_) {
+    if (gv.dead) continue;
+    // A non-waiting view re-reads from next_sn on and probes with the
+    // predecessor letter at next_sn - 1. A waiting view can additionally be
+    // resurrected at its token's certified loop cut, whose local component
+    // of a pre-cut entry lies one event behind the frozen cursor's
+    // predecessor -- one more event of slack.
+    const std::uint32_t slack = gv.waiting ? 2 : 1;
+    lower(gv.next_sn > slack ? gv.next_sn - slack : 0);
+  }
+  for (const Token& t : w_tokens_) {
+    // A parked token's entries can later retarget to, or spawn a view
+    // anchored at, their current local cut component (predecessor letter
+    // included); every entry counts, resolved ones too -- an enabled entry
+    // still spawns on return.
+    for (const TransitionEntry& e : t.entries) {
+      lower(e.cut(static_cast<std::size_t>(index_)));
+    }
+  }
+  for (int j = 0; j < n_; ++j) {
+    // Remote walks are bounded by the gossiped floors. A peer that has not
+    // gossiped yet sits at floor 0 and blocks all trimming -- safe by
+    // construction.
+    if (j == index_) continue;
+    lower(peer_floor_[static_cast<std::size_t>(j)]);
+  }
+  return bound;
+}
+
+void MonitorProcess::gc_sweep(double now) {
+  (void)now;
+  ++stats_.gc_sweeps;
+  // Gossip our floors: for each peer j, the smallest j-component across our
+  // live views -- no walk or spawn we can still launch ever references j's
+  // events below it (entry cuts start at a live view's cut and only grow,
+  // and a token in flight keeps its launchpad frozen in views_). A monitor
+  // with no live views constrains nothing new and keeps its last
+  // advertisement by staying silent.
+  SmallVec<std::uint32_t, 8> floors;
+  floors.assign(static_cast<std::size_t>(n_), 0xFFFFFFFFu);
+  bool any_live = false;
+  for (const GlobalView& gv : views_) {
+    if (gv.dead) continue;
+    any_live = true;
+    for (int j = 0; j < n_; ++j) {
+      floors[static_cast<std::size_t>(j)] =
+          std::min(floors[static_cast<std::size_t>(j)],
+                   gv.cut[static_cast<std::size_t>(j)]);
+    }
+  }
+  if (any_live) {
+    for (int j = 0; j < n_; ++j) {
+      if (j == index_) continue;
+      auto payload = std::make_unique<HistoryFloorMessage>();
+      payload->process = index_;
+      payload->floor = floors[static_cast<std::size_t>(j)];
+      ++stats_.floor_messages;
+      stage_send(j, std::move(payload));
+    }
+  }
+  const std::uint32_t bound = trim_bound();
+  if (bound > history_base_) {
+    const std::size_t k = static_cast<std::size_t>(bound - history_base_);
+    history_.erase(history_.begin(),
+                   history_.begin() + static_cast<std::ptrdiff_t>(k));
+    history_base_ = bound;
+    stats_.history_trimmed += k;
+  }
+}
+
 void MonitorProcess::flush_waiting_tokens(double now) {
   std::vector<Token> parked = std::move(w_tokens_);
   w_tokens_.clear();
@@ -1053,14 +1212,14 @@ void MonitorProcess::flush_waiting_tokens(double now) {
     for (TransitionEntry& entry : t.entries) {
       if (entry.eval == EntryEval::kUnset &&
           entry.next_target_process == index_ &&
-          entry.next_target_event >= history_.size()) {
+          entry.next_target_event >= history_end()) {
         entry.eval = EntryEval::kFalse;
       }
     }
     if (!route_token(t, now)) {
       throw std::logic_error("MonitorProcess: unflushable token " +
                              t.to_string() + " history=" +
-                             std::to_string(history_.size()));
+                             std::to_string(history_end()));
     }
   }
 }
@@ -1091,7 +1250,7 @@ void MonitorProcess::merge_similar_views() {
   std::vector<GlobalView*>& settled = merge_settled_;
   settled.clear();
   for (GlobalView& gv : views_) {
-    if (!gv.dead && !gv.waiting && gv.next_sn >= history_.size()) {
+    if (!gv.dead && !gv.waiting && gv.next_sn >= history_end()) {
       settled.push_back(&gv);
     }
   }
@@ -1220,7 +1379,7 @@ void MonitorProcess::sweep_dead_views() {
 void MonitorProcess::sample_pending() {
   // A view's backlog is the tail of the shared history past its cursor.
   std::uint64_t total = 0;
-  const std::uint32_t end = static_cast<std::uint32_t>(history_.size());
+  const std::uint32_t end = history_end();
   for (const GlobalView& gv : views_) {
     if (gv.dead) continue;
     total += end - gv.next_sn;

@@ -19,6 +19,11 @@ MonitorStats& MonitorStats::operator+=(const MonitorStats& other) {
   peak_global_views += other.peak_global_views;
   peak_waiting_tokens = std::max(peak_waiting_tokens,
                                  other.peak_waiting_tokens);
+  views_overflowed += other.views_overflowed;
+  gc_sweeps += other.gc_sweeps;
+  history_trimmed += other.history_trimmed;
+  peak_history = std::max(peak_history, other.peak_history);
+  floor_messages += other.floor_messages;
   retransmissions += other.retransmissions;
   acks_sent += other.acks_sent;
   dup_suppressed += other.dup_suppressed;
@@ -40,7 +45,13 @@ std::string MonitorStats::to_string() const {
      << " hops=" << token_hops << " frames=" << frames_sent
      << " wire_bytes=" << bytes_sent << " views=" << global_views_created
      << " delayed=" << events_delayed << " avg_queue="
-     << average_delayed_events() << "}";
+     << average_delayed_events();
+  if (gc_sweeps || history_trimmed) {
+    os << " gc=" << gc_sweeps << " trimmed=" << history_trimmed
+       << " peak_hist=" << peak_history;
+  }
+  if (views_overflowed) os << " overflowed=" << views_overflowed;
+  os << "}";
   return os.str();
 }
 

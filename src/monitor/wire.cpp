@@ -293,6 +293,11 @@ void write_frame_unit(WireWriter& w, const NetPayload& unit,
     w.u8(static_cast<std::uint8_t>(WireKind::kTermination));
     w.var(static_cast<std::uint64_t>(msg.process));
     w.var(msg.last_sn);
+  } else if (unit.tag == HistoryFloorMessage::kTag) {
+    const auto& msg = static_cast<const HistoryFloorMessage&>(unit);
+    w.u8(static_cast<std::uint8_t>(WireKind::kFloor));
+    w.var(static_cast<std::uint64_t>(msg.process));
+    w.var(msg.floor);
   } else {
     // Nested frames and transport-internal payloads never appear inside a
     // monitor-built frame.
@@ -315,6 +320,14 @@ std::unique_ptr<NetPayload> read_frame_unit(WireReader& r,
     if (process > kMaxWireProcesses) throw WireError("bad target process");
     msg->process = static_cast<int>(process);
     msg->last_sn = checked_u32(r.var(), "bad last sn");
+    return msg;
+  }
+  if (tag == static_cast<std::uint8_t>(WireKind::kFloor)) {
+    auto msg = std::make_unique<HistoryFloorMessage>();
+    const std::uint64_t process = r.var();
+    if (process > kMaxWireProcesses) throw WireError("bad target process");
+    msg->process = static_cast<int>(process);
+    msg->floor = checked_u32(r.var(), "bad floor");
     return msg;
   }
   throw WireError("unknown frame unit kind");
@@ -412,6 +425,11 @@ std::size_t frame_unit_wire_size(const NetPayload& unit,
     return 1 + WireWriter::var_size(static_cast<std::uint64_t>(msg.process)) +
            WireWriter::var_size(msg.last_sn);
   }
+  if (unit.tag == HistoryFloorMessage::kTag) {
+    const auto& msg = static_cast<const HistoryFloorMessage&>(unit);
+    return 1 + WireWriter::var_size(static_cast<std::uint64_t>(msg.process)) +
+           WireWriter::var_size(msg.floor);
+  }
   throw WireError("frame unit tag has no wire form");
 }
 
@@ -493,7 +511,8 @@ WireKind wire_kind(const std::vector<std::uint8_t>& buffer) {
   }
   if (buffer[0] == kVersion2) {
     if (kind != static_cast<std::uint8_t>(WireKind::kFrame) &&
-        kind != static_cast<std::uint8_t>(WireKind::kEnvelope)) {
+        kind != static_cast<std::uint8_t>(WireKind::kEnvelope) &&
+        kind != static_cast<std::uint8_t>(WireKind::kFloor)) {
       throw WireError("unknown message kind");
     }
     return static_cast<WireKind>(kind);
@@ -515,6 +534,12 @@ void encode_payload_impl(WireWriter& w, const NetPayload& payload) {
     write_header(w, WireKind::kTermination);
     w.u32(static_cast<std::uint32_t>(msg.process));
     w.u32(msg.last_sn);
+  } else if (payload.tag == HistoryFloorMessage::kTag) {
+    const auto& msg = static_cast<const HistoryFloorMessage&>(payload);
+    w.u8(kVersion2);
+    w.u8(static_cast<std::uint8_t>(WireKind::kFloor));
+    w.var(static_cast<std::uint64_t>(msg.process));
+    w.var(msg.floor);
   } else if (payload.tag == PayloadFrame::kTag) {
     const auto& frame = static_cast<const PayloadFrame&>(payload);
     const VectorClock base = frame_base(frame);
@@ -629,6 +654,18 @@ std::unique_ptr<NetPayload> decode_payload(
     }
     case WireKind::kFrame:
       return decode_frame(buffer, max_width);
+    case WireKind::kFloor: {
+      WireReader r(buffer);
+      r.u8();  // version, validated by wire_kind
+      r.u8();  // kind
+      auto msg = std::make_unique<HistoryFloorMessage>();
+      const std::uint64_t process = r.var();
+      if (process > kMaxWireProcesses) throw WireError("bad target process");
+      msg->process = static_cast<int>(process);
+      msg->floor = checked_u32(r.var(), "bad floor");
+      r.done();
+      return msg;
+    }
     case WireKind::kEnvelope: {
       WireReader r(buffer);
       r.u8();  // version, validated by wire_kind

@@ -4,6 +4,8 @@
 #include <exception>
 #include <utility>
 
+#include "decmon/monitor/monitor_process.hpp"
+
 namespace decmon::service {
 
 namespace {
@@ -158,6 +160,12 @@ void MonitoringService::worker(int shard_index) {
       out.result = session.run(trace, spec.sim, spec.options);
       out.ok = out.result.verdict.all_finished;
       if (!out.ok) out.error = "monitors did not drain";
+    } catch (const MonitorOverflow& e) {
+      // The spec asked for a bound and the session hit it: a surfaced,
+      // intentional outcome, not a fleet failure.
+      out.ok = false;
+      out.overflowed = true;
+      out.error = e.what();
     } catch (const std::exception& e) {
       out.ok = false;
       out.error = e.what();
@@ -169,7 +177,11 @@ void MonitoringService::worker(int shard_index) {
     {
       std::scoped_lock lock(mutex_);
       self.completed += 1;
-      if (!out.ok) self.failed += 1;
+      if (out.overflowed) {
+        self.overflowed += 1;
+      } else if (!out.ok) {
+        self.failed += 1;
+      }
       if (stolen) self.stolen += 1;
       self.program_events += out.result.program_events;
       self.monitor_messages += out.result.monitor_messages;
@@ -200,6 +212,7 @@ ServiceStats MonitoringService::stats() const {
   agg.per_shard_busy_ms.reserve(shards_.size());
   for (const auto& shard : shards_) {
     agg.failed += shard->failed;
+    agg.overflowed += shard->overflowed;
     agg.stolen += shard->stolen;
     agg.program_events += shard->program_events;
     agg.monitor_messages += shard->monitor_messages;

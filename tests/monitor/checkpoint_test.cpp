@@ -105,6 +105,54 @@ TEST(Checkpoint, RoundTripIsByteIdenticalAtEveryHookOfAFuzzGrid) {
   EXPECT_GT(total_round_trips, 500);
 }
 
+TEST(Checkpoint, RestoreAfterViewCapBreach) {
+  // A MonitorOverflow is an intentional bound, not a crash: the monitor it
+  // unwound from must still produce a checkpoint that restores into a fresh
+  // replica byte-identically, so an operator can snapshot-and-migrate a
+  // session that hit its cap instead of losing it.
+  std::mt19937_64 rng(99);
+  AtomRegistry reg = testing::standard_registry(2);
+  // max_views=2 is the tightest survivable cap: the constructor itself
+  // probes the initial view, so a cap of 1 would throw before run starts.
+  MonitorOptions tight;
+  tight.max_views = 2;
+
+  int trips = 0;
+  for (const std::string& text : testing::property_suite_2()) {
+    MonitorAutomaton m = synthesize_monitor(parse_ltl(text, reg));
+    CompiledProperty prop(&m, &reg);
+    for (int c = 0; c < 4; ++c) {
+      Computation comp = testing::random_computation(rng, 2, reg, 8);
+      ReplayDriver driver;
+      DecentralizedMonitor dm(&prop, &driver, initial_letters(comp), tight);
+      bool tripped = false;
+      try {
+        driver.run(comp, dm, /*seed=*/c);
+      } catch (const MonitorOverflow&) {
+        tripped = true;
+      }
+      if (!tripped) continue;
+      ++trips;
+
+      std::uint64_t overflowed = 0;
+      for (int i = 0; i < 2; ++i) {
+        MonitorProcess& mon = dm.monitor(i);
+        overflowed += mon.stats().views_overflowed;
+        const std::vector<std::uint8_t> blob = checkpoint_monitor(mon);
+
+        ReplayDriver fresh_driver;
+        DecentralizedMonitor fresh(&prop, &fresh_driver,
+                                   initial_letters(comp), tight);
+        restore_monitor(fresh.monitor(i), blob);
+        EXPECT_EQ(checkpoint_monitor(fresh.monitor(i)), blob)
+            << text << " monitor " << i;
+      }
+      EXPECT_GE(overflowed, 1u) << text;
+    }
+  }
+  EXPECT_GT(trips, 3) << "the suite barely exercises the cap";
+}
+
 TEST(Checkpoint, RestoreIntoFreshMonitorTransfersTheFullState) {
   std::mt19937_64 rng(7);
   AtomRegistry reg = testing::standard_registry(3);

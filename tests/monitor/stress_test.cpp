@@ -8,6 +8,9 @@
 
 #include "decmon/core/properties.hpp"
 #include "decmon/core/session.hpp"
+#include "decmon/distributed/sim_runtime.hpp"
+#include "decmon/monitor/checkpoint.hpp"
+#include "decmon/monitor/decentralized_monitor.hpp"
 
 namespace decmon {
 namespace {
@@ -61,6 +64,75 @@ TEST(Stress, ViewCapGuardsRunaway) {
   tight.max_views = 2;  // absurdly small: must trip
   EXPECT_THROW(session.run(generate_trace(params), SimConfig{}, tight),
                std::length_error);
+}
+
+/// One paper cell under a tight cap, with the monitors kept accessible
+/// after the throw (MonitorSession::run would discard them).
+struct CapBreach {
+  bool hit = false;
+  std::string what;            ///< exception text: names the breach site
+  std::uint64_t overflowed = 0;  ///< views_overflowed summed over monitors
+};
+
+CapBreach run_with_cap(paper::Property prop, int n, std::uint64_t seed,
+                       std::size_t max_views) {
+  AtomRegistry reg = paper::make_registry(n);
+  MonitorAutomaton automaton = paper::build_automaton(prop, n, reg);
+  automaton.build_dispatch();
+  CompiledProperty property(&automaton, &reg);
+  TraceParams params =
+      paper::experiment_params(prop, n, seed, 3.0, true, 20);
+  SimRuntime runtime(generate_trace(params), &reg, SimConfig{});
+  MonitorOptions tight;
+  tight.max_views = max_views;
+  DecentralizedMonitor monitors(
+      &property, &runtime,
+      initial_letters_of(reg, runtime.initial_states()), tight);
+  runtime.set_hooks(&monitors);
+
+  CapBreach breach;
+  try {
+    runtime.run();
+  } catch (const MonitorOverflow& e) {
+    breach.hit = true;
+    breach.what = e.what();
+  }
+  for (int i = 0; i < n; ++i) {
+    MonitorProcess& m = monitors.monitor(i);
+    breach.overflowed += m.stats().views_overflowed;
+    // The breach is surfaced *before* any view is pushed, so the cap is a
+    // true invariant and the abandoned creation is never counted.
+    EXPECT_LE(m.num_views(), max_views);
+    EXPECT_LE(m.stats().peak_global_views, max_views);
+    // The thrower unwound cleanly: every monitor still checkpoint
+    // round-trips byte-identically.
+    const std::vector<std::uint8_t> blob = checkpoint_monitor(m);
+    restore_monitor(m, blob);
+    EXPECT_EQ(checkpoint_monitor(m), blob) << "monitor " << i;
+  }
+  return breach;
+}
+
+TEST(Stress, ViewCapBreachIsCleanAtBothSites) {
+  // Sweep small cells until both creation sites have tripped: the fork of a
+  // consistent probe (pool token must be recycled, view must not be left
+  // waiting) and the spawn of a pivot view mid-token-dispatch (memo must not
+  // record a view that was never pushed). Every breach must leave the
+  // monitors valid and the stat accounting honest.
+  bool saw_fork = false;
+  bool saw_spawn = false;
+  for (paper::Property prop : paper::kAllProperties) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      SCOPED_TRACE(paper::name(prop) + " seed=" + std::to_string(seed));
+      const CapBreach breach = run_with_cap(prop, 3, seed, 2);
+      if (!breach.hit) continue;
+      EXPECT_GE(breach.overflowed, 1u);
+      if (breach.what.find("(fork)") != std::string::npos) saw_fork = true;
+      if (breach.what.find("(spawn)") != std::string::npos) saw_spawn = true;
+    }
+  }
+  EXPECT_TRUE(saw_fork) << "no cell tripped the probe-fork cap site";
+  EXPECT_TRUE(saw_spawn) << "no cell tripped the spawn cap site";
 }
 
 TEST(Stress, HeavyCommunicationStillDrains) {

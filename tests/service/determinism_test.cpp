@@ -130,6 +130,61 @@ TEST(CrossShardDeterminism, OneShardSerialMatchesFourShardsConcurrent) {
   }
 }
 
+// Streaming posture over the same golden grid: the direct facade run and
+// both service shapes must agree on everything (the streaming run is just as
+// deterministic as the plain one), and its verdict sets must match the
+// non-streaming reference -- GC never changes what is monitored, only how
+// much history is retained while doing it.
+TEST(CrossShardDeterminism, StreamingPostureIsDeterministicAcrossShards) {
+  std::vector<SessionSpec> specs = golden_grid();
+  for (SessionSpec& spec : specs) {
+    spec.options.streaming = true;
+    spec.options.gc_interval = 4;
+  }
+
+  std::vector<Fingerprint> direct;
+  std::vector<std::string> plain_verdicts;
+  for (const SessionSpec& spec : specs) {
+    AtomRegistry reg = paper::make_registry(spec.num_processes);
+    MonitorAutomaton automaton =
+        paper::build_automaton(spec.property, spec.num_processes, reg);
+    MonitorSession session(std::move(reg), std::move(automaton));
+    TraceParams params = paper::experiment_params(
+        spec.property, spec.num_processes, spec.trace_seed, spec.comm_mu,
+        spec.comm_enabled, spec.internal_events);
+    SystemTrace trace = generate_trace(params);
+    force_final_all_true(trace);
+    plain_verdicts.push_back(
+        verdict_set_string(session.run(trace).verdict.verdicts));
+    direct.push_back(Fingerprint::of(session.run(trace, {}, spec.options)));
+  }
+
+  const std::vector<Fingerprint> serial = run_through_service(specs, 1);
+  const std::vector<Fingerprint> sharded = run_through_service(specs, 4);
+
+  ASSERT_EQ(serial.size(), specs.size());
+  ASSERT_EQ(sharded.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE(paper::name(specs[i].property) + " n=" +
+                 std::to_string(specs[i].num_processes) + " seed=" +
+                 std::to_string(specs[i].trace_seed));
+    // Verdict equivalence across postures (the PR's acceptance criterion).
+    EXPECT_EQ(direct[i].verdicts, plain_verdicts[i]);
+    // Full determinism within the streaming posture.
+    EXPECT_EQ(serial[i].verdicts, direct[i].verdicts);
+    EXPECT_EQ(serial[i].program_events, direct[i].program_events);
+    EXPECT_EQ(serial[i].monitor_messages, direct[i].monitor_messages);
+    EXPECT_EQ(serial[i].global_views_created, direct[i].global_views_created);
+    EXPECT_EQ(serial[i].token_hops, direct[i].token_hops);
+    EXPECT_EQ(sharded[i].verdicts, serial[i].verdicts);
+    EXPECT_EQ(sharded[i].program_events, serial[i].program_events);
+    EXPECT_EQ(sharded[i].monitor_messages, serial[i].monitor_messages);
+    EXPECT_EQ(sharded[i].global_views_created,
+              serial[i].global_views_created);
+    EXPECT_EQ(sharded[i].token_hops, serial[i].token_hops);
+  }
+}
+
 TEST(CrossShardDeterminism, RepeatedShardedRunsAgree) {
   // Two concurrent 3-shard runs of a comm-heavy cell family: placement and
   // interleaving differ run to run, fingerprints must not.

@@ -20,6 +20,32 @@ TEST(LatencyHistogram, EmptyIsAllZero) {
   EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 }
 
+TEST(LatencyHistogram, QuantileEdges) {
+  // The exact boundary semantics the service report relies on: an empty
+  // histogram answers 0 for *every* q (including the out-of-range ones), a
+  // populated one clamps q<=0 to the observed min and q>=1 to the observed
+  // max -- never to a bucket representative outside [min, max].
+  LatencyHistogram empty;
+  for (double q : {-1.0, 0.0, 0.5, 1.0, 2.0}) {
+    EXPECT_EQ(empty.quantile(q), 0u) << "q=" << q;
+  }
+
+  LatencyHistogram one;
+  one.record(123456);  // far above the exact band: bucket midpoints differ
+  for (double q : {-1.0, 0.0, 0.5, 1.0, 2.0}) {
+    EXPECT_EQ(one.quantile(q), 123456u) << "q=" << q;
+  }
+
+  LatencyHistogram h;
+  h.record(7);
+  h.record(1000);
+  h.record(987654321);
+  EXPECT_EQ(h.quantile(-0.5), 7u);
+  EXPECT_EQ(h.quantile(0.0), 7u);
+  EXPECT_EQ(h.quantile(1.0), 987654321u);
+  EXPECT_EQ(h.quantile(1.5), 987654321u);
+}
+
 TEST(LatencyHistogram, SmallValuesAreExact) {
   // Band 0 stores [0, kSubBuckets) one value per bucket: every quantile of
   // a small-valued distribution is an actually-observed value.

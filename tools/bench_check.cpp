@@ -5,7 +5,8 @@
 //   bench_harness --quick --out bench_quick.json
 //   bench_check BENCH_core.json bench_quick.json --wall-tol 4.0
 //
-// Only `cell.*`, `socket.*`, and `service.*` metrics are compared, and only
+// Only `cell.*`, `socket.*`, `service.*`, and `stream.*` metrics are
+// compared, and only
 // those present in BOTH files (quick mode runs a sub-grid; recovery.* uses
 // different repetition counts per mode and micro.* is pure wall time, so
 // neither is comparable). Count-valued cell metrics (monitor_messages,
@@ -28,6 +29,12 @@
 // .monitor_messages counts are schedule-independent (the cross-shard
 // determinism invariant) and stay exact, while throughput, latency
 // percentiles, and scaling factors are banded by --service-tol.
+//
+// stream.* cells are single-process simulator runs: every count
+// (peak_history, peak_views, history_trimmed, gc_sweeps) is deterministic
+// and exact; only .wall_ms is banded by --wall-tol. The exact peak_history
+// rows are the committed bounded-memory evidence -- a drift here means the
+// GC window changed shape.
 //
 //   bench_check <baseline.json> <candidate.json>
 //               [--wall-tol FACTOR] [--socket-tol FACTOR]
@@ -159,7 +166,7 @@ int main(int argc, char** argv) {
   for (const auto& [name, cand] : candidate) {
     const bool is_service = name.rfind("service.", 0) == 0;
     if (name.rfind("cell.", 0) != 0 && name.rfind("socket.", 0) != 0 &&
-        !is_service) {
+        name.rfind("stream.", 0) != 0 && !is_service) {
       continue;
     }
     const double* base = lookup(baseline, name);
@@ -206,8 +213,8 @@ int main(int argc, char** argv) {
 
   if (compared == 0) {
     std::fprintf(stderr,
-                 "bench_check: no overlapping cell.*/socket.*/service.* "
-                 "metrics "
+                 "bench_check: no overlapping "
+                 "cell.*/socket.*/service.*/stream.* metrics "
                  "between %s and %s\n",
                  baseline_path, candidate_path);
     return 1;

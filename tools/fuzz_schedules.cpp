@@ -6,7 +6,7 @@
 // Usage:
 //   fuzz_schedules [--seed N] [--cases N] [--cells A:3,B:2,E:3]
 //                  [--internal-events N] [--lose-dropped]
-//                  [--reliable-channel] [--lossy] [--crash]
+//                  [--reliable-channel] [--lossy] [--crash] [--gc]
 //                  [--cell-timeout-sec N]
 //                  [--repro-dir DIR] [--repro FILE]
 //
@@ -15,6 +15,8 @@
 // violation). --crash kills one seeded monitor node per case and restarts it
 // from its checkpoint; --lossy makes the faulty network truly swallow
 // messages (survivable only with --reliable-channel / --crash).
+// --gc runs every case in the bounded-memory streaming posture (history GC
+// at an aggressive cadence) so trimming is raced against every fault class.
 // --cell-timeout-sec arms a wall-clock watchdog: if any single case runs
 // longer than the budget, the partial repro of the stuck case is dumped
 // (to --repro-dir if set, else stderr) and the process exits 3 instead of
@@ -47,6 +49,7 @@ int usage() {
       << "usage: fuzz_schedules [--seed N] [--cases N] [--cells A:3,B:2]\n"
          "                      [--internal-events N] [--lose-dropped]\n"
          "                      [--reliable-channel] [--lossy] [--crash]\n"
+         "                      [--gc]\n"
          "                      [--cell-timeout-sec N]\n"
          "                      [--repro-dir DIR] [--repro FILE]\n";
   return 2;
@@ -198,6 +201,8 @@ int main(int argc, char** argv) {
         options.lossy = true;
       } else if (arg == "--crash") {
         options.crash = true;
+      } else if (arg == "--gc") {
+        options.gc = true;
       } else if (arg == "--cell-timeout-sec") {
         cell_timeout_sec = std::stoi(value());
         if (cell_timeout_sec < 1) {

@@ -13,17 +13,24 @@
 //
 //   load_gen [--sessions N] [--shards K] [--rate R] [--props A,D,F]
 //            [--n PROCS] [--comm-mu MU] [--no-comm] [--internal-events E]
-//            [--seed S] [--no-steal] [--quick] [--json FILE]
+//            [--seed S] [--no-steal] [--streaming] [--gc-interval G]
+//            [--max-views V] [--max-rss-mb B] [--quick] [--json FILE]
 //
-//   --rate R   offered load in sessions/second; 0 = saturation (submit
-//              everything immediately; measures capacity, default)
-//   --props    comma-separated subset of A-F, assigned round-robin
-//   --quick    CI smoke defaults: 64 sessions, 2 shards, A+D at n=3,
-//              rate 400/s
-//   --json     also emit a flat "name": number JSON report
+//   --rate R        offered load in sessions/second; 0 = saturation (submit
+//                   everything immediately; measures capacity, default)
+//   --props         comma-separated subset of A-F, assigned round-robin
+//   --streaming     run sessions in the bounded-memory posture (history GC,
+//                   DESIGN.md §12); --gc-interval tunes the sweep cadence
+//   --max-views V   per-monitor view cap; sessions that hit it count as
+//                   "overflowed", not failed
+//   --max-rss-mb B  assert the process's peak RSS (VmHWM) stays under B
+//   --quick         CI smoke defaults: 64 sessions, 2 shards, A+D at n=3,
+//                   rate 400/s
+//   --json          also emit a flat "name": number JSON report
 //
-// Exit status: 0 all sessions completed and drained, 1 any session failed,
-// 2 usage errors.
+// Exit status: 0 all sessions completed and drained (cap overflows are
+// intentional and stay 0), 1 any session failed or the RSS budget was
+// exceeded, 2 usage errors.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -51,6 +58,10 @@ struct Options {
   int internal_events = 25;
   std::uint64_t seed = 2015;
   bool steal = true;
+  bool streaming = false;
+  std::uint32_t gc_interval = 0;  ///< 0 = monitor default
+  std::size_t max_views = 0;      ///< 0 = unbounded
+  double max_rss_mb = 0.0;        ///< 0 = no budget check
   std::string json_path;
 };
 
@@ -73,6 +84,18 @@ bool parse_props(const std::string& arg, std::vector<paper::Property>* out) {
 
 double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Peak resident set (VmHWM) of this process in MB; 0 when /proc is absent.
+double peak_rss_mb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::atof(line.c_str() + 6) / 1024.0;  // value is in kB
+    }
+  }
+  return 0.0;
 }
 
 }  // namespace
@@ -111,6 +134,14 @@ int main(int argc, char** argv) {
       opt.seed = std::strtoull(next(a), nullptr, 10);
     } else if (std::strcmp(a, "--no-steal") == 0) {
       opt.steal = false;
+    } else if (std::strcmp(a, "--streaming") == 0) {
+      opt.streaming = true;
+    } else if (std::strcmp(a, "--gc-interval") == 0) {
+      opt.gc_interval = static_cast<std::uint32_t>(std::atoi(next(a)));
+    } else if (std::strcmp(a, "--max-views") == 0) {
+      opt.max_views = static_cast<std::size_t>(std::atoll(next(a)));
+    } else if (std::strcmp(a, "--max-rss-mb") == 0) {
+      opt.max_rss_mb = std::atof(next(a));
     } else if (std::strcmp(a, "--json") == 0) {
       opt.json_path = next(a);
     } else if (std::strcmp(a, "--quick") == 0) {
@@ -124,7 +155,8 @@ int main(int argc, char** argv) {
           stderr,
           "usage: load_gen [--sessions N] [--shards K] [--rate R] "
           "[--props A,D,F] [--n PROCS] [--comm-mu MU] [--no-comm] "
-          "[--internal-events E] [--seed S] [--no-steal] [--quick] "
+          "[--internal-events E] [--seed S] [--no-steal] [--streaming] "
+          "[--gc-interval G] [--max-views V] [--max-rss-mb B] [--quick] "
           "[--json FILE]\n");
       return 2;
     }
@@ -181,6 +213,9 @@ int main(int argc, char** argv) {
     spec.internal_events = opt.internal_events;
     spec.sim.coalesce = CoalesceMode::kTransit;
     spec.options.wire_accounting = WireAccounting::kSampled;
+    spec.options.streaming = opt.streaming;
+    if (opt.gc_interval > 0) spec.options.gc_interval = opt.gc_interval;
+    spec.options.max_views = opt.max_views;
     svc.submit(spec);
   }
   const double submit_ms = ms_since(t0);
@@ -197,9 +232,11 @@ int main(int argc, char** argv) {
   std::printf("load_gen: submitted in %.1f ms, drained in %.1f ms\n",
               submit_ms, wall_ms);
   std::printf(
-      "  completed %llu (failed %llu, stolen %llu), verdicts T=%llu F=%llu\n",
+      "  completed %llu (failed %llu, overflowed %llu, stolen %llu), "
+      "verdicts T=%llu F=%llu\n",
       static_cast<unsigned long long>(st.completed),
       static_cast<unsigned long long>(st.failed),
+      static_cast<unsigned long long>(st.overflowed),
       static_cast<unsigned long long>(st.stolen),
       static_cast<unsigned long long>(st.satisfactions),
       static_cast<unsigned long long>(st.violations));
@@ -222,6 +259,9 @@ int main(int argc, char** argv) {
                 st.per_shard_busy_ms[s],
                 wall_ms > 0 ? 100.0 * st.per_shard_busy_ms[s] / wall_ms : 0.0);
   }
+  const double rss_mb = peak_rss_mb();
+  std::printf("  peak rss %.1f MB%s\n", rss_mb,
+              opt.streaming ? " (streaming posture)" : "");
 
   if (!opt.json_path.empty()) {
     std::ofstream os(opt.json_path);
@@ -235,6 +275,8 @@ int main(int argc, char** argv) {
        << "  \"metrics\": {\n"
        << "    \"sessions\": " << st.completed << ",\n"
        << "    \"failed\": " << st.failed << ",\n"
+       << "    \"overflowed\": " << st.overflowed << ",\n"
+       << "    \"peak_rss_mb\": " << rss_mb << ",\n"
        << "    \"stolen\": " << st.stolen << ",\n"
        << "    \"events\": " << st.program_events << ",\n"
        << "    \"monitor_messages\": " << st.monitor_messages << ",\n"
@@ -251,6 +293,11 @@ int main(int argc, char** argv) {
 
   if (st.failed > 0 || st.completed != static_cast<std::uint64_t>(opt.sessions)) {
     std::fprintf(stderr, "load_gen: FAILED sessions present\n");
+    return 1;
+  }
+  if (opt.max_rss_mb > 0.0 && rss_mb > opt.max_rss_mb) {
+    std::fprintf(stderr, "load_gen: peak RSS %.1f MB exceeds budget %.1f MB\n",
+                 rss_mb, opt.max_rss_mb);
     return 1;
   }
   return 0;
