@@ -32,6 +32,10 @@
 //   recovery.crash.{retransmissions,acks_sent,dup_suppressed,
 //                   checkpoints,checkpoint_bytes,restarts,
 //                   dropped_while_down,journal_replayed}   (DESIGN.md §8)
+//   recovery.socket.<clean|fault>.wall_ms        §13.3 drill over sockets
+//   recovery.socket.<clean|fault>.kills          exact: 0 clean / 1 fault
+//   recovery.socket.fault.{reconnects,retransmissions,disconnect_drops}
+//                                                outage-repair traffic
 //   service.<P>.n<k>.s<K>.{sessions,events,monitor_messages}  exact counts
 //   service.<P>.n<k>.s<K>.{wall_ms,sessions_per_s,events_per_s} throughput
 //   service.<P>.n<k>.s<K>.{lat_p50_ms,lat_p95_ms,lat_p99_ms,queue_p99_ms}
@@ -502,6 +506,70 @@ MonitorStats run_recovery_once(RecoveryVariant variant, std::uint64_t seed,
   return agg;
 }
 
+// Socket-posture recovery row: the §13.3 golden-verdict drill as a
+// benchmark. The quick socket cell's workload (kD, n=3, comm-heavy) runs
+// over SocketRuntime + ReliableChannel twice -- bare, and with one seeded
+// mid-run connection kill (abortive RST, reconnect + HELLO reconciliation,
+// channel retransmissions bridging the outage). The kill budget always
+// exhausts under this traffic, so .kills is an exact CI gate; where the RST
+// lands relative to in-flight records is kernel scheduling, so the
+// reconnect/retransmission/drop counters are banded like the socket grid's.
+struct SocketRecoveryRow {
+  double wall_ms = 0;
+  std::uint64_t kills = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t disconnect_drops = 0;
+};
+
+void run_recovery_socket_once(bool fault, std::uint64_t seed,
+                              SocketRecoveryRow* row) {
+  constexpr int n = 3;
+  AtomRegistry reg = paper::make_registry(n);
+  MonitorAutomaton automaton =
+      paper::build_automaton(paper::Property::kD, n, reg);
+  automaton.build_dispatch();
+  CompiledProperty prop(&automaton, &reg);
+  SystemTrace trace = generate_trace(paper::experiment_params(
+      paper::Property::kD, n, seed, /*comm_mu=*/1.5));
+  force_final_all_true(trace);
+
+  SocketConfig config;
+  config.time_scale = 0.0;
+  config.sndbuf = 32 * 1024;  // same NIC-bounded posture as the socket grid
+  config.rcvbuf = 32 * 1024;
+  if (fault) {
+    config.fault.enabled = true;
+    config.fault.seed = seed + 7;
+    config.fault.kill_after_min = 4;
+    config.fault.kill_after_max = 12;
+    config.fault.max_kills = 1;
+  }
+  const auto t0 = Clock::now();
+  SocketRuntime runtime(std::move(trace), &reg, config);
+  // Channel deadlines are in now() units -- real seconds on this runtime --
+  // so the simulator default rto (3.0 trace seconds) would park every
+  // retransmission (and the quiescence tail behind the last armed timer)
+  // for seconds of wall clock. 50 ms keeps outage repair prompt.
+  ReliableChannelConfig channel_config;
+  channel_config.rto = 0.05;
+  ReliableChannel channel(&runtime, n, channel_config);
+  DecentralizedMonitor monitors(
+      &prop, &channel, initial_letters_of(reg, runtime.initial_states()));
+  channel.set_hooks(&monitors);
+  runtime.set_hooks(&channel);
+  runtime.run();
+  row->wall_ms += elapsed_ms(t0);
+  if (!monitors.all_finished()) std::abort();
+  // The seeded plan must fire and the bare run must stay fault-free:
+  // .kills is the exact gate proving both postures measured what they claim.
+  if (runtime.connections_killed() != (fault ? 1u : 0u)) std::abort();
+  row->kills += runtime.connections_killed();
+  row->reconnects += runtime.reconnects();
+  row->retransmissions += channel.total_stats().retransmissions;
+  row->disconnect_drops += runtime.disconnect_drops();
+}
+
 void recovery_suite(Metrics& out, bool quick) {
   const int reps = quick ? 2 : 5;
   const std::uint64_t base_seed = 4040;
@@ -538,6 +606,32 @@ void recovery_suite(Metrics& out, bool quick) {
           static_cast<double>(crash_agg.checkpoint_bytes) / k);
   out.put("recovery.crash.restarts",
           static_cast<double>(crash_agg.crash_restarts) / k);
+
+  // Socket-posture rows use a fixed replication count (like socket_grid:
+  // quick mode never shrinks reps), so quick and full runs emit comparable
+  // values and bench_check can gate them against the committed baseline.
+  const int socket_reps = 2;
+  SocketRecoveryRow clean_row, fault_row;
+  for (int r = 0; r < socket_reps; ++r) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(r);
+    run_recovery_socket_once(/*fault=*/false, seed, &clean_row);
+    run_recovery_socket_once(/*fault=*/true, seed, &fault_row);
+  }
+  const double sk = static_cast<double>(socket_reps);
+  out.put("recovery.socket.clean.wall_ms", clean_row.wall_ms / sk);
+  out.put("recovery.socket.clean.kills",
+          static_cast<double>(clean_row.kills) / sk);
+  out.put("recovery.socket.clean.retransmissions",
+          static_cast<double>(clean_row.retransmissions) / sk);
+  out.put("recovery.socket.fault.wall_ms", fault_row.wall_ms / sk);
+  out.put("recovery.socket.fault.kills",
+          static_cast<double>(fault_row.kills) / sk);
+  out.put("recovery.socket.fault.reconnects",
+          static_cast<double>(fault_row.reconnects) / sk);
+  out.put("recovery.socket.fault.retransmissions",
+          static_cast<double>(fault_row.retransmissions) / sk);
+  out.put("recovery.socket.fault.disconnect_drops",
+          static_cast<double>(fault_row.disconnect_drops) / sk);
 }
 
 // ---------------------------------------------------------------------------

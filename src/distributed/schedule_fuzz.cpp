@@ -380,7 +380,7 @@ Report run_sweep(const Options& options, std::ostream* progress) {
                                        options.lossy);
       spec.reliable_channel = options.reliable_channel || options.crash;
       if (spec.reliable_channel) spec.channel.seed = rng.next();
-      spec.gc = options.gc && !options.crash;
+      spec.gc = options.gc;
       if (options.crash) {
         // Every node broadcasts at least a termination token, so small
         // crash_after values always trip; down_deliveries controls how much

@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
@@ -12,12 +13,13 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
-#include <cstdio>
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <optional>
 #include <stdexcept>
 #include <system_error>
+#include <utility>
 
 #include "decmon/monitor/wire.hpp"
 
@@ -28,10 +30,27 @@ namespace {
 // Record type bytes (after the u32 length prefix).
 constexpr std::uint8_t kAppRecord = 0x01;
 constexpr std::uint8_t kMonRecord = 0x02;
+constexpr std::uint8_t kCtlRecord = 0x03;
 constexpr std::size_t kRecordHeader = 5;  // u32 length + type byte
 
-// epoll user-data sentinel for the per-node eventfd.
-constexpr std::uint32_t kEventFdTag = std::numeric_limits<std::uint32_t>::max();
+// Control record kinds.
+constexpr std::uint8_t kCtlHello = 1;
+/// Full on-wire size of a HELLO record: header + kind + sender u32 +
+/// app-received u64 + monitor-received u64.
+constexpr std::size_t kHelloRecordBytes = kRecordHeader + 1 + 4 + 8 + 8;
+
+// epoll user data is (kind << 32 | value): value is a peer index for data
+// sockets and in-flight connects, an fd for unidentified accepts, unused
+// for the eventfd and the listener.
+constexpr std::uint64_t kKindPeer = 0;
+constexpr std::uint64_t kKindEvent = 1;
+constexpr std::uint64_t kKindListener = 2;
+constexpr std::uint64_t kKindPending = 3;
+constexpr std::uint64_t kKindConnect = 4;
+
+std::uint64_t make_tag(std::uint64_t kind, std::uint64_t value) {
+  return (kind << 32) | value;
+}
 
 /// Saturation bound for trace-time -> wall-time conversion (same rationale
 /// as ThreadRuntime's).
@@ -91,10 +110,148 @@ void apply_buffer_sizes(int fd, const SocketConfig& config) {
   }
 }
 
+void apply_stream_options(int fd) {
+  // TCP_NODELAY keeps small monitor records from being Nagle-delayed
+  // behind unacked data.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  // Small-buffer meshes can still drop segments at the receive queue
+  // when skb overhead overruns SO_RCVBUF (TCPRcvQDrop); the retransmit
+  // that repairs a drop is then the channel's latency floor. Monitor
+  // streams are exactly the "thin stream" the linear-timeout option
+  // targets -- few packets in flight, latency-critical -- so keep the
+  // retransmit clock flat instead of exponential, and on kernels that
+  // support it clamp the RTO ceiling too. Both are best-effort.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_THIN_LINEAR_TIMEOUTS, &one, sizeof one);
+#ifdef TCP_RTO_MAX_MS
+  const unsigned rto_max_ms = 1000;  // kernel-enforced floor
+  ::setsockopt(fd, IPPROTO_TCP, TCP_RTO_MAX_MS, &rto_max_ms,
+               sizeof rto_max_ms);
+#endif
+}
+
 void close_if_open(int& fd) {
   if (fd >= 0) {
     ::close(fd);
     fd = -1;
+  }
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+std::uint32_t read_le32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t read_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void write_le32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void write_le64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::vector<std::uint8_t> encode_hello(int sender, std::uint64_t app_received,
+                                       std::uint64_t mon_received) {
+  std::vector<std::uint8_t> rec(kHelloRecordBytes, 0);
+  write_le32(rec.data(), static_cast<std::uint32_t>(kHelloRecordBytes - 4));
+  rec[4] = kCtlRecord;
+  rec[5] = kCtlHello;
+  write_le32(rec.data() + 6, static_cast<std::uint32_t>(sender));
+  write_le64(rec.data() + 10, app_received);
+  write_le64(rec.data() + 18, mon_received);
+  return rec;
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Nonblocking connect with bounded retry: tolerates EINPROGRESS (waits
+/// for completion via poll + SO_ERROR) and a listener that is not ready
+/// yet (ECONNREFUSED / backlog overflow retried on a fresh socket until
+/// the deadline). Used for initial mesh setup; reconnects use the epoll
+/// loop's async variant instead.
+int connect_with_retry(const SocketConfig& config, std::uint16_t port,
+                       std::chrono::steady_clock::time_point deadline) {
+  for (;;) {
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_errno("socket");
+    apply_buffer_sizes(fd, config);
+    set_nonblocking(fd);
+    const sockaddr_in addr = loopback_addr(port);
+    int err = 0;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) < 0) {
+      if (errno == EINPROGRESS) {
+        for (;;) {
+          pollfd pfd{fd, POLLOUT, 0};
+          const int pr = ::poll(&pfd, 1, 50);
+          if (pr < 0 && errno == EINTR) continue;
+          if (pr > 0) {
+            socklen_t len = sizeof err;
+            ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+            break;
+          }
+          if (std::chrono::steady_clock::now() >= deadline) {
+            err = ETIMEDOUT;
+            break;
+          }
+        }
+      } else {
+        err = errno;
+      }
+    }
+    if (err == 0) return fd;
+    ::close(fd);
+    const bool transient = err == ECONNREFUSED || err == ETIMEDOUT ||
+                           err == EAGAIN || err == ECONNRESET ||
+                           err == EADDRNOTAVAIL;
+    if (!transient || std::chrono::steady_clock::now() >= deadline) {
+      errno = err;
+      throw_errno("connect");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+/// Accept on a nonblocking listener, polling until a connection arrives
+/// or the deadline passes (setup only: the matching connect already
+/// succeeded, so the connection is in the backlog or about to be).
+int accept_with_retry(int listen_fd,
+                      std::chrono::steady_clock::time_point deadline) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    if ((errno == EAGAIN || errno == EWOULDBLOCK) &&
+        std::chrono::steady_clock::now() < deadline) {
+      pollfd pfd{listen_fd, POLLIN, 0};
+      ::poll(&pfd, 1, 50);
+      continue;
+    }
+    throw_errno("accept");
   }
 }
 
@@ -137,7 +294,7 @@ bool FrameReassembler::next(std::vector<std::uint8_t>* out) {
 }
 
 // ---------------------------------------------------------------------------
-// Construction: TCP loopback mesh + per-node epoll/eventfd
+// Construction: TCP loopback mesh + per-node epoll/eventfd/listener
 // ---------------------------------------------------------------------------
 
 SocketRuntime::SocketRuntime(SystemTrace trace, const AtomRegistry* registry,
@@ -145,6 +302,10 @@ SocketRuntime::SocketRuntime(SystemTrace trace, const AtomRegistry* registry,
     : registry_(registry), config_(config), start_(Clock::now()) {
   const int n = trace.num_processes();
   history_.resize(static_cast<std::size_t>(n));
+  kills_left_.store(config_.fault.enabled ? config_.fault.max_kills : 0,
+                    std::memory_order_relaxed);
+  node_kill_armed_.store(config_.fault.enabled && config_.fault.kill_node >= 0,
+                         std::memory_order_relaxed);
   nodes_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     auto node = std::make_unique<Node>();
@@ -154,15 +315,43 @@ SocketRuntime::SocketRuntime(SystemTrace trace, const AtomRegistry* registry,
     node->receives_left = node->expected_receives;
     node->reassembly.resize(static_cast<std::size_t>(n));
     node->peer_open.assign(static_cast<std::size_t>(n), false);
+    node->app_recv.assign(static_cast<std::size_t>(n), 0);
+    node->mon_recv.assign(static_cast<std::size_t>(n), 0);
     node->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
     if (node->epoll_fd < 0) throw_errno("epoll_create1");
     node->event_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
     if (node->event_fd < 0) throw_errno("eventfd");
     epoll_event ev{};
     ev.events = EPOLLIN;
-    ev.data.u32 = kEventFdTag;
+    ev.data.u64 = make_tag(kKindEvent, 0);
     if (::epoll_ctl(node->epoll_fd, EPOLL_CTL_ADD, node->event_fd, &ev) < 0) {
       throw_errno("epoll_ctl eventfd");
+    }
+    // Persistent listener: setup connections arrive here, and so does
+    // every reconnect after a link failure (lower pair index dials the
+    // higher index's listener).
+    node->listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (node->listen_fd < 0) throw_errno("socket");
+    apply_buffer_sizes(node->listen_fd, config_);  // inherited by accept()
+    sockaddr_in addr = loopback_addr(0);
+    if (::bind(node->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) < 0 ||
+        ::listen(node->listen_fd, n + 4) < 0) {
+      throw_errno("bind/listen");
+    }
+    socklen_t addr_len = sizeof addr;
+    if (::getsockname(node->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                      &addr_len) < 0) {
+      throw_errno("getsockname");
+    }
+    node->listen_port = ntohs(addr.sin_port);
+    set_nonblocking(node->listen_fd);
+    epoll_event lev{};
+    lev.events = EPOLLIN;
+    lev.data.u64 = make_tag(kKindListener, 0);
+    if (::epoll_ctl(node->epoll_fd, EPOLL_CTL_ADD, node->listen_fd, &lev) <
+        0) {
+      throw_errno("epoll_ctl listener");
     }
     nodes_.push_back(std::move(node));
   }
@@ -170,62 +359,22 @@ SocketRuntime::SocketRuntime(SystemTrace trace, const AtomRegistry* registry,
   channels_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
   for (auto& ch : channels_) ch = std::make_unique<Channel>();
 
-  // Connect the mesh: one loopback TCP connection per unordered pair, set
-  // up sequentially (the listen backlog absorbs the connect while nobody
-  // accepts yet), then both ends go nonblocking. TCP_NODELAY keeps small
-  // monitor records from being Nagle-delayed behind unacked data.
+  // Connect the mesh: one loopback TCP connection per unordered pair, the
+  // lower index dialing the higher index's listener (the same roles a
+  // reconnect uses). connect_with_retry tolerates EINPROGRESS and a
+  // listener whose backlog momentarily overflows.
+  const Clock::time_point setup_deadline =
+      Clock::now() + std::chrono::seconds(10);
   for (int i = 0; i < n; ++i) {
     for (int j = i + 1; j < n; ++j) {
-      int listener = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-      if (listener < 0) throw_errno("socket");
-      apply_buffer_sizes(listener, config_);  // inherited by accept()
-      sockaddr_in addr{};
-      addr.sin_family = AF_INET;
-      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-      addr.sin_port = 0;
-      if (::bind(listener, reinterpret_cast<sockaddr*>(&addr),
-                 sizeof addr) < 0 ||
-          ::listen(listener, 1) < 0) {
-        throw_errno("bind/listen");
-      }
-      socklen_t addr_len = sizeof addr;
-      if (::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
-                        &addr_len) < 0) {
-        throw_errno("getsockname");
-      }
-      const int client = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-      if (client < 0) throw_errno("socket");
-      apply_buffer_sizes(client, config_);
-      if (::connect(client, reinterpret_cast<sockaddr*>(&addr),
-                    sizeof addr) < 0) {
-        throw_errno("connect");
-      }
-      const int accepted = ::accept(listener, nullptr, nullptr);
-      if (accepted < 0) throw_errno("accept");
-      ::close(listener);
-      const int one = 1;
-      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-      ::setsockopt(accepted, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-      // Small-buffer meshes can still drop segments at the receive queue
-      // when skb overhead overruns SO_RCVBUF (TCPRcvQDrop); the retransmit
-      // that repairs a drop is then the channel's latency floor. Monitor
-      // streams are exactly the "thin stream" the linear-timeout option
-      // targets -- few packets in flight, latency-critical -- so keep the
-      // retransmit clock flat instead of exponential, and on kernels that
-      // support it clamp the RTO ceiling too. Both are best-effort.
-      ::setsockopt(client, IPPROTO_TCP, TCP_THIN_LINEAR_TIMEOUTS, &one,
-                   sizeof one);
-      ::setsockopt(accepted, IPPROTO_TCP, TCP_THIN_LINEAR_TIMEOUTS, &one,
-                   sizeof one);
-#ifdef TCP_RTO_MAX_MS
-      const unsigned rto_max_ms = 1000;  // kernel-enforced floor
-      ::setsockopt(client, IPPROTO_TCP, TCP_RTO_MAX_MS, &rto_max_ms,
-                   sizeof rto_max_ms);
-      ::setsockopt(accepted, IPPROTO_TCP, TCP_RTO_MAX_MS, &rto_max_ms,
-                   sizeof rto_max_ms);
-#endif
-      set_nonblocking(client);
-      set_nonblocking(accepted);
+      const int client = connect_with_retry(
+          config_, nodes_[static_cast<std::size_t>(j)]->listen_port,
+          setup_deadline);
+      const int accepted = accept_with_retry(
+          nodes_[static_cast<std::size_t>(j)]->listen_fd, setup_deadline);
+      apply_stream_options(client);
+      apply_stream_options(accepted);
+      set_nonblocking(accepted);  // client is already nonblocking
       channel(i, j).fd = client;
       channel(j, i).fd = accepted;
     }
@@ -238,10 +387,23 @@ SocketRuntime::SocketRuntime(SystemTrace trace, const AtomRegistry* registry,
       if (i == j) continue;
       Channel& ch = channel(i, j);
       ch.owner_epoll = nodes_[static_cast<std::size_t>(i)]->epoll_fd;
+      ch.self = i;
       ch.peer = j;
+      ch.rng_state = config_.seed ^ config_.fault.seed ^
+                     (0x5851F42D4C957F2Dull *
+                      static_cast<std::uint64_t>(i * n + j + 1));
+      if (config_.fault.enabled && config_.fault.max_kills > 0) {
+        const std::uint32_t lo = std::min(config_.fault.kill_after_min,
+                                          config_.fault.kill_after_max);
+        const std::uint32_t hi = std::max(config_.fault.kill_after_min,
+                                          config_.fault.kill_after_max);
+        ch.kill_countdown =
+            lo + static_cast<std::uint32_t>(splitmix64(ch.rng_state) %
+                                            (hi - lo + 1));
+      }
       epoll_event ev{};
       ev.events = EPOLLIN;
-      ev.data.u32 = static_cast<std::uint32_t>(j);
+      ev.data.u64 = make_tag(kKindPeer, static_cast<std::uint64_t>(j));
       if (::epoll_ctl(ch.owner_epoll, EPOLL_CTL_ADD, ch.fd, &ev) < 0) {
         throw_errno("epoll_ctl peer fd");
       }
@@ -259,6 +421,8 @@ SocketRuntime::~SocketRuntime() {
     if (ch) close_if_open(ch->fd);
   }
   for (auto& node : nodes_) {
+    for (PendingAccept& pa : node->pending) close_if_open(pa.fd);
+    close_if_open(node->listen_fd);
     close_if_open(node->event_fd);
     close_if_open(node->epoll_fd);
   }
@@ -304,16 +468,15 @@ void SocketRuntime::encode_record_locked(Channel& ch,
   rec[4] = kMonRecord;
   encode_payload_into(payload, rec);
   const std::size_t body = rec.size() - 4;  // type byte + payload bytes
-  for (int i = 0; i < 4; ++i) {
-    rec[static_cast<std::size_t>(i)] =
-        static_cast<std::uint8_t>(body >> (8 * i));
-  }
+  write_le32(rec.data(), static_cast<std::uint32_t>(body));
   // Transport-truth accounting: TCP delivers every queued byte, so the
-  // encoded length is the on-wire cost -- no size-walking here.
+  // encoded length is the on-wire cost -- no size-walking here. (Bytes a
+  // reconnect re-sends -- the partially written front record -- are not
+  // re-counted: counters stay logical-record-deterministic under faults.)
   wire_bytes_.fetch_add(rec.size(), std::memory_order_relaxed);
   wire_frames_.fetch_add(1, std::memory_order_relaxed);
   ch.queued_bytes += rec.size();
-  ch.queue.push_back(std::move(rec));
+  ch.queue.push_back(OutRecord{std::move(rec), kMonRecord});
 }
 
 void SocketRuntime::materialize_staging_locked(Channel& ch) {
@@ -322,19 +485,27 @@ void SocketRuntime::materialize_staging_locked(Channel& ch) {
 }
 
 void SocketRuntime::flush_locked(Channel& ch) {
+  // Data writes are gated until the link is up and the HELLO exchange has
+  // re-armed the queue; a down (or dying) link just accumulates (staging
+  // bounds the growth).
+  if (ch.state != LinkState::kUp || ch.fd < 0 || ch.kill_pending ||
+      ch.io_error) {
+    return;
+  }
   bool blocked = false;
+  bool failed = false;
   while (!blocked) {
     if (ch.queue.empty()) {
       if (!ch.staging) break;
       materialize_staging_locked(ch);
     }
-    std::vector<std::uint8_t>& front = ch.queue.front();
-    while (ch.front_off < front.size()) {
+    OutRecord& front = ch.queue.front();
+    while (ch.front_off < front.bytes.size()) {
       const ssize_t k =
-          ::send(ch.fd, front.data() + ch.front_off,
-                 front.size() - ch.front_off, MSG_NOSIGNAL);
+          ::send(ch.fd, front.bytes.data() + ch.front_off,
+                 front.bytes.size() - ch.front_off, MSG_NOSIGNAL);
       if (k >= 0) {
-        if (static_cast<std::size_t>(k) < front.size() - ch.front_off) {
+        if (static_cast<std::size_t>(k) < front.bytes.size() - ch.front_off) {
           partial_writes_.fetch_add(1, std::memory_order_relaxed);
         }
         ch.front_off += static_cast<std::size_t>(k);
@@ -346,13 +517,34 @@ void SocketRuntime::flush_locked(Channel& ch) {
         blocked = true;
         break;
       }
-      throw_errno("send");
+      // Link failure (ECONNRESET, EPIPE, ...): flag it for the owner --
+      // the fd's lifecycle is owner-thread only -- and stop writing.
+      failed = true;
+      blocked = true;
+      break;
     }
     if (!blocked) {
-      ch.queued_bytes -= front.size();
+      ch.queued_bytes -= front.bytes.size();
       ch.front_off = 0;
+      if (front.kind == kMonRecord) {
+        ++ch.mon_written;
+        if (ch.kill_countdown > 0 && --ch.kill_countdown == 0 &&
+            kills_left_.fetch_sub(1, std::memory_order_acq_rel) > 0) {
+          // Seeded fault: this connection dies right here. The owner
+          // performs the abortive close; stop feeding the doomed socket.
+          ch.kill_pending = true;
+        }
+      }
       ch.queue.pop_front();
+      if (ch.kill_pending) blocked = true;
     }
+  }
+  if (failed || ch.kill_pending) {
+    ch.io_error = ch.io_error || failed;
+    nodes_[static_cast<std::size_t>(ch.self)]->links_dirty.store(
+        true, std::memory_order_release);
+    wake(ch.self);
+    return;
   }
   // Keep epoll write-interest in sync with the queue state. epoll_ctl is
   // thread-safe; want_write is guarded by ch.mutex, which the caller holds.
@@ -360,7 +552,7 @@ void SocketRuntime::flush_locked(Channel& ch) {
   if (need_write != ch.want_write) {
     epoll_event ev{};
     ev.events = EPOLLIN | (need_write ? EPOLLOUT : 0u);
-    ev.data.u32 = static_cast<std::uint32_t>(ch.peer);
+    ev.data.u64 = make_tag(kKindPeer, static_cast<std::uint64_t>(ch.peer));
     if (::epoll_ctl(ch.owner_epoll, EPOLL_CTL_MOD, ch.fd, &ev) == 0) {
       ch.want_write = need_write;
     }
@@ -427,10 +619,17 @@ void SocketRuntime::send_perturbed(MonitorMessage msg,
   if (msg.from == msg.to) {
     // Self-delivery, possibly delayed (reliable-channel retransmit timers).
     // Nothing crosses the network; honored via the node's timer heap.
+    // extra_delay is expressed in now() units -- for this runtime that is
+    // real (unscaled) seconds, so it must NOT go through to_wall():
+    // time_scale compresses scripted trace waits, and scaling a deadline
+    // that was computed against the real clock would make every timer fire
+    // early -- at time_scale=0, an armed retransmit timer would refire
+    // immediately forever and quiescence could never be declared.
     Clock::time_point at = Clock::now();
     if (perturbation.extra_delay > 0.0) {
       at = advance_saturated(
-          at, to_wall(perturbation.extra_delay, config_.time_scale));
+          at, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::duration<double>(perturbation.extra_delay)));
     }
     Node& node = *nodes_[static_cast<std::size_t>(msg.to)];
     {
@@ -463,6 +662,18 @@ void SocketRuntime::dispatch_record(int index, int peer,
                                     const std::vector<std::uint8_t>& rec) {
   Node& node = *nodes_[static_cast<std::size_t>(index)];
   if (rec.empty()) throw WireError("empty record");
+  if (rec[0] == kCtlRecord) {
+    // HELLO from a reconnected peer: reconcile our send direction.
+    if (rec.size() != kHelloRecordBytes - 4 || rec[1] != kCtlHello) {
+      throw WireError("bad control record");
+    }
+    if (static_cast<int>(read_le32(rec.data() + 2)) != peer) {
+      throw WireError("hello from wrong peer");
+    }
+    process_hello(index, peer, read_le64(rec.data() + 6),
+                  read_le64(rec.data() + 14));
+    return;
+  }
   node.scratch.assign(rec.begin() + 1, rec.end());
   if (rec[0] == kAppRecord) {
     WireReader r(node.scratch);
@@ -473,18 +684,32 @@ void SocketRuntime::dispatch_record(int index, int peer,
     msg.vc = r.vc(nodes_.size());
     r.done();
     if (msg.from != peer) throw WireError("app record from wrong peer");
+    ++node.app_recv[static_cast<std::size_t>(peer)];
     const Event e = node.process->receive(msg, now());
     --node.receives_left;
     record_event(index, e);
     finish_one();
   } else if (rec[0] == kMonRecord) {
     auto payload = decode_payload(node.scratch, nodes_.size());
+    ++node.mon_recv[static_cast<std::size_t>(peer)];
+    ++node.mon_recv_total;
     monitor_deliveries_.fetch_add(1, std::memory_order_relaxed);
     if (hooks_) {
       hooks_->on_monitor_message(MonitorMessage{peer, index, std::move(payload)},
                                  now());
     }
     finish_one();
+    // Node-kill drill: once this node has dispatched enough monitor
+    // records, every one of its links dies at once (transport face of a
+    // crash; the hooks-layer CrashInjector owns the state restore).
+    if (node_kill_armed_.load(std::memory_order_relaxed) &&
+        config_.fault.kill_node == index &&
+        node.mon_recv_total > config_.fault.kill_node_after &&
+        node_kill_armed_.exchange(false, std::memory_order_acq_rel)) {
+      for (int p = 0; p < num_processes(); ++p) {
+        if (p != index) request_kill(index, p);
+      }
+    }
   } else {
     throw WireError("unknown record type");
   }
@@ -493,7 +718,8 @@ void SocketRuntime::dispatch_record(int index, int peer,
 void SocketRuntime::read_peer(int index, int peer) {
   Node& node = *nodes_[static_cast<std::size_t>(index)];
   if (!node.peer_open[static_cast<std::size_t>(peer)]) return;
-  const int fd = channel(index, peer).fd;
+  const int fd = channel(index, peer).fd;  // fd changes only on this thread
+  if (fd < 0) return;
   FrameReassembler& ra = node.reassembly[static_cast<std::size_t>(peer)];
   std::uint8_t buf[65536];
   std::vector<std::uint8_t> rec;
@@ -504,23 +730,20 @@ void SocketRuntime::read_peer(int index, int peer) {
       while (ra.next(&rec)) dispatch_record(index, peer, rec);
       continue;
     }
-    if (k == 0) {
-      // Orderly shutdown from the peer. Mid-record EOF means truncation --
-      // surface it loudly (it cannot happen in a healthy run: sockets are
-      // closed only after every node thread has joined).
-      if (!stop_.load(std::memory_order_acquire) && ra.mid_record()) {
-        std::fprintf(stderr,
-                     "decmon: node %d: peer %d closed mid-record (%zu bytes "
-                     "buffered)\n",
-                     index, peer, ra.buffered());
-      }
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    }
+    // EOF or a hard socket error (ECONNRESET after an abortive kill): the
+    // peer is down, not the run. Partial bytes die with the reassembler
+    // reset; the HELLO reconciliation replays or retires what was lost.
+    if (stop_.load(std::memory_order_acquire)) {
       node.peer_open[static_cast<std::size_t>(peer)] = false;
       ::epoll_ctl(node.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
       return;
     }
-    if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-    throw_errno("recv");
+    link_down(index, peer, /*abortive=*/false);
+    return;
   }
 }
 
@@ -539,17 +762,415 @@ void SocketRuntime::broadcast_app(int index, const AppMessage& message) {
     Channel& ch = channel(index, to);
     std::scoped_lock lock(ch.mutex);
     std::vector<std::uint8_t> rec(kRecordHeader + body.size());
-    const std::size_t len = body.size() + 1;  // type byte + body
-    for (int i = 0; i < 4; ++i) {
-      rec[static_cast<std::size_t>(i)] =
-          static_cast<std::uint8_t>(len >> (8 * i));
-    }
+    write_le32(rec.data(), static_cast<std::uint32_t>(body.size() + 1));
     rec[4] = kAppRecord;
     std::memcpy(rec.data() + kRecordHeader, body.data(), body.size());
     app_bytes_.fetch_add(rec.size(), std::memory_order_relaxed);
     ch.queued_bytes += rec.size();
-    ch.queue.push_back(std::move(rec));
+    // App records are transport-reliable: losing one would strand the
+    // receiver's expected-receives count forever, so every record is
+    // retained in the replay log until a peer HELLO confirms delivery.
+    ch.app_log.push_back(rec);
+    ch.queue.push_back(OutRecord{std::move(rec), kAppRecord});
     flush_locked(ch);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Link lifecycle: failure detection, reconnect, HELLO reconciliation
+// ---------------------------------------------------------------------------
+
+void SocketRuntime::link_down(int index, int peer, bool abortive) {
+  Channel& ch = channel(index, peer);
+  std::scoped_lock lock(ch.mutex);
+  link_down_locked(ch, abortive);
+}
+
+void SocketRuntime::link_down_locked(Channel& ch, bool abortive) {
+  Node& node = *nodes_[static_cast<std::size_t>(ch.self)];
+  ch.io_error = false;
+  ch.kill_pending = false;
+  if (ch.fd >= 0) {
+    if (abortive) {
+      // RST instead of FIN: queued and in-flight bytes genuinely die, so
+      // the reconciliation machinery is exercised, not just the handshake.
+      const linger lg{1, 0};
+      ::setsockopt(ch.fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+    }
+    ::close(ch.fd);  // also deregisters from epoll
+    ch.fd = -1;
+  } else if (ch.state == LinkState::kDown) {
+    return;  // already torn down; keep the backoff clock
+  }
+  ch.state = LinkState::kDown;
+  ch.want_write = false;
+  ch.front_off = 0;  // partial front record is re-sent whole after HELLO
+  node.peer_open[static_cast<std::size_t>(ch.peer)] = false;
+  node.reassembly[static_cast<std::size_t>(ch.peer)].reset();
+  ch.next_attempt_at = Clock::now();
+  node.links_dirty.store(true, std::memory_order_release);
+}
+
+void SocketRuntime::schedule_retry_locked(Channel& ch) {
+  ++ch.attempts;
+  double delay_ms =
+      config_.reconnect_base_ms *
+      std::ldexp(1.0, std::min(ch.attempts - 1, 20));
+  delay_ms = std::min(delay_ms, config_.reconnect_cap_ms);
+  // Seeded jitter in [0.5, 1.5): reconnect storms decorrelate but stay
+  // reproducible for a given (config seed, channel) pair.
+  const double jitter =
+      0.5 + static_cast<double>(splitmix64(ch.rng_state) >> 11) * 0x1.0p-53;
+  delay_ms *= jitter;
+  ch.next_attempt_at = advance_saturated(
+      Clock::now(),
+      std::chrono::nanoseconds(static_cast<std::int64_t>(delay_ms * 1e6)));
+  nodes_[static_cast<std::size_t>(ch.self)]->links_dirty.store(
+      true, std::memory_order_release);
+}
+
+SocketRuntime::Clock::time_point SocketRuntime::service_links(int index) {
+  Node& node = *nodes_[static_cast<std::size_t>(index)];
+  Clock::time_point deadline = Clock::time_point::max();
+  // Clear-before-scan: a foreign thread that flags a channel after its
+  // scan re-raises the flag (and wakes us), so nothing is lost.
+  if (!node.links_dirty.exchange(false, std::memory_order_acq_rel)) {
+    return deadline;
+  }
+  bool all_up = true;
+  for (int peer = 0; peer < num_processes(); ++peer) {
+    if (peer == index) continue;
+    Channel& ch = channel(index, peer);
+    std::scoped_lock lock(ch.mutex);
+    if (ch.kill_pending) {
+      if (ch.fd >= 0) {
+        connections_killed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      link_down_locked(ch, /*abortive=*/true);
+    } else if (ch.io_error) {
+      link_down_locked(ch, /*abortive=*/false);
+    }
+    if (ch.state == LinkState::kDown && index < peer) {
+      // This side dials (the pair's lower index reconnects; the higher
+      // index's listener answers -- same roles as setup).
+      if (ch.attempts > config_.max_reconnect_attempts) {
+        throw std::runtime_error(
+            "SocketRuntime: reconnect budget exhausted (node " +
+            std::to_string(index) + " -> " + std::to_string(peer) + ")");
+      }
+      if (Clock::now() >= ch.next_attempt_at) begin_connect_locked(ch);
+    }
+    if (ch.state != LinkState::kUp) {
+      all_up = false;
+      if (ch.state == LinkState::kDown && index < peer) {
+        deadline = std::min(deadline, ch.next_attempt_at);
+      }
+    }
+  }
+  if (!all_up) node.links_dirty.store(true, std::memory_order_release);
+  return deadline;
+}
+
+void SocketRuntime::begin_connect_locked(Channel& ch) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    schedule_retry_locked(ch);
+    return;
+  }
+  apply_buffer_sizes(fd, config_);
+  set_nonblocking(fd);
+  const sockaddr_in addr = loopback_addr(
+      nodes_[static_cast<std::size_t>(ch.peer)]->listen_port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) ==
+      0) {
+    finish_connect_locked(ch, fd);
+    return;
+  }
+  if (errno == EINPROGRESS) {
+    ch.fd = fd;
+    ch.state = LinkState::kConnecting;
+    epoll_event ev{};
+    ev.events = EPOLLOUT;
+    ev.data.u64 = make_tag(kKindConnect, static_cast<std::uint64_t>(ch.peer));
+    if (::epoll_ctl(ch.owner_epoll, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      ch.fd = -1;
+      ch.state = LinkState::kDown;
+      schedule_retry_locked(ch);
+    }
+    return;
+  }
+  ::close(fd);
+  schedule_retry_locked(ch);
+}
+
+void SocketRuntime::on_connect_ready(int index, int peer) {
+  Channel& ch = channel(index, peer);
+  std::scoped_lock lock(ch.mutex);
+  if (ch.state != LinkState::kConnecting || ch.fd < 0) return;  // stale event
+  int err = 0;
+  socklen_t len = sizeof err;
+  ::getsockopt(ch.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+  if (err == 0) {
+    // Guard against a stale EPOLLOUT from a previous attempt's fd number:
+    // SO_ERROR is 0 while a connect is merely in progress.
+    sockaddr_in who{};
+    socklen_t wlen = sizeof who;
+    if (::getpeername(ch.fd, reinterpret_cast<sockaddr*>(&who), &wlen) < 0) {
+      return;  // not connected yet; wait for the real completion event
+    }
+    const int fd = ch.fd;
+    ch.fd = -1;
+    finish_connect_locked(ch, fd);
+    return;
+  }
+  ::close(ch.fd);
+  ch.fd = -1;
+  ch.state = LinkState::kDown;
+  schedule_retry_locked(ch);
+}
+
+void SocketRuntime::finish_connect_locked(Channel& ch, int fd) {
+  Node& node = *nodes_[static_cast<std::size_t>(ch.self)];
+  apply_stream_options(fd);
+  ch.fd = fd;
+  ch.front_off = 0;
+  ch.want_write = false;
+  ch.state = LinkState::kHelloWait;
+  node.reassembly[static_cast<std::size_t>(ch.peer)].reset();
+  node.peer_open[static_cast<std::size_t>(ch.peer)] = true;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = make_tag(kKindPeer, static_cast<std::uint64_t>(ch.peer));
+  if (::epoll_ctl(ch.owner_epoll, EPOLL_CTL_MOD, fd, &ev) < 0 &&
+      ::epoll_ctl(ch.owner_epoll, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    link_down_locked(ch, /*abortive=*/false);
+    schedule_retry_locked(ch);
+    return;
+  }
+  if (!send_hello_locked(ch)) {
+    link_down_locked(ch, /*abortive=*/false);
+    schedule_retry_locked(ch);
+    return;
+  }
+  // Counted once per outage, on the dialing side (the acceptor's half of
+  // the same re-establishment is not a second reconnect).
+  reconnects_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool SocketRuntime::send_hello_locked(Channel& ch) {
+  // HELLO bypasses the data queue (which is gated until reconciliation)
+  // and is deliberately absent from wire/app byte accounting: it is
+  // transport overhead, so the committed no-fault socket.* bench counts
+  // stay untouched by the fault-tolerance machinery.
+  Node& node = *nodes_[static_cast<std::size_t>(ch.self)];
+  const std::vector<std::uint8_t> rec = encode_hello(
+      ch.self, node.app_recv[static_cast<std::size_t>(ch.peer)],
+      node.mon_recv[static_cast<std::size_t>(ch.peer)]);
+  std::size_t off = 0;
+  while (off < rec.size()) {
+    const ssize_t k =
+        ::send(ch.fd, rec.data() + off, rec.size() - off, MSG_NOSIGNAL);
+    if (k >= 0) {
+      off += static_cast<std::size_t>(k);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Fresh connection: the buffer is empty unless the connect has not
+      // fully completed yet; poll for writability (or failure) briefly.
+      pollfd pfd{ch.fd, POLLOUT, 0};
+      ::poll(&pfd, 1, 50);
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+void SocketRuntime::process_hello(int index, int peer,
+                                  std::uint64_t app_received,
+                                  std::uint64_t mon_received) {
+  Channel& ch = channel(index, peer);
+  std::scoped_lock lock(ch.mutex);
+  if (ch.state != LinkState::kHelloWait) return;  // stale or duplicate
+  // Drop the app-log prefix the peer confirms it dispatched...
+  while (ch.app_log_base < app_received && !ch.app_log.empty()) {
+    ch.app_log.pop_front();
+    ++ch.app_log_base;
+  }
+  // ...then rebuild the queue's app plane from the log: queued app records
+  // are a suffix of the log, so removing them and replaying everything the
+  // peer has not seen restores order without duplicates.
+  for (auto it = ch.queue.begin(); it != ch.queue.end();) {
+    if (it->kind == kAppRecord) {
+      ch.queued_bytes -= it->bytes.size();
+      it = ch.queue.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ch.front_off = 0;
+  for (auto it = ch.app_log.rbegin(); it != ch.app_log.rend(); ++it) {
+    ch.queued_bytes += it->size();
+    ch.queue.push_front(OutRecord{*it, kAppRecord});
+  }
+  // Monitor records that were fully written but never dispatched died with
+  // the old connection: retire their quiescence credits (the reliable
+  // channel layered above re-sends the content; without one this is the
+  // lossy-network posture the monitors already tolerate).
+  if (mon_received + ch.mon_lost > ch.mon_written) {
+    throw WireError("hello count ahead of writer");
+  }
+  const std::uint64_t lost = ch.mon_written - mon_received - ch.mon_lost;
+  ch.mon_lost += lost;
+  if (lost > 0) {
+    disconnect_drops_.fetch_add(lost, std::memory_order_relaxed);
+    for (std::uint64_t i = 0; i < lost; ++i) finish_one();
+  }
+  ch.state = LinkState::kUp;
+  ch.attempts = 0;
+  flush_locked(ch);
+}
+
+void SocketRuntime::accept_pending(int index) {
+  Node& node = *nodes_[static_cast<std::size_t>(index)];
+  for (;;) {
+    const int fd = ::accept(node.listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient accept failure: the event re-arms
+    }
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    set_nonblocking(fd);
+    node.pending.push_back(PendingAccept{fd, {}});
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = make_tag(kKindPending, static_cast<std::uint64_t>(fd));
+    if (::epoll_ctl(node.epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      node.pending.pop_back();
+      continue;
+    }
+    identify_pending(index, fd);  // the HELLO may already be readable
+  }
+}
+
+void SocketRuntime::identify_pending(int index, int pending_fd) {
+  Node& node = *nodes_[static_cast<std::size_t>(index)];
+  auto it = std::find_if(
+      node.pending.begin(), node.pending.end(),
+      [pending_fd](const PendingAccept& pa) { return pa.fd == pending_fd; });
+  if (it == node.pending.end()) return;
+  bool dead = false;
+  std::uint8_t buf[256];
+  while (it->buf.size() < kHelloRecordBytes) {
+    const ssize_t k = ::recv(pending_fd, buf, sizeof buf, 0);
+    if (k > 0) {
+      it->buf.insert(it->buf.end(), buf, buf + k);
+      continue;
+    }
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    }
+    dead = true;  // EOF or error before identifying itself
+    break;
+  }
+  // Validate as much of the HELLO as has arrived; anything that is not a
+  // HELLO-first stream is not one of ours.
+  if (!dead && it->buf.size() >= 4 &&
+      read_le32(it->buf.data()) != kHelloRecordBytes - 4) {
+    dead = true;
+  }
+  if (!dead && it->buf.size() >= 6 &&
+      (it->buf[4] != kCtlRecord || it->buf[5] != kCtlHello)) {
+    dead = true;
+  }
+  if (dead) {
+    ::close(pending_fd);
+    node.pending.erase(it);
+    return;
+  }
+  if (it->buf.size() < kHelloRecordBytes) return;  // wait for more bytes
+  const int sender = static_cast<int>(read_le32(it->buf.data() + 6));
+  // Only the pair's lower index dials this listener.
+  if (sender < 0 || sender >= index) {
+    ::close(pending_fd);
+    node.pending.erase(it);
+    return;
+  }
+  const std::uint64_t app_received = read_le64(it->buf.data() + 10);
+  const std::uint64_t mon_received = read_le64(it->buf.data() + 18);
+  std::vector<std::uint8_t> leftovers(
+      it->buf.begin() + static_cast<std::ptrdiff_t>(kHelloRecordBytes),
+      it->buf.end());
+  node.pending.erase(it);  // fd ownership moves to the channel below
+
+  Channel& ch = channel(index, sender);
+  bool ok = false;
+  {
+    std::scoped_lock lock(ch.mutex);
+    if (ch.fd >= 0 && ch.fd != pending_fd) {
+      // The peer abandoned the old connection (we may not have read its
+      // RST yet); the new one supersedes it.
+      ::close(ch.fd);
+    }
+    ch.fd = pending_fd;
+    ch.front_off = 0;
+    ch.want_write = false;
+    ch.io_error = false;
+    ch.kill_pending = false;
+    ch.state = LinkState::kHelloWait;
+    apply_stream_options(pending_fd);
+    node.reassembly[static_cast<std::size_t>(sender)].reset();
+    node.peer_open[static_cast<std::size_t>(sender)] = true;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = make_tag(kKindPeer, static_cast<std::uint64_t>(sender));
+    if (::epoll_ctl(node.epoll_fd, EPOLL_CTL_MOD, pending_fd, &ev) == 0) {
+      ok = send_hello_locked(ch);
+    }
+  }
+  if (!ok) {
+    link_down(index, sender, /*abortive=*/false);
+    return;
+  }
+  process_hello(index, sender, app_received, mon_received);
+  if (!leftovers.empty()) {
+    FrameReassembler& ra = node.reassembly[static_cast<std::size_t>(sender)];
+    ra.feed(leftovers.data(), leftovers.size());
+    std::vector<std::uint8_t> rec;
+    while (ra.next(&rec)) dispatch_record(index, sender, rec);
+  }
+}
+
+void SocketRuntime::request_kill(int from, int to) {
+  Channel& ch = channel(from, to);
+  {
+    std::scoped_lock lock(ch.mutex);
+    if (ch.fd < 0 && ch.state == LinkState::kDown) return;  // already dead
+    ch.kill_pending = true;
+  }
+  nodes_[static_cast<std::size_t>(from)]->links_dirty.store(
+      true, std::memory_order_release);
+  wake(from);
+}
+
+void SocketRuntime::kill_connection(int a, int b) {
+  if (a < 0 || a >= num_processes() || b < 0 || b >= num_processes() ||
+      a == b) {
+    throw std::out_of_range("SocketRuntime::kill_connection: bad pair");
+  }
+  request_kill(a, b);
+}
+
+void SocketRuntime::kill_node(int node) {
+  if (node < 0 || node >= num_processes()) {
+    throw std::out_of_range("SocketRuntime::kill_node: bad node");
+  }
+  for (int p = 0; p < num_processes(); ++p) {
+    if (p != node) request_kill(node, p);
   }
 }
 
@@ -558,6 +1179,23 @@ void SocketRuntime::broadcast_app(int index, const AppMessage& message) {
 // ---------------------------------------------------------------------------
 
 void SocketRuntime::node_main(int index) {
+  try {
+    node_body(index);
+  } catch (...) {
+    {
+      std::scoped_lock lock(error_mutex_);
+      if (!run_error_) run_error_ = std::current_exception();
+    }
+    failed_.store(true, std::memory_order_release);
+    stop_.store(true, std::memory_order_release);
+    for (int i = 0; i < num_processes(); ++i) wake(i);
+    // Unblock run(): quiescence is unreachable once a node has failed.
+    std::scoped_lock lock(quiesce_mutex_);
+    quiesce_cv_.notify_all();
+  }
+}
+
+void SocketRuntime::node_body(int index) {
   Node& node = *nodes_[static_cast<std::size_t>(index)];
   ProgramProcess& proc = *node.process;
   const Clock::time_point run_start = start_.load(std::memory_order_relaxed);
@@ -609,10 +1247,13 @@ void SocketRuntime::node_main(int index) {
       if (hooks_) hooks_->on_local_termination(index, now());
       finish_one();
     }
-    // 4. Block on epoll until bytes arrive, a socket drains, a wakeup is
+    // 4. Service flagged links (teardowns, pending kills, due reconnect
+    // attempts); the earliest backoff deadline bounds the epoll wait.
+    const Clock::time_point link_deadline = service_links(index);
+    // 5. Block on epoll until bytes arrive, a socket drains, a wakeup is
     // posted, or the earliest local deadline passes. The 50 ms cap is
     // insurance only -- every state change also posts a wakeup.
-    Clock::time_point wake_at = next_action;
+    Clock::time_point wake_at = std::min(next_action, link_deadline);
     {
       std::scoped_lock lock(node.timer_mutex);
       if (!node.timers.empty()) wake_at = std::min(wake_at, node.timers.top().at);
@@ -630,21 +1271,40 @@ void SocketRuntime::node_main(int index) {
     }
     const int nev = ::epoll_wait(node.epoll_fd, events, 16, timeout_ms);
     for (int e = 0; e < nev; ++e) {
-      const std::uint32_t tag = events[e].data.u32;
-      if (tag == kEventFdTag) {
-        std::uint64_t drained = 0;
-        [[maybe_unused]] const ssize_t r =
-            ::read(node.event_fd, &drained, sizeof drained);
-        continue;
-      }
-      const int peer = static_cast<int>(tag);
-      if (events[e].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
-        read_peer(index, peer);
-      }
-      if (events[e].events & EPOLLOUT) {
-        Channel& ch = channel(index, peer);
-        std::scoped_lock lock(ch.mutex);
-        flush_locked(ch);
+      const std::uint64_t tag = events[e].data.u64;
+      const std::uint32_t value = static_cast<std::uint32_t>(tag);
+      switch (tag >> 32) {
+        case kKindEvent: {
+          std::uint64_t drained = 0;
+          [[maybe_unused]] const ssize_t r =
+              ::read(node.event_fd, &drained, sizeof drained);
+          break;
+        }
+        case kKindListener:
+          accept_pending(index);
+          break;
+        case kKindPending:
+          identify_pending(index, static_cast<int>(value));
+          break;
+        case kKindConnect:
+          if (events[e].events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) {
+            on_connect_ready(index, static_cast<int>(value));
+          }
+          break;
+        case kKindPeer: {
+          const int peer = static_cast<int>(value);
+          if (events[e].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
+            read_peer(index, peer);
+          }
+          if (events[e].events & EPOLLOUT) {
+            Channel& ch = channel(index, peer);
+            std::scoped_lock lock(ch.mutex);
+            flush_locked(ch);
+          }
+          break;
+        }
+        default:
+          break;
       }
     }
   }
@@ -653,6 +1313,11 @@ void SocketRuntime::node_main(int index) {
 void SocketRuntime::run() {
   start_.store(Clock::now(), std::memory_order_relaxed);
   stop_.store(false);
+  failed_.store(false, std::memory_order_relaxed);
+  {
+    std::scoped_lock lock(error_mutex_);
+    run_error_ = nullptr;
+  }
   // One work unit per program; pre-run sends were already counted by
   // send_perturbed.
   outstanding_.fetch_add(num_processes(), std::memory_order_acq_rel);
@@ -667,12 +1332,22 @@ void SocketRuntime::run() {
   {
     std::unique_lock lock(quiesce_mutex_);
     quiesce_cv_.wait(lock, [&] {
-      return outstanding_.load(std::memory_order_acquire) == 0;
+      return outstanding_.load(std::memory_order_acquire) == 0 ||
+             failed_.load(std::memory_order_acquire);
     });
   }
   stop_.store(true);
   for (int i = 0; i < num_processes(); ++i) wake(i);
   threads_.clear();  // join
+  std::exception_ptr err;
+  {
+    std::scoped_lock lock(error_mutex_);
+    err = std::exchange(run_error_, nullptr);
+  }
+  if (err) {
+    outstanding_.store(0, std::memory_order_release);
+    std::rethrow_exception(err);
+  }
 }
 
 }  // namespace decmon

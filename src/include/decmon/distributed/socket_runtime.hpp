@@ -15,6 +15,9 @@
 //
 //   type 0x01 = application message  (u32 from, u32 send_sn, vc)
 //   type 0x02 = monitor payload      (encode_payload_into bytes)
+//   type 0x03 = transport control    (u8 kind; kind 1 = HELLO:
+//               u32 sender, u64 app records received, u64 monitor records
+//               received on this directed stream)
 //
 // Reassembly is incremental (FrameReassembler below): partial reads leave
 // a prefix buffered; a peer that closes mid-record is detected as a
@@ -30,26 +33,51 @@
 // SimRuntime's kTransit convoy -- congestion converts many small frames
 // into one large record -- and bounds queue growth by construction.
 //
+// Fault tolerance (DESIGN.md §13): a peer disconnect (EOF, ECONNRESET,
+// EPIPE) is a peer-down state, not a fatal error. Each node keeps a
+// persistent listener; the pair's lower index reconnects with capped
+// exponential backoff + seeded jitter driven from the node's epoll loop.
+// Every (re)connection starts with a HELLO exchange carrying per-direction
+// received-record counts, from which each sender re-arms its deque:
+// application records are transport-reliable (retained in a replay log and
+// replayed from the receiver's count -- losing one would strand the
+// receiver's receives_left forever), while monitor records lost with the
+// connection are dropped (counted as disconnect_drops, their quiescence
+// credits retired) and repaired by the ReliableChannel layered above, when
+// present. A seeded fault injector (SocketFaultPlan) kills connections
+// abortively mid-run -- RST, not FIN, so in-flight bytes really die -- and
+// can take down every link of one node at once (the transport half of a
+// crash + checkpoint-restore + mesh-rejoin drill).
+//
 // Accounting is transport-truth: wire_bytes()/wire_frames() count encoded
 // record bytes as they are queued (TCP delivers every queued byte), so no
-// size-walking ever runs on this path.
+// size-walking ever runs on this path. Control records (HELLO) are
+// transport overhead and deliberately excluded, so the committed no-fault
+// socket.* bench counts are untouched by the fault-tolerance machinery.
 //
 // Quiescence reuses ThreadRuntime's credit-counting proof: outstanding_
 // counts running programs + every sent-but-unprocessed message; a merge
 // into staging retires the merged frame's credit immediately (its bytes
-// are now owed by the staging frame's credit). run() blocks until the
-// counter proves no work exists or can be created, then joins.
+// are now owed by the staging frame's credit). A monitor record lost with
+// a killed connection retires its credit at HELLO reconciliation. run()
+// blocks until the counter proves no work exists or can be created, then
+// joins. A node thread that fails (reconnect budget exhausted, wire
+// corruption) stores its exception and run() rethrows it after joining --
+// transport errors surface to the caller, never std::terminate.
 //
 // Thread-safety contract: all callbacks for node i run on node i's thread.
 // Channel send state is per-channel mutex-guarded (off-thread sends are
 // legal, as in ThreadRuntime); epoll interest updates for a channel happen
-// under that same mutex.
+// under that same mutex. The channel fd's lifecycle (close, replace) is
+// owner-thread only: foreign senders that hit a dead socket set a flag and
+// wake the owner instead of touching the fd.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -61,6 +89,26 @@
 #include "decmon/distributed/trace.hpp"
 
 namespace decmon {
+
+/// Seeded socket-level fault injection: connection kills are abortive
+/// (SO_LINGER 0 -> RST), so queued and in-flight bytes genuinely die and
+/// the reconnect/replay/reconcile machinery has to earn the verdicts.
+struct SocketFaultPlan {
+  bool enabled = false;
+  std::uint64_t seed = 7;
+  /// Per-channel kill threshold, drawn seeded in [kill_after_min,
+  /// kill_after_max]: the connection dies right after that many monitor
+  /// records were fully written on the channel.
+  std::uint32_t kill_after_min = 8;
+  std::uint32_t kill_after_max = 64;
+  /// Global budget of connection kills across the whole run.
+  int max_kills = 1;
+  /// Optional node kill: once `kill_node` has dispatched
+  /// `kill_node_after` monitor records, every one of its links dies at
+  /// once (does not consume max_kills budget). -1 disables.
+  int kill_node = -1;
+  std::uint32_t kill_node_after = 0;
+};
 
 struct SocketConfig {
   /// Wall-clock seconds per trace second (same convention as ThreadConfig).
@@ -79,6 +127,13 @@ struct SocketConfig {
   /// being encoded eagerly and coalesce in staging instead.
   std::size_t max_queue_bytes = 1 << 20;
   std::uint64_t seed = 1;
+  /// Reconnect backoff after a link failure: attempt k waits
+  /// min(cap, base * 2^k) milliseconds, scaled by seeded jitter in
+  /// [0.5, 1.5). Exhausting the attempt budget is a run error.
+  double reconnect_base_ms = 1.0;
+  double reconnect_cap_ms = 100.0;
+  int max_reconnect_attempts = 60;
+  SocketFaultPlan fault;
 };
 
 /// Incremental reassembly of `[u32 len][type][body]` records from a TCP
@@ -100,6 +155,11 @@ class FrameReassembler {
   /// truncated mid-record.
   bool mid_record() const { return buf_.size() - pos_ > 0; }
   std::size_t buffered() const { return buf_.size() - pos_; }
+  /// Discard all buffered bytes (a reconnected stream starts clean).
+  void reset() {
+    buf_.clear();
+    pos_ = 0;
+  }
 
  private:
   std::vector<std::uint8_t> buf_;
@@ -119,7 +179,8 @@ class SocketRuntime final : public MonitorNetwork {
 
   /// Run to quiescence (blocking): all trace actions executed, all bytes
   /// delivered, all messages processed. On return every node thread has
-  /// been joined -- no callback can fire afterwards.
+  /// been joined -- no callback can fire afterwards. Rethrows the first
+  /// node-thread failure (e.g. a link whose reconnect budget ran out).
   void run();
 
   // MonitorNetwork (safe from any thread; sender identity is msg.from):
@@ -131,6 +192,14 @@ class SocketRuntime final : public MonitorNetwork {
   int num_processes() const { return static_cast<int>(nodes_.size()); }
   const std::vector<std::vector<Event>>& history() const { return history_; }
   std::vector<LocalState> initial_states() const;
+
+  /// Abortively kill the live connection of the (a, b) pair (RST both
+  /// ways; in-flight bytes die). Safe from any thread, including mid-run
+  /// test drivers; a no-op if the link is already down.
+  void kill_connection(int a, int b);
+  /// Kill every link of `node` at once (the transport face of a node
+  /// crash). The mesh re-forms through the normal reconnect path.
+  void kill_node(int node);
 
   // Transport-truth counters (stable after run() returns).
   std::uint64_t program_events() const { return program_events_; }
@@ -152,27 +221,75 @@ class SocketRuntime final : public MonitorNetwork {
   /// Nonblocking writes that could not take the whole residue (EAGAIN or
   /// short write) -- proof the partial-write path actually ran.
   std::uint64_t partial_writes() const { return partial_writes_; }
+  // Fault-tolerance counters (DESIGN.md §13).
+  /// Successful link re-establishments (counted once per outage, on the
+  /// reconnecting side).
+  std::uint64_t reconnects() const { return reconnects_; }
+  /// Monitor records lost with a killed connection (credits retired at
+  /// HELLO reconciliation; the reliable channel above re-sends content).
+  std::uint64_t disconnect_drops() const { return disconnect_drops_; }
+  /// Connections the seeded fault plan (or kill_connection/kill_node)
+  /// actually killed.
+  std::uint64_t connections_killed() const { return connections_killed_; }
 
  private:
   using Clock = std::chrono::steady_clock;
 
+  enum class LinkState : std::uint8_t {
+    kUp,         ///< connected, HELLO exchanged, data flows
+    kDown,       ///< no socket; connector side is backing off to retry
+    kConnecting, ///< nonblocking connect() in flight (connector side)
+    kHelloWait,  ///< connected, our HELLO sent, waiting for the peer's
+  };
+
+  /// One encoded record awaiting the socket, tagged with its plane so the
+  /// reconnect path can tell replayable app records from droppable monitor
+  /// records and uncounted control records.
+  struct OutRecord {
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t kind = 0;
+  };
+
   /// Sender side of one directed (from, to) socket channel. All fields are
   /// guarded by `mutex`; epoll interest for the fd is changed only while
-  /// holding it (the owner loop and foreign senders both flush).
+  /// holding it (the owner loop and foreign senders both flush). The fd
+  /// itself is closed/replaced only on the owner's thread.
   struct Channel {
     std::mutex mutex;
     int fd = -1;
     int owner_epoll = -1;  ///< sender-side epoll watching this fd for OUT
+    int self = -1;         ///< owning node
     int peer = -1;         ///< destination node (epoll event data)
+    LinkState state = LinkState::kUp;
+    /// Foreign flush hit a fatal socket error; the owner must tear the
+    /// link down (fd lifecycle is owner-thread only).
+    bool io_error = false;
+    /// Fault injector tripped; the owner performs the abortive close.
+    bool kill_pending = false;
     /// Encoded records awaiting the socket; front record may be partially
     /// written (`front_off` bytes already gone).
-    std::deque<std::vector<std::uint8_t>> queue;
+    std::deque<OutRecord> queue;
     std::size_t front_off = 0;
     std::size_t queued_bytes = 0;
     /// Congestion parking spot: frames coalesce here while queue is
     /// nonempty (see file comment). Owns one outstanding_ credit when set.
     std::unique_ptr<PayloadFrame> staging;
     bool want_write = false;  ///< EPOLLOUT currently armed
+    // -- fault-tolerance bookkeeping --
+    /// Monitor records fully written over all connection incarnations.
+    std::uint64_t mon_written = 0;
+    /// Monitor records already reconciled as lost (subset of mon_written).
+    std::uint64_t mon_lost = 0;
+    /// Replay log of app records: entry k holds logical app record
+    /// app_log_base + k. Replayed from the peer's HELLO count.
+    std::deque<std::vector<std::uint8_t>> app_log;
+    std::uint64_t app_log_base = 0;
+    // -- reconnect backoff (owner thread) --
+    int attempts = 0;
+    Clock::time_point next_attempt_at{};
+    std::uint64_t rng_state = 0;  ///< seeded jitter stream
+    /// Monitor records until the seeded kill fires; 0 = disarmed.
+    std::uint32_t kill_countdown = 0;
   };
 
   /// Delayed self-delivery (reliable-channel retransmit timers).
@@ -186,12 +303,20 @@ class SocketRuntime final : public MonitorNetwork {
     }
   };
 
+  /// An accepted connection whose identifying HELLO has not fully arrived.
+  struct PendingAccept {
+    int fd = -1;
+    std::vector<std::uint8_t> buf;
+  };
+
   struct Node {
     std::unique_ptr<ProgramProcess> process;
     int expected_receives = 0;
     int receives_left = 0;  ///< own thread only
     int epoll_fd = -1;
-    int event_fd = -1;  ///< cross-thread wakeup (timers, stop)
+    int event_fd = -1;   ///< cross-thread wakeup (timers, stop)
+    int listen_fd = -1;  ///< persistent listener (accepts reconnects)
+    std::uint16_t listen_port = 0;
     /// Record-body scratch for decoding; own thread only.
     std::vector<std::uint8_t> scratch;
     /// Self-delivery queue: immediate self-sends and due timers, guarded
@@ -202,9 +327,21 @@ class SocketRuntime final : public MonitorNetwork {
     /// thread.
     std::vector<FrameReassembler> reassembly;
     std::vector<bool> peer_open;
+    /// Complete records dispatched per peer on the inbound stream --
+    /// advertised in our HELLOs so a reconnecting sender knows what to
+    /// replay (app) and what died (monitor). Own thread only.
+    std::vector<std::uint64_t> app_recv;
+    std::vector<std::uint64_t> mon_recv;
+    std::uint64_t mon_recv_total = 0;  ///< node-kill trigger counter
+    /// Accepted-but-unidentified connections; own thread only.
+    std::vector<PendingAccept> pending;
+    /// Some owned link needs service (failure teardown, reconnect timer,
+    /// pending kill). Set by foreign threads before waking the owner.
+    std::atomic<bool> links_dirty{false};
   };
 
   void node_main(int index);
+  void node_body(int index);
   void record_event(int index, const Event& event);
   void broadcast_app(int index, const AppMessage& message);
   void read_peer(int index, int peer);
@@ -215,9 +352,48 @@ class SocketRuntime final : public MonitorNetwork {
   /// Caller must hold ch.mutex.
   void encode_record_locked(Channel& ch, const NetPayload& payload);
   /// Drain ch.queue (and then staging) into the socket until empty or
-  /// EAGAIN; arms/clears EPOLLOUT to match. Caller must hold ch.mutex.
+  /// EAGAIN; arms/clears EPOLLOUT to match. No-op unless the link is up.
+  /// Caller must hold ch.mutex.
   void flush_locked(Channel& ch);
   void materialize_staging_locked(Channel& ch);
+
+  // -- link lifecycle (owner thread unless noted) --
+  /// Tear the link down after a failure (or abortively for a kill) and
+  /// start the reconnect clock on the connector side.
+  void link_down(int index, int peer, bool abortive);
+  /// Core of link_down; caller must hold ch.mutex.
+  void link_down_locked(Channel& ch, bool abortive);
+  /// Arm the next reconnect attempt with capped exponential backoff and
+  /// seeded jitter. Caller must hold ch.mutex.
+  void schedule_retry_locked(Channel& ch);
+  /// Per-iteration link service: teardowns flagged by foreign threads,
+  /// pending kills, and due reconnect attempts. Returns the earliest
+  /// deadline the epoll wait must honor (time_point::max() if none).
+  Clock::time_point service_links(int index);
+  /// Begin (or finish, when it completes immediately) a nonblocking
+  /// connect to `peer`'s listener. Caller must hold ch.mutex.
+  void begin_connect_locked(Channel& ch);
+  /// Connection established: socket options, HELLO, epoll registration.
+  /// Caller must hold ch.mutex.
+  void finish_connect_locked(Channel& ch, int fd);
+  /// Handle EPOLLOUT/EPOLLERR on an in-flight connect.
+  void on_connect_ready(int index, int peer);
+  /// Accept every pending connection on the node's listener.
+  void accept_pending(int index);
+  /// Try to identify a pending accepted connection by its HELLO; installs
+  /// the fd as the peer's channel socket once complete.
+  void identify_pending(int index, int pending_fd);
+  /// Process a peer HELLO for the (index -> peer) send direction: drop
+  /// delivered app-log prefix, requeue the rest, retire lost monitor
+  /// records, raise the link to kUp and flush.
+  void process_hello(int index, int peer, std::uint64_t app_received,
+                     std::uint64_t mon_received);
+  /// Write a control record directly to the (fresh) socket, bypassing the
+  /// data queue; false on a socket failure. Caller must hold ch.mutex.
+  bool send_hello_locked(Channel& ch);
+  /// Flag the channel for an abortive close by its owner (any thread).
+  void request_kill(int from, int to);
+
   Channel& channel(int from, int to) {
     return *channels_[static_cast<std::size_t>(from) * nodes_.size() +
                       static_cast<std::size_t>(to)];
@@ -240,6 +416,12 @@ class SocketRuntime final : public MonitorNetwork {
   std::atomic<std::int64_t> outstanding_{0};
   std::mutex quiesce_mutex_;
   std::condition_variable quiesce_cv_;
+  /// First node-thread failure; rethrown by run() after joining.
+  std::mutex error_mutex_;
+  std::exception_ptr run_error_;
+  std::atomic<bool> failed_{false};
+  std::atomic<int> kills_left_{0};
+  std::atomic<bool> node_kill_armed_{false};
 
   std::atomic<std::uint64_t> app_messages_{0};
   std::atomic<std::uint64_t> monitor_sends_{0};
@@ -251,6 +433,9 @@ class SocketRuntime final : public MonitorNetwork {
   std::atomic<std::uint64_t> coalesced_frames_{0};
   std::atomic<std::uint64_t> partial_writes_{0};
   std::atomic<std::uint64_t> timer_seq_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> disconnect_drops_{0};
+  std::atomic<std::uint64_t> connections_killed_{0};
 };
 
 }  // namespace decmon

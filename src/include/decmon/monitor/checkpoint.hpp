@@ -16,7 +16,10 @@
 // Version 2 prepends the streaming-GC window state to the body -- the
 // history base offset, per-peer trim floors and the GC cadence counter --
 // and the history section holds only the retained window (events
-// base..base+count). Version-1 blobs still restore (base 0, floors 0).
+// base..base+count). Version 3 appends the floor-resync epoch state
+// (DESIGN.md §13): our advertisement epoch plus the stored epoch of each
+// peer's floor. Version-1 blobs still restore (base 0, floors 0), as do
+// version-2 blobs (all epochs 0 -- the pre-resync world).
 // The CRC (wire_crc32, reflected 0xEDB88320) covers every byte before it.
 // Unordered sets are written sorted, so snapshot -> restore -> snapshot is
 // byte-identical. Decoding is all-or-nothing: any truncation, flipped byte,
@@ -40,7 +43,7 @@ class CheckpointError : public WireError {
   explicit CheckpointError(const std::string& what) : WireError(what) {}
 };
 
-inline constexpr std::uint8_t kCheckpointVersion = 2;
+inline constexpr std::uint8_t kCheckpointVersion = 3;
 
 /// Snapshot the monitor's full algorithmic state. The monitor must be
 /// quiescent (not inside a dispatch) -- checkpoints are taken between hook

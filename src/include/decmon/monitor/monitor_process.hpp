@@ -162,9 +162,19 @@ class MonitorProcess {
   /// Takes ownership of the frame shell (it lands in this monitor's pool).
   void on_frame(std::unique_ptr<PayloadFrame> frame, double now);
   /// GC floor gossip from `peer` (streaming posture): the peer's live views
-  /// will never again reference our events below `floor`. Monotone --
-  /// duplicated or reordered floors are absorbed by the max.
-  void on_history_floor(int peer, std::uint32_t floor, double now);
+  /// will never again reference our events below `floor`. Monotone within
+  /// one `epoch` -- duplicated or reordered floors are absorbed by the max.
+  /// A higher epoch (the peer restarted from a checkpoint) REPLACES the
+  /// stored floor, clamping it down to the rewound promise; floors from a
+  /// lower (pre-crash) epoch are stale and ignored (DESIGN.md §13).
+  void on_history_floor(int peer, std::uint32_t floor, std::uint32_t epoch,
+                        double now);
+  /// Floor-resync handshake (DESIGN.md §13): called by the recovery layer
+  /// after this monitor is restored from a checkpoint. Bumps the
+  /// advertisement epoch and re-advertises the restored (possibly rewound)
+  /// per-peer floors so peers clamp their folds instead of trusting the
+  /// pre-crash promises. No-op outside the streaming posture.
+  void resync_floors(double now);
 
   /// Return a drained TokenMessage shell (its token moved out) to this
   /// monitor's free list: the next token this monitor sends reuses it.
@@ -195,6 +205,20 @@ class MonitorProcess {
   std::uint32_t history_base() const { return history_base_; }
   /// Retained history window size (events currently held).
   std::size_t history_size() const { return history_.size(); }
+  /// One past the last appended sequence number (the pre-GC history size).
+  std::uint32_t history_end() const {
+    return history_base_ + static_cast<std::uint32_t>(history_.size());
+  }
+  /// The highest sequence number safe to trim below: the min over live-view
+  /// cursors, parked-token cuts, and the gossiped peer floors (so the fold
+  /// driven by on_history_floor is observable without touching internals).
+  std::uint32_t trim_bound() const;
+  /// Streaming GC sweep: gossip our per-peer floors, then trim the history
+  /// prefix no live path -- local cursor, parked token, or remote walk
+  /// (bounded by the gossiped peer floors) -- can revisit. Driven on the
+  /// gc_interval cadence internally; public so recovery tooling and tests
+  /// can force a sweep at an exact boundary.
+  void gc_sweep(double now);
 
   /// Callback invoked on each declared satisfaction/violation (optional).
   using VerdictCallback = std::function<void(Verdict, double now)>;
@@ -207,16 +231,11 @@ class MonitorProcess {
   const Event& event_at(std::uint32_t sn) const {
     return history_[static_cast<std::size_t>(sn - history_base_)];
   }
-  /// One past the last appended sequence number (the pre-GC history size).
-  std::uint32_t history_end() const {
-    return history_base_ + static_cast<std::uint32_t>(history_.size());
-  }
-  /// Streaming GC sweep: gossip our per-peer floors, then trim the history
-  /// prefix no live path -- local cursor, parked token, or remote walk
-  /// (bounded by the gossiped peer floors) -- can revisit.
-  void gc_sweep(double now);
-  /// The highest sequence number safe to trim below (see gc_sweep).
-  std::uint32_t trim_bound() const;
+  /// Stage one HistoryFloorMessage per peer carrying the current per-peer
+  /// floors (min live-view cut component) under floor_epoch_. Silent when no
+  /// view is live: the last advertisement then stands and is vacuously
+  /// satisfiable, since every future walk descends from an existing view.
+  void advertise_floors();
 
   // -- event path (Alg. 2) --
   void drain(GlobalView& gv, double now);
@@ -286,8 +305,15 @@ class MonitorProcess {
   /// Absolute sn of history_[0]; 0 until streaming GC first trims.
   std::uint32_t history_base_ = 0;
   /// Per-peer GC floors received via gossip: peer j's live views never
-  /// reference our events below peer_floor_[j]. Monotone nondecreasing.
+  /// reference our events below peer_floor_[j]. Monotone nondecreasing
+  /// within peer_floor_epoch_[j]; a peer's epoch bump (crash + restore)
+  /// replaces the slot, the one sanctioned regression (DESIGN.md §13).
   std::vector<std::uint32_t> peer_floor_;
+  /// Advertisement epoch of the stored peer_floor_[j] value.
+  std::vector<std::uint32_t> peer_floor_epoch_;
+  /// Our own advertisement epoch: bumped by resync_floors after a
+  /// checkpoint restore, stamped on every outgoing floor message.
+  std::uint32_t floor_epoch_ = 0;
   /// Local events since the last gc_sweep (streaming cadence counter).
   std::uint32_t events_since_gc_ = 0;
   /// Deque: views are pushed while references to existing views are live on

@@ -33,6 +33,7 @@ struct MonitorStats {
   std::uint64_t history_trimmed = 0;  ///< events removed from the window
   std::uint64_t peak_history = 0;     ///< max retained history window
   std::uint64_t floor_messages = 0;   ///< GC floor gossip messages sent
+  std::uint64_t resync_floors = 0;    ///< floor-resync handshakes after restore
 
   // -- crash tolerance (filled in from ReliableChannel / CrashInjector
   //    counters by the harnesses; zero on fault-free runs) --

@@ -193,18 +193,24 @@ struct TerminationMessage final : NetPayload {
 
 /// Streaming-GC gossip (DESIGN.md §12): the sender promises that no token
 /// walk or view spawn it can still launch references the receiver's events
-/// below `floor`. Floors are monotone at the receiver (max-merge), so
-/// duplicated or reordered copies are harmless.
+/// below `floor`. Within one epoch floors are monotone at the receiver
+/// (max-merge), so duplicated or reordered copies are harmless. `epoch`
+/// rises when the sender restarts from a checkpoint (DESIGN.md §13): a
+/// higher epoch REPLACES the stored floor -- the one case where a floor may
+/// legitimately regress -- and reordered stale advertisements from the
+/// pre-crash epoch are ignored rather than re-raising the clamped value.
 struct HistoryFloorMessage final : NetPayload {
   static constexpr std::uint8_t kTag = 6;
   HistoryFloorMessage() : NetPayload(kTag) {}
   int process = -1;          ///< sender index
   std::uint32_t floor = 0;   ///< receiver-local sequence number bound
+  std::uint32_t epoch = 0;   ///< sender's advertisement epoch (crash count)
 
   std::unique_ptr<NetPayload> clone() const override {
     auto copy = std::make_unique<HistoryFloorMessage>();
     copy->process = process;
     copy->floor = floor;
+    copy->epoch = epoch;
     return copy;
   }
 };

@@ -146,6 +146,12 @@ class CheckpointCodec {
     for (std::uint32_t f : m.peer_floor_) w.u32(f);
     w.u32(m.events_since_gc_);
 
+    // v3: floor-resync epochs (DESIGN.md §13). Durable so a restored node's
+    // resync bump is strictly above everything its dead incarnation sent,
+    // and so stale pre-crash advertisements stay recognizable after restore.
+    w.u32(m.floor_epoch_);
+    for (std::uint32_t e : m.peer_floor_epoch_) w.u32(e);
+
     w.u32(static_cast<std::uint32_t>(m.history_.size()));
     for (const Event& e : m.history_) write_event(w, e);
     w.u32(static_cast<std::uint32_t>(m.views_.size()));
@@ -182,7 +188,7 @@ class CheckpointCodec {
       if (r.u8() != b) throw CheckpointError("bad checkpoint magic");
     }
     const std::uint8_t version = r.u8();
-    if (version != 1 && version != kCheckpointVersion) {
+    if (version < 1 || version > kCheckpointVersion) {
       throw CheckpointError("unsupported checkpoint version");
     }
     if (r.u32() != static_cast<std::uint32_t>(m.index_)) {
@@ -199,14 +205,21 @@ class CheckpointCodec {
     const std::size_t n = static_cast<std::size_t>(m.n_);
 
     // v1 blobs predate the streaming GC: the window starts at 0 and no
-    // floors were ever advertised.
+    // floors were ever advertised. v2 blobs predate the floor-resync
+    // epochs: everything sits in epoch 0.
     std::uint32_t history_base = 0;
     std::vector<std::uint32_t> peer_floor(n, 0);
     std::uint32_t events_since_gc = 0;
-    if (version == kCheckpointVersion) {
+    std::uint32_t floor_epoch = 0;
+    std::vector<std::uint32_t> peer_floor_epoch(n, 0);
+    if (version >= 2) {
       history_base = r.u32();
       for (std::size_t i = 0; i < n; ++i) peer_floor[i] = r.u32();
       events_since_gc = r.u32();
+    }
+    if (version >= 3) {
+      floor_epoch = r.u32();
+      for (std::size_t i = 0; i < n; ++i) peer_floor_epoch[i] = r.u32();
     }
 
     const std::uint32_t history_n = r.u32();
@@ -262,6 +275,8 @@ class CheckpointCodec {
     m.history_ = std::move(history);
     m.history_base_ = history_base;
     m.peer_floor_ = std::move(peer_floor);
+    m.peer_floor_epoch_ = std::move(peer_floor_epoch);
+    m.floor_epoch_ = floor_epoch;
     m.events_since_gc_ = events_since_gc;
     m.views_ = std::move(views);
     m.w_tokens_ = std::move(w_tokens);

@@ -59,6 +59,15 @@ void CrashInjector::restart(double now) {
   }
   phase_ = Phase::kRecovered;
   ++stats_.restarts;
+  // Floor-resync handshake (DESIGN.md §13): the restored window state --
+  // base offset and the floors we last advertised through gc_sweep -- may
+  // sit BELOW what the dead incarnation promised peers after this
+  // checkpoint was taken. Re-advertise under a bumped epoch so peers clamp
+  // their monotone folds down to the rewound promise before anything the
+  // replayed journal provokes reaches them. Runs after the byte-identity
+  // check above (the epoch bump is new state, not part of the round trip)
+  // and is a no-op outside the streaming posture.
+  monitors_->monitor(plan_.node).resync_floors(now);
   // Replay the durable local log the node accumulated while down.
   for (const JournalEntry& entry : journal_) {
     if (entry.termination) {

@@ -59,7 +59,7 @@ void DecentralizedMonitor::on_monitor_message(MonitorMessage msg, double now) {
         now);
   } else if (payload != nullptr && payload->tag == HistoryFloorMessage::kTag) {
     auto* floor = static_cast<HistoryFloorMessage*>(payload);
-    target.on_history_floor(floor->process, floor->floor, now);
+    target.on_history_floor(floor->process, floor->floor, floor->epoch, now);
   } else {
     throw std::invalid_argument(
         "DecentralizedMonitor: unknown monitor message payload");

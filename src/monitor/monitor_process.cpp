@@ -43,6 +43,7 @@ MonitorProcess::MonitorProcess(int index, const CompiledProperty* property,
       net_(network),
       options_(options),
       peer_floor_(static_cast<std::size_t>(n_), 0),
+      peer_floor_epoch_(static_cast<std::size_t>(n_), 0),
       peer_last_sn_(static_cast<std::size_t>(n_), kRunning) {
   if (static_cast<int>(initial_letters.size()) != n_) {
     throw std::invalid_argument("MonitorProcess: bad initial_letters size");
@@ -664,7 +665,7 @@ void MonitorProcess::on_frame(std::unique_ptr<PayloadFrame> frame,
         on_peer_termination(t.process, t.last_sn, now);
       } else if (unit->tag == HistoryFloorMessage::kTag) {
         const auto& f = static_cast<const HistoryFloorMessage&>(*unit);
-        on_history_floor(f.process, f.floor, now);
+        on_history_floor(f.process, f.floor, f.epoch, now);
       }
       // Other tags never appear inside a monitor-built frame; tolerate and
       // skip them (a hostile decoded frame cannot make this path throw).
@@ -1122,12 +1123,25 @@ void MonitorProcess::on_peer_termination(int peer, std::uint32_t last_sn,
 // ---------------------------------------------------------------------------
 
 void MonitorProcess::on_history_floor(int peer, std::uint32_t floor,
-                                      double now) {
+                                      std::uint32_t epoch, double now) {
   (void)now;
   if (peer < 0 || peer >= n_ || peer == index_) return;  // hostile decode
-  // Floors only rise: a duplicated or reordered gossip message can carry a
-  // stale (lower) value, and taking the max absorbs it.
   std::uint32_t& slot = peer_floor_[static_cast<std::size_t>(peer)];
+  std::uint32_t& slot_epoch = peer_floor_epoch_[static_cast<std::size_t>(peer)];
+  if (epoch > slot_epoch) {
+    // Floor-resync (DESIGN.md §13): the peer restarted from a checkpoint and
+    // re-advertises its rewound promise. Replace, never max: the clamp is
+    // the entire point, and any higher value we stored belongs to the dead
+    // pre-crash epoch. Lowering the fold only blocks future trims -- history
+    // already trimmed above the clamp is covered by the below-base guard,
+    // which fails duplicate re-walks into the gone prefix.
+    slot_epoch = epoch;
+    slot = floor;
+    return;
+  }
+  if (epoch < slot_epoch) return;  // stale pre-crash advertisement, reordered
+  // Same epoch: floors only rise. A duplicated or reordered gossip message
+  // can carry a stale (lower) value, and taking the max absorbs it.
   slot = std::max(slot, floor);
 }
 
@@ -1163,9 +1177,7 @@ std::uint32_t MonitorProcess::trim_bound() const {
   return bound;
 }
 
-void MonitorProcess::gc_sweep(double now) {
-  (void)now;
-  ++stats_.gc_sweeps;
+void MonitorProcess::advertise_floors() {
   // Gossip our floors: for each peer j, the smallest j-component across our
   // live views -- no walk or spawn we can still launch ever references j's
   // events below it (entry cuts start at a live view's cut and only grow,
@@ -1184,16 +1196,40 @@ void MonitorProcess::gc_sweep(double now) {
                    gv.cut[static_cast<std::size_t>(j)]);
     }
   }
-  if (any_live) {
-    for (int j = 0; j < n_; ++j) {
-      if (j == index_) continue;
-      auto payload = std::make_unique<HistoryFloorMessage>();
-      payload->process = index_;
-      payload->floor = floors[static_cast<std::size_t>(j)];
-      ++stats_.floor_messages;
-      stage_send(j, std::move(payload));
-    }
+  if (!any_live) return;
+  for (int j = 0; j < n_; ++j) {
+    if (j == index_) continue;
+    auto payload = std::make_unique<HistoryFloorMessage>();
+    payload->process = index_;
+    payload->floor = floors[static_cast<std::size_t>(j)];
+    payload->epoch = floor_epoch_;
+    ++stats_.floor_messages;
+    stage_send(j, std::move(payload));
   }
+}
+
+void MonitorProcess::resync_floors(double now) {
+  if (!options_.streaming) return;
+  ++stats_.resync_floors;
+  {
+    DepthGuard guard(dispatch_depth_);
+    // The restored floor_epoch_ equals the pre-crash value (stride-1
+    // checkpoints cover it), so the bump makes this restart's advertisements
+    // strictly newer than anything the dead incarnation sent. Peers replace
+    // their stored fold on the first message of the new epoch -- even when
+    // the re-advertised floor is LOWER than the pre-crash promise -- and
+    // discard reordered stragglers from the old one.
+    ++floor_epoch_;
+    advertise_floors();
+  }
+  flush_staged();
+  (void)now;
+}
+
+void MonitorProcess::gc_sweep(double now) {
+  (void)now;
+  ++stats_.gc_sweeps;
+  advertise_floors();
   const std::uint32_t bound = trim_bound();
   if (bound > history_base_) {
     const std::size_t k = static_cast<std::size_t>(bound - history_base_);

@@ -24,6 +24,7 @@ MonitorStats& MonitorStats::operator+=(const MonitorStats& other) {
   history_trimmed += other.history_trimmed;
   peak_history = std::max(peak_history, other.peak_history);
   floor_messages += other.floor_messages;
+  resync_floors += other.resync_floors;
   retransmissions += other.retransmissions;
   acks_sent += other.acks_sent;
   dup_suppressed += other.dup_suppressed;

@@ -298,6 +298,7 @@ void write_frame_unit(WireWriter& w, const NetPayload& unit,
     w.u8(static_cast<std::uint8_t>(WireKind::kFloor));
     w.var(static_cast<std::uint64_t>(msg.process));
     w.var(msg.floor);
+    w.var(msg.epoch);
   } else {
     // Nested frames and transport-internal payloads never appear inside a
     // monitor-built frame.
@@ -328,6 +329,7 @@ std::unique_ptr<NetPayload> read_frame_unit(WireReader& r,
     if (process > kMaxWireProcesses) throw WireError("bad target process");
     msg->process = static_cast<int>(process);
     msg->floor = checked_u32(r.var(), "bad floor");
+    msg->epoch = checked_u32(r.var(), "bad floor epoch");
     return msg;
   }
   throw WireError("unknown frame unit kind");
@@ -428,7 +430,7 @@ std::size_t frame_unit_wire_size(const NetPayload& unit,
   if (unit.tag == HistoryFloorMessage::kTag) {
     const auto& msg = static_cast<const HistoryFloorMessage&>(unit);
     return 1 + WireWriter::var_size(static_cast<std::uint64_t>(msg.process)) +
-           WireWriter::var_size(msg.floor);
+           WireWriter::var_size(msg.floor) + WireWriter::var_size(msg.epoch);
   }
   throw WireError("frame unit tag has no wire form");
 }
@@ -540,6 +542,7 @@ void encode_payload_impl(WireWriter& w, const NetPayload& payload) {
     w.u8(static_cast<std::uint8_t>(WireKind::kFloor));
     w.var(static_cast<std::uint64_t>(msg.process));
     w.var(msg.floor);
+    w.var(msg.epoch);
   } else if (payload.tag == PayloadFrame::kTag) {
     const auto& frame = static_cast<const PayloadFrame&>(payload);
     const VectorClock base = frame_base(frame);
@@ -663,6 +666,7 @@ std::unique_ptr<NetPayload> decode_payload(
       if (process > kMaxWireProcesses) throw WireError("bad target process");
       msg->process = static_cast<int>(process);
       msg->floor = checked_u32(r.var(), "bad floor");
+      msg->epoch = checked_u32(r.var(), "bad floor epoch");
       r.done();
       return msg;
     }

@@ -226,6 +226,87 @@ TEST(Checkpoint, CorruptionFuzzNeverCrashesOrSilentlyRestores) {
   EXPECT_EQ(checkpoint_monitor(target), blob);  // every failure was clean
 }
 
+/// Minimal sink for monitors driven directly (no runtime underneath):
+/// collects floor gossip so epoch stamps are observable.
+class FloorSink final : public MonitorNetwork {
+ public:
+  void send(MonitorMessage msg) override {
+    if (msg.payload && msg.payload->tag == PayloadFrame::kTag) {
+      auto* frame = static_cast<PayloadFrame*>(msg.payload.get());
+      for (const auto& unit : frame->units) {
+        if (unit->tag == HistoryFloorMessage::kTag) {
+          floors.push_back(static_cast<const HistoryFloorMessage&>(*unit));
+        }
+      }
+      return;
+    }
+    if (msg.payload && msg.payload->tag == HistoryFloorMessage::kTag) {
+      floors.push_back(static_cast<const HistoryFloorMessage&>(*msg.payload));
+    }
+  }
+  double now() const override { return 0.0; }
+  std::vector<HistoryFloorMessage> floors;
+};
+
+TEST(Checkpoint, StreamingWindowSurvivesAMidGcCrash) {
+  // The crash×GC corner the v3 format exists for: a monitor that has
+  // already trimmed its window AND holds epoch-stamped peer promises must
+  // checkpoint byte-identically, and the restored replica must carry the
+  // whole floor state -- base, per-peer folds, both epochs -- not just the
+  // views. A restore that forgot an epoch would either accept pre-crash
+  // stragglers (unsound trims) or mis-stamp its own resync.
+  AtomRegistry reg = testing::standard_registry(2);
+  MonitorAutomaton m = synthesize_monitor(parse_ltl("F(P0.p && P1.p)", reg));
+  CompiledProperty prop(&m, &reg);
+  MonitorOptions options;
+  options.streaming = true;
+  options.gc_interval = 1000;  // manual sweeps keep the scenario exact
+
+  FloorSink net;
+  MonitorProcess mon(0, &prop, &net, {0, 0}, options);
+  for (std::uint32_t sn = 1; sn <= 8; ++sn) {
+    Event e;
+    e.type = EventType::kInternal;
+    e.process = 0;
+    e.sn = sn;
+    e.vc = VectorClock{sn, 0};
+    e.letter = 0;
+    mon.on_local_event(e, double(sn));
+  }
+  // The peer is already in epoch 1 (it crashed once) and has promised up
+  // to 5; one sweep trims the window, one resync bumps our own epoch.
+  mon.on_history_floor(1, 5, /*epoch=*/1, 9.0);
+  mon.gc_sweep(9.5);
+  ASSERT_EQ(mon.history_base(), 5u);
+  mon.resync_floors(9.8);
+  ASSERT_EQ(mon.stats().resync_floors, 1u);
+
+  const std::vector<std::uint8_t> blob = checkpoint_monitor(mon);
+  FloorSink fresh_net;
+  MonitorProcess fresh(0, &prop, &fresh_net, {0, 0}, options);
+  restore_monitor(fresh, blob);
+  EXPECT_EQ(checkpoint_monitor(fresh), blob);
+  EXPECT_EQ(fresh.history_base(), 5u);
+  EXPECT_EQ(fresh.history_end(), 9u);  // initial state + 8 events
+
+  // Peer epoch survived: a pre-crash (epoch-0) straggler with a higher
+  // floor must still be ignored by the restored fold.
+  fresh.on_history_floor(1, 7, 0, 10.0);
+  fresh.gc_sweep(10.5);
+  EXPECT_EQ(fresh.history_base(), 5u);
+
+  // Our own epoch survived: the next resync stamps epoch 2, strictly above
+  // everything the pre-checkpoint incarnation ever sent.
+  fresh.resync_floors(11.0);
+  ASSERT_FALSE(fresh_net.floors.empty());
+  EXPECT_EQ(fresh_net.floors.back().epoch, 2u);
+
+  // And the restored window still trims forward once the peer catches up.
+  fresh.on_history_floor(1, 8, 1, 12.0);
+  fresh.gc_sweep(12.5);
+  EXPECT_EQ(fresh.history_base(), 8u);
+}
+
 TEST(Checkpoint, GarbageIsRejected) {
   AtomRegistry reg = testing::standard_registry(2);
   MonitorAutomaton m = synthesize_monitor(parse_ltl("F(P0.p)", reg));

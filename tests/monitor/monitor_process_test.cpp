@@ -288,6 +288,148 @@ TEST(MonitorProcessUnit, EventsQueueBehindOutstandingToken) {
   EXPECT_GT(m.stats().events_delayed, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Streaming-GC floor fold under crash epochs (DESIGN.md §13). The fold is
+// observable through trim_bound(): the per-peer slot is one of its minima.
+// ---------------------------------------------------------------------------
+
+/// Count and inspect the HistoryFloorMessage units a monitor sent.
+std::vector<HistoryFloorMessage> floors_sent(const CapturingNetwork& net) {
+  std::vector<HistoryFloorMessage> out;
+  for (const MonitorMessage& m : net.sent) {
+    if (auto* f = dynamic_cast<HistoryFloorMessage*>(m.payload.get())) {
+      out.push_back(*f);
+    }
+  }
+  return out;
+}
+
+TEST(MonitorProcessUnit, FloorFoldMaxesWithinAnEpoch) {
+  // Duplicated and reordered gossip within one epoch is absorbed by the
+  // max; the fold never regresses without an epoch bump.
+  Fixture f("F(P0.p && P1.p)", 2);
+  MonitorProcess m(0, &f.prop, &f.net, {0, 0});
+  for (std::uint32_t sn = 1; sn <= 8; ++sn) {
+    m.on_local_event(make_event(0, sn, VectorClock{sn, 0}, 0), double(sn));
+  }
+  EXPECT_EQ(m.trim_bound(), 0u);  // silent peer pins the bound at 0
+
+  m.on_history_floor(1, 3, /*epoch=*/0, 9.0);
+  EXPECT_EQ(m.trim_bound(), 3u);
+  m.on_history_floor(1, 2, 0, 9.1);  // reordered stale value: absorbed
+  EXPECT_EQ(m.trim_bound(), 3u);
+  m.on_history_floor(1, 3, 0, 9.2);  // exact duplicate: no-op
+  EXPECT_EQ(m.trim_bound(), 3u);
+  m.on_history_floor(1, 5, 0, 9.3);
+  EXPECT_EQ(m.trim_bound(), 5u);
+}
+
+TEST(MonitorProcessUnit, FloorEpochBumpReplacesEvenDownward) {
+  // A higher epoch means the peer restarted from a checkpoint: its
+  // re-advertised floor REPLACES the stored promise, the one sanctioned
+  // regression. Stragglers from the dead epoch are then ignored no matter
+  // how they reorder with the resync.
+  Fixture f("F(P0.p && P1.p)", 2);
+  MonitorProcess m(0, &f.prop, &f.net, {0, 0});
+  for (std::uint32_t sn = 1; sn <= 8; ++sn) {
+    m.on_local_event(make_event(0, sn, VectorClock{sn, 0}, 0), double(sn));
+  }
+  m.on_history_floor(1, 5, /*epoch=*/0, 9.0);
+  EXPECT_EQ(m.trim_bound(), 5u);
+
+  m.on_history_floor(1, 1, 1, 9.1);  // crash rewind: clamp below the promise
+  EXPECT_EQ(m.trim_bound(), 1u);
+  m.on_history_floor(1, 4, 0, 9.2);  // pre-crash straggler, reordered in
+  EXPECT_EQ(m.trim_bound(), 1u);
+  m.on_history_floor(1, 3, 1, 9.3);  // new epoch resumes the monotone fold
+  EXPECT_EQ(m.trim_bound(), 3u);
+  m.on_history_floor(1, 0, 2, 9.4);  // second crash, rewound to the origin
+  EXPECT_EQ(m.trim_bound(), 0u);
+}
+
+TEST(MonitorProcessUnit, FloorFromHostileSenderIsIgnored) {
+  // The floor handler sits on the decode path: out-of-range and self
+  // senders must be dropped, not trusted or crashed on.
+  Fixture f("F(P0.p && P1.p)", 2);
+  MonitorProcess m(0, &f.prop, &f.net, {0, 0});
+  for (std::uint32_t sn = 1; sn <= 4; ++sn) {
+    m.on_local_event(make_event(0, sn, VectorClock{sn, 0}, 0), double(sn));
+  }
+  m.on_history_floor(1, 2, 0, 5.0);
+  m.on_history_floor(-1, 9, 9, 5.1);
+  m.on_history_floor(0, 9, 9, 5.2);  // self
+  m.on_history_floor(7, 9, 9, 5.3);  // out of range
+  EXPECT_EQ(m.trim_bound(), 2u);
+}
+
+TEST(MonitorProcessUnit, ResyncBumpsEpochAndReAdvertises) {
+  // resync_floors is the recovery half of the handshake: each call stamps a
+  // strictly higher epoch on freshly advertised floors, so receivers can
+  // tell a post-restore advertisement from a pre-crash straggler.
+  AtomRegistry reg = paper::make_registry(2);
+  MonitorAutomaton automaton =
+      synthesize_monitor(parse_ltl("F(P0.p && P1.p)", reg));
+  CompiledProperty prop(&automaton, &reg);
+  CapturingNetwork net;
+  MonitorOptions options;
+  options.streaming = true;
+  options.gc_interval = 1000;  // manual sweeps only
+  MonitorProcess m(0, &prop, &net, {0, 0}, options);
+  m.on_local_event(make_event(0, 1, VectorClock{1, 0}, 0), 1.0);
+
+  m.resync_floors(2.0);
+  m.resync_floors(3.0);
+  const auto sent = floors_sent(net);
+  ASSERT_EQ(sent.size(), 2u);
+  EXPECT_EQ(sent[0].process, 0);
+  EXPECT_EQ(sent[0].epoch, 1u);
+  EXPECT_EQ(sent[1].epoch, 2u);
+  EXPECT_EQ(m.stats().resync_floors, 2u);
+
+  // Outside the streaming posture the handshake is a no-op (there is no
+  // window to resync, and goldens must stay silent).
+  CapturingNetwork net2;
+  MonitorProcess plain(0, &prop, &net2, {0, 0});
+  plain.on_local_event(make_event(0, 1, VectorClock{1, 0}, 0), 1.0);
+  plain.resync_floors(2.0);
+  EXPECT_TRUE(floors_sent(net2).empty());
+  EXPECT_EQ(plain.stats().resync_floors, 0u);
+}
+
+TEST(MonitorProcessUnit, ResyncFloorBelowTrimmedBaseBlocksFutureTrims) {
+  // The crash×GC corner: a peer restores below our already-trimmed base and
+  // re-advertises the rewound floor. We cannot un-trim -- the below-base
+  // guard covers re-walks into the gone prefix -- but the clamp must block
+  // all further trimming until the peer's fold catches back up.
+  AtomRegistry reg = paper::make_registry(2);
+  MonitorAutomaton automaton =
+      synthesize_monitor(parse_ltl("F(P0.p && P1.p)", reg));
+  CompiledProperty prop(&automaton, &reg);
+  CapturingNetwork net;
+  MonitorOptions options;
+  options.streaming = true;
+  options.gc_interval = 1000;
+  MonitorProcess m(0, &prop, &net, {0, 0}, options);
+  for (std::uint32_t sn = 1; sn <= 8; ++sn) {
+    m.on_local_event(make_event(0, sn, VectorClock{sn, 0}, 0), double(sn));
+  }
+  m.on_history_floor(1, 5, /*epoch=*/0, 9.0);
+  m.gc_sweep(9.5);
+  ASSERT_EQ(m.history_base(), 5u);
+
+  // The peer crashed and rewound below our base.
+  m.on_history_floor(1, 2, 1, 10.0);
+  EXPECT_EQ(m.trim_bound(), 2u);
+  m.gc_sweep(10.5);  // must not trim (bound < base) and must not throw
+  EXPECT_EQ(m.history_base(), 5u);
+
+  // The rewound peer makes progress again; trimming resumes past the base.
+  m.on_history_floor(1, 7, 1, 11.0);
+  m.gc_sweep(11.5);
+  EXPECT_EQ(m.history_base(), 7u);
+  EXPECT_EQ(m.history_end(), 9u);  // initial state + 8 events
+}
+
 TEST(MonitorProcessUnit, StatsAggregate) {
   MonitorStats a;
   a.tokens_created = 3;

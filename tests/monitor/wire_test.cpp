@@ -267,5 +267,98 @@ TEST(WireFuzz, RandomBuffersAreSafe) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// HistoryFloorMessage (streaming-GC gossip, DESIGN.md §12-§13). The decoder
+// is deliberately stateless about window positions: a floor below the
+// receiver's restored history base is a legitimate post-crash resync value
+// and must decode unharmed -- clamping is the fold's job, not the codec's.
+// ---------------------------------------------------------------------------
+
+HistoryFloorMessage decode_floor(const std::vector<std::uint8_t>& bytes) {
+  std::unique_ptr<NetPayload> payload = decode_payload(bytes, 16);
+  EXPECT_NE(payload, nullptr);
+  EXPECT_EQ(payload->tag, HistoryFloorMessage::kTag);
+  return *static_cast<HistoryFloorMessage*>(payload.get());
+}
+
+TEST(Wire, HistoryFloorRoundTripCarriesEpoch) {
+  HistoryFloorMessage msg;
+  msg.process = 3;
+  msg.floor = 97;
+  msg.epoch = 2;
+  std::vector<std::uint8_t> bytes;
+  encode_payload_into(msg, bytes);
+  HistoryFloorMessage back = decode_floor(bytes);
+  EXPECT_EQ(back.process, 3);
+  EXPECT_EQ(back.floor, 97u);
+  EXPECT_EQ(back.epoch, 2u);
+}
+
+TEST(Wire, HistoryFloorExtremesRoundTrip) {
+  // Corner values: floor 0 under a bumped epoch is exactly the shape a
+  // crash-rewound monitor re-advertises when its restored window predates
+  // every promise (a floor far below any peer's base); saturated values
+  // exercise the varint width edge.
+  for (const auto& [floor, epoch] :
+       {std::pair<std::uint32_t, std::uint32_t>{0, 1},
+        {0, 0xFFFFFFFFu},
+        {0xFFFFFFFFu, 0},
+        {0xFFFFFFFFu, 0xFFFFFFFFu}}) {
+    HistoryFloorMessage msg;
+    msg.process = 0;
+    msg.floor = floor;
+    msg.epoch = epoch;
+    std::vector<std::uint8_t> bytes;
+    encode_payload_into(msg, bytes);
+    HistoryFloorMessage back = decode_floor(bytes);
+    EXPECT_EQ(back.floor, floor);
+    EXPECT_EQ(back.epoch, epoch);
+  }
+}
+
+TEST(Wire, HistoryFloorInsideFrameRoundTrips) {
+  // Resync floors travel in batched frames like every other staged payload;
+  // the frame-unit codec must preserve the epoch too (it has a separate
+  // wire path from the bare-payload codec).
+  auto frame = std::make_unique<PayloadFrame>();
+  auto floor = std::make_unique<HistoryFloorMessage>();
+  floor->process = 1;
+  floor->floor = 12;
+  floor->epoch = 5;
+  frame->units.push_back(std::move(floor));
+  auto termination = std::make_unique<TerminationMessage>();
+  termination->process = 1;
+  termination->last_sn = 40;
+  frame->units.push_back(std::move(termination));
+
+  std::vector<std::uint8_t> bytes;
+  encode_payload_into(*frame, bytes);
+  std::unique_ptr<NetPayload> payload = decode_payload(bytes, 4);
+  ASSERT_EQ(payload->tag, PayloadFrame::kTag);
+  auto& back = static_cast<PayloadFrame&>(*payload);
+  ASSERT_EQ(back.units.size(), 2u);
+  ASSERT_EQ(back.units[0]->tag, HistoryFloorMessage::kTag);
+  const auto& f = static_cast<const HistoryFloorMessage&>(*back.units[0]);
+  EXPECT_EQ(f.process, 1);
+  EXPECT_EQ(f.floor, 12u);
+  EXPECT_EQ(f.epoch, 5u);
+}
+
+TEST(Wire, HistoryFloorRejectsTruncationAndTrailingBytes) {
+  HistoryFloorMessage msg;
+  msg.process = 2;
+  msg.floor = 300;  // multi-byte varint
+  msg.epoch = 7;
+  std::vector<std::uint8_t> bytes;
+  encode_payload_into(msg, bytes);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::uint8_t> shorter(bytes.begin(),
+                                      bytes.begin() + static_cast<long>(cut));
+    EXPECT_THROW(decode_payload(shorter, 16), WireError) << "cut " << cut;
+  }
+  bytes.push_back(0x00);
+  EXPECT_THROW(decode_payload(bytes, 16), WireError);
+}
+
 }  // namespace
 }  // namespace decmon

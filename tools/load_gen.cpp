@@ -24,13 +24,19 @@
 //   --max-views V   per-monitor view cap; sessions that hit it count as
 //                   "overflowed", not failed
 //   --max-rss-mb B  assert the process's peak RSS (VmHWM) stays under B
+//   --retry-failed N  resubmit failed sessions (never cap overflows) up to N
+//                   rounds with capped exponential backoff between rounds;
+//                   the JSON report then carries "retried" (resubmissions)
+//                   and "recovered" (failed sessions whose retry succeeded)
 //   --quick         CI smoke defaults: 64 sessions, 2 shards, A+D at n=3,
 //                   rate 400/s
 //   --json          also emit a flat "name": number JSON report
 //
 // Exit status: 0 all sessions completed and drained (cap overflows are
-// intentional and stay 0), 1 any session failed or the RSS budget was
-// exceeded, 2 usage errors.
+// intentional and stay 0; with --retry-failed, transient failures that
+// recover on a retry round count as completed), 1 any session failed
+// unrecovered or the RSS budget was exceeded, 2 usage errors.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -38,6 +44,7 @@
 #include <fstream>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "decmon/decmon.hpp"
@@ -62,6 +69,7 @@ struct Options {
   std::uint32_t gc_interval = 0;  ///< 0 = monitor default
   std::size_t max_views = 0;      ///< 0 = unbounded
   double max_rss_mb = 0.0;        ///< 0 = no budget check
+  int retry_failed = 0;           ///< retry rounds for failed sessions
   std::string json_path;
 };
 
@@ -142,6 +150,8 @@ int main(int argc, char** argv) {
       opt.max_views = static_cast<std::size_t>(std::atoll(next(a)));
     } else if (std::strcmp(a, "--max-rss-mb") == 0) {
       opt.max_rss_mb = std::atof(next(a));
+    } else if (std::strcmp(a, "--retry-failed") == 0) {
+      opt.retry_failed = std::atoi(next(a));
     } else if (std::strcmp(a, "--json") == 0) {
       opt.json_path = next(a);
     } else if (std::strcmp(a, "--quick") == 0) {
@@ -156,12 +166,13 @@ int main(int argc, char** argv) {
           "usage: load_gen [--sessions N] [--shards K] [--rate R] "
           "[--props A,D,F] [--n PROCS] [--comm-mu MU] [--no-comm] "
           "[--internal-events E] [--seed S] [--no-steal] [--streaming] "
-          "[--gc-interval G] [--max-views V] [--max-rss-mb B] [--quick] "
-          "[--json FILE]\n");
+          "[--gc-interval G] [--max-views V] [--max-rss-mb B] "
+          "[--retry-failed N] [--quick] [--json FILE]\n");
       return 2;
     }
   }
-  if (opt.sessions < 1 || opt.shards < 1 || opt.n < 2 || opt.rate < 0.0) {
+  if (opt.sessions < 1 || opt.shards < 1 || opt.n < 2 || opt.rate < 0.0 ||
+      opt.retry_failed < 0) {
     std::fprintf(stderr, "load_gen: invalid parameters\n");
     return 2;
   }
@@ -183,8 +194,29 @@ int main(int argc, char** argv) {
   service::ServiceConfig config;
   config.num_shards = opt.shards;
   config.steal = opt.steal;
-  config.keep_outcomes = false;  // open-loop runs can be very large
+  // Open-loop runs can be very large, so outcomes are normally dropped; the
+  // retry posture needs per-session ok/failed verdicts to pick resubmits.
+  config.keep_outcomes = opt.retry_failed > 0;
   service::MonitoringService svc(config);
+
+  auto make_spec = [&](int i) {
+    service::SessionSpec spec;
+    spec.property = opt.props[static_cast<std::size_t>(i) % opt.props.size()];
+    spec.num_processes = opt.n;
+    spec.trace_seed = opt.seed + static_cast<std::uint64_t>(i);
+    spec.comm_mu = opt.comm_mu;
+    spec.comm_enabled = opt.comm_enabled;
+    spec.internal_events = opt.internal_events;
+    spec.sim.coalesce = CoalesceMode::kTransit;
+    spec.options.wire_accounting = WireAccounting::kSampled;
+    spec.options.streaming = opt.streaming;
+    if (opt.gc_interval > 0) spec.options.gc_interval = opt.gc_interval;
+    spec.options.max_views = opt.max_views;
+    return spec;
+  };
+  // Which load-schedule index a session id executes (ids are unique across
+  // retries; retried sessions map back to their original index).
+  std::unordered_map<service::SessionId, int> index_of;
 
   std::printf("load_gen: %d sessions over %d shard(s), %s, props ",
               opt.sessions, opt.shards,
@@ -204,22 +236,57 @@ int main(int argc, char** argv) {
                        arrival_s[static_cast<std::size_t>(i)]));
       std::this_thread::sleep_until(due);  // never waits on completions
     }
-    service::SessionSpec spec;
-    spec.property = opt.props[static_cast<std::size_t>(i) % opt.props.size()];
-    spec.num_processes = opt.n;
-    spec.trace_seed = opt.seed + static_cast<std::uint64_t>(i);
-    spec.comm_mu = opt.comm_mu;
-    spec.comm_enabled = opt.comm_enabled;
-    spec.internal_events = opt.internal_events;
-    spec.sim.coalesce = CoalesceMode::kTransit;
-    spec.options.wire_accounting = WireAccounting::kSampled;
-    spec.options.streaming = opt.streaming;
-    if (opt.gc_interval > 0) spec.options.gc_interval = opt.gc_interval;
-    spec.options.max_views = opt.max_views;
-    svc.submit(spec);
+    index_of[svc.submit(make_spec(i))] = i;
   }
   const double submit_ms = ms_since(t0);
   svc.drain();
+
+  // Retry rounds: resubmit every session whose LATEST attempt failed (cap
+  // overflows are intentional outcomes and are never retried), waiting out
+  // a capped exponential backoff between rounds so a transient resource
+  // squeeze has time to clear. Outcomes are ordered by id and retry ids are
+  // newer than everything they retry, so a per-index scan in order always
+  // ends on the latest attempt.
+  std::uint64_t retried = 0;
+  std::uint64_t recovered = 0;
+  std::size_t unrecovered = 0;
+  if (opt.retry_failed > 0) {
+    auto failed_indexes = [&]() {
+      std::vector<char> failed_now(static_cast<std::size_t>(opt.sessions), 0);
+      for (const service::SessionOutcome& oc : svc.outcomes()) {
+        const auto it = index_of.find(oc.id);
+        if (it == index_of.end()) continue;
+        failed_now[static_cast<std::size_t>(it->second)] =
+            !oc.ok && !oc.overflowed;
+      }
+      std::vector<int> out;
+      for (int i = 0; i < opt.sessions; ++i) {
+        if (failed_now[static_cast<std::size_t>(i)]) out.push_back(i);
+      }
+      return out;
+    };
+    std::vector<int> pending = failed_indexes();
+    const std::size_t initially_failed = pending.size();
+    for (int round = 1; round <= opt.retry_failed && !pending.empty();
+         ++round) {
+      const double backoff_ms =
+          std::min(100.0 * double(1u << (round - 1)), 2000.0);
+      std::printf(
+          "load_gen: retry round %d/%d, %zu failed session(s), backoff "
+          "%.0f ms\n",
+          round, opt.retry_failed, pending.size(), backoff_ms);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+      for (int i : pending) {
+        index_of[svc.submit(make_spec(i))] = i;
+        ++retried;
+      }
+      svc.drain();
+      pending = failed_indexes();
+    }
+    unrecovered = pending.size();
+    recovered = initially_failed - unrecovered;
+  }
   const double wall_ms = ms_since(t0);
 
   const service::ServiceStats st = svc.stats();
@@ -262,6 +329,11 @@ int main(int argc, char** argv) {
   const double rss_mb = peak_rss_mb();
   std::printf("  peak rss %.1f MB%s\n", rss_mb,
               opt.streaming ? " (streaming posture)" : "");
+  if (opt.retry_failed > 0) {
+    std::printf("  retried %llu, recovered %llu, unrecovered %zu\n",
+                static_cast<unsigned long long>(retried),
+                static_cast<unsigned long long>(recovered), unrecovered);
+  }
 
   if (!opt.json_path.empty()) {
     std::ofstream os(opt.json_path);
@@ -276,6 +348,8 @@ int main(int argc, char** argv) {
        << "    \"sessions\": " << st.completed << ",\n"
        << "    \"failed\": " << st.failed << ",\n"
        << "    \"overflowed\": " << st.overflowed << ",\n"
+       << "    \"retried\": " << retried << ",\n"
+       << "    \"recovered\": " << recovered << ",\n"
        << "    \"peak_rss_mb\": " << rss_mb << ",\n"
        << "    \"stolen\": " << st.stolen << ",\n"
        << "    \"events\": " << st.program_events << ",\n"
@@ -291,7 +365,15 @@ int main(int argc, char** argv) {
        << "}\n";
   }
 
-  if (st.failed > 0 || st.completed != static_cast<std::uint64_t>(opt.sessions)) {
+  // Every submission (initial + retries) must have drained; failures only
+  // fail the run when they stayed failed after the retry budget.
+  const std::uint64_t expected_runs =
+      static_cast<std::uint64_t>(opt.sessions) + retried;
+  if (st.completed != expected_runs) {
+    std::fprintf(stderr, "load_gen: sessions lost in the service\n");
+    return 1;
+  }
+  if (opt.retry_failed > 0 ? unrecovered > 0 : st.failed > 0) {
     std::fprintf(stderr, "load_gen: FAILED sessions present\n");
     return 1;
   }
