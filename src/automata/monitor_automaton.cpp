@@ -47,17 +47,7 @@ const MonitorTransition* MonitorAutomaton::matching_transition_linear(
   return nullptr;
 }
 
-void MonitorAutomaton::build_dispatch() {
-  if (dispatch_built_) return;
-  const int k = std::popcount(relevant_mask_);
-  if (k > kMaxDispatchAtoms) return;  // linear fallback stays in use
-  dispatch_bits_ = k;
-  dispatch_atom_pos_.clear();
-  for (int i = 0; i < 64; ++i) {
-    if (relevant_mask_ & (AtomSet{1} << i)) {
-      dispatch_atom_pos_.push_back(static_cast<std::uint8_t>(i));
-    }
-  }
+void MonitorAutomaton::build_compress_lanes(int k) {
   // One compression lane per byte the relevant mask covers: lane tables map
   // a raw letter byte to its packed contribution, so compress_letter is one
   // lookup per covered byte instead of one shift per relevant atom.
@@ -79,6 +69,20 @@ void MonitorAutomaton::build_dispatch() {
     }
     compress_lanes_.push_back(lane);
   }
+}
+
+void MonitorAutomaton::build_dispatch() {
+  if (dispatch_built_) return;
+  const int k = std::popcount(relevant_mask_);
+  if (k > kMaxDispatchAtoms) return;  // linear fallback stays in use
+  dispatch_bits_ = k;
+  dispatch_atom_pos_.clear();
+  for (int i = 0; i < 64; ++i) {
+    if (relevant_mask_ & (AtomSet{1} << i)) {
+      dispatch_atom_pos_.push_back(static_cast<std::uint8_t>(i));
+    }
+  }
+  build_compress_lanes(k);
   const std::size_t letters = std::size_t{1} << k;
   dispatch_.assign(static_cast<std::size_t>(num_states()) * letters, -1);
   dispatch_to_.assign(static_cast<std::size_t>(num_states()) * letters, -1);
@@ -99,6 +103,63 @@ void MonitorAutomaton::build_dispatch() {
     }
   }
   dispatch_built_ = true;
+}
+
+void MonitorAutomaton::install_dispatch(const PrebuiltDispatch& pre) {
+  const int k = std::popcount(relevant_mask_);
+  if (pre.bits != k || !pre.atom_pos || !pre.dispatch || !pre.dispatch_to) {
+    throw std::invalid_argument(
+        "MonitorAutomaton::install_dispatch: bit count does not match the "
+        "relevant-atom mask");
+  }
+  dispatch_atom_pos_.assign(pre.atom_pos, pre.atom_pos + k);
+  // The atom positions must be exactly the relevant mask, ascending --
+  // compress_letter's lane packing depends on this bit order.
+  AtomSet mask = 0;
+  for (int b = 0; b < k; ++b) {
+    if (b > 0 && dispatch_atom_pos_[static_cast<std::size_t>(b - 1)] >=
+                     dispatch_atom_pos_[static_cast<std::size_t>(b)]) {
+      throw std::invalid_argument(
+          "MonitorAutomaton::install_dispatch: atom positions not ascending");
+    }
+    mask |= AtomSet{1} << dispatch_atom_pos_[static_cast<std::size_t>(b)];
+  }
+  if (mask != relevant_mask_) {
+    throw std::invalid_argument(
+        "MonitorAutomaton::install_dispatch: atom positions do not cover the "
+        "relevant-atom mask");
+  }
+  dispatch_bits_ = k;
+  build_compress_lanes(k);
+  const std::size_t entries = static_cast<std::size_t>(num_states()) << k;
+  dispatch_.assign(pre.dispatch, pre.dispatch + entries);
+  dispatch_to_.assign(pre.dispatch_to, pre.dispatch_to + entries);
+  dispatch_built_ = true;
+}
+
+bool MonitorAutomaton::same_structure(const MonitorAutomaton& other) const {
+  if (initial_ != other.initial_ || verdicts_ != other.verdicts_ ||
+      relevant_mask_ != other.relevant_mask_ ||
+      transitions_.size() != other.transitions_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < transitions_.size(); ++i) {
+    const MonitorTransition& a = transitions_[i];
+    const MonitorTransition& b = other.transitions_[i];
+    if (a.id != b.id || a.from != b.from || a.to != b.to ||
+        a.guard.pos != b.guard.pos || a.guard.neg != b.guard.neg) {
+      return false;
+    }
+  }
+  if (out_ != other.out_) return false;
+  if (dispatch_built_ && other.dispatch_built_) {
+    if (dispatch_bits_ != other.dispatch_bits_ ||
+        dispatch_atom_pos_ != other.dispatch_atom_pos_ ||
+        dispatch_ != other.dispatch_ || dispatch_to_ != other.dispatch_to_) {
+      return false;
+    }
+  }
+  return true;
 }
 
 int MonitorAutomaton::run(const std::vector<AtomSet>& trace) const {

@@ -215,16 +215,17 @@ FormulaPtr formula(Property p, int n, AtomRegistry& registry) {
 
 namespace {
 
-/// Process-wide memo for build_automaton. Reader-writer locking: the
-/// steady state of a sharded fleet is all-hits from many threads at once,
-/// so lookups take the shared side and copy the stored automaton under it
-/// (entries are immutable once inserted -- no reference ever escapes the
-/// lock). Only a miss's insert and clear() take the exclusive side. The
-/// hit/miss counters are atomics so shared-side readers never write the
-/// struct itself.
+/// Process-wide memo for shared_property / build_automaton. Entries are
+/// SharedProperty artifacts: a hit under the shared lock is a refcount
+/// bump, never a copy, and an artifact stays alive for as long as any
+/// session holds it -- clear() only drops the memo's own reference (the
+/// clear()-vs-live-session race is benign by construction; the hammer test
+/// holds artifacts across an antagonist clear loop). Only a miss's insert
+/// and clear() take the exclusive side. The hit/miss counters are atomics
+/// so shared-side readers never write the struct itself.
 struct SynthesisCache {
   std::shared_mutex mutex;
-  std::unordered_map<std::string, MonitorAutomaton> memo;
+  std::unordered_map<std::string, SharedProperty> memo;
   std::atomic<std::uint64_t> hits{0};
   std::atomic<std::uint64_t> misses{0};
 };
@@ -234,20 +235,28 @@ SynthesisCache& synthesis_cache() {
   return cache;
 }
 
-/// A registry fingerprint that pins every input the construction reads:
-/// process count plus each atom's (name, process, var, op, rhs). Two
-/// registries with the same signature yield byte-identical automata.
-std::string atom_signature(const AtomRegistry& registry) {
-  std::ostringstream os;
-  os << registry.num_processes();
-  for (const Atom& a : registry.atoms()) {
-    os << ';' << a.name << ',' << a.process << ',' << a.var << ','
-       << static_cast<int>(a.op) << ',' << a.rhs;
-  }
-  return os.str();
-}
-
 }  // namespace
+
+std::string atom_signature(const AtomRegistry& registry) {
+  // Admission-path hot: built on every cache lookup, so plain string
+  // appends instead of an ostringstream.
+  std::string sig;
+  sig.reserve(16 + registry.atoms().size() * 24);
+  sig += std::to_string(registry.num_processes());
+  for (const Atom& a : registry.atoms()) {
+    sig += ';';
+    sig += a.name;
+    sig += ',';
+    sig += std::to_string(a.process);
+    sig += ',';
+    sig += std::to_string(a.var);
+    sig += ',';
+    sig += std::to_string(static_cast<int>(a.op));
+    sig += ',';
+    sig += std::to_string(a.rhs);
+  }
+  return sig;
+}
 
 SynthesisCacheStats synthesis_cache_stats() {
   SynthesisCache& cache = synthesis_cache();
@@ -265,21 +274,10 @@ void synthesis_cache_clear() {
   cache.misses.store(0, std::memory_order_relaxed);
 }
 
-MonitorAutomaton build_automaton(Property p, int n,
-                                 const AtomRegistry& registry) {
+MonitorAutomaton build_automaton_uncached(Property p, int n,
+                                          const AtomRegistry& registry) {
   if (registry.num_processes() != n) {
     throw std::invalid_argument("build_automaton: registry/process mismatch");
-  }
-  const std::string key = formula_text(p, n) + '|' + atom_signature(registry);
-  {
-    SynthesisCache& cache = synthesis_cache();
-    std::shared_lock lock(cache.mutex);
-    auto it = cache.memo.find(key);
-    if (it != cache.memo.end()) {
-      cache.hits.fetch_add(1, std::memory_order_relaxed);
-      return it->second;  // copy, made under the shared lock
-    }
-    cache.misses.fetch_add(1, std::memory_order_relaxed);
   }
   auto p_atoms = [&](int from, int to) {
     std::vector<int> out;
@@ -319,14 +317,47 @@ MonitorAutomaton build_automaton(Property p, int n,
     throw std::logic_error("paper::build_automaton: " + *err);
   }
   m.build_dispatch();
-  {
-    SynthesisCache& cache = synthesis_cache();
-    std::unique_lock lock(cache.mutex);
-    // A racing builder may have inserted meanwhile; both built the same
-    // immutable value, so either copy serves (emplace keeps the first).
-    cache.memo.emplace(key, m);
-  }
   return m;
+}
+
+SharedProperty shared_property(Property p, int n,
+                               const AtomRegistry& registry) {
+  if (registry.num_processes() != n) {
+    throw std::invalid_argument("shared_property: registry/process mismatch");
+  }
+  std::string key = formula_text(p, n);
+  const std::size_t formula_len = key.size();
+  key += '|';
+  key += atom_signature(registry);
+  SynthesisCache& cache = synthesis_cache();
+  {
+    std::shared_lock lock(cache.mutex);
+    auto it = cache.memo.find(key);
+    if (it != cache.memo.end()) {
+      cache.hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;  // refcount bump; the artifact is never copied
+    }
+    cache.misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Ahead-of-time registry before any synthesis: a generated monitor whose
+  // signature matches admits with zero construction work.
+  SharedProperty artifact = CompiledPropertyRegistry::instance().find(
+      key.substr(0, formula_len), key.substr(formula_len + 1));
+  if (!artifact) {
+    artifact = std::make_shared<PropertyArtifact>(
+        AtomRegistry(registry), build_automaton_uncached(p, n, registry));
+  }
+  std::unique_lock lock(cache.mutex);
+  // A racing builder may have inserted meanwhile; both built the same
+  // immutable value, so either artifact serves (emplace keeps the first).
+  return cache.memo.emplace(key, std::move(artifact)).first->second;
+}
+
+MonitorAutomaton build_automaton(Property p, int n,
+                                 const AtomRegistry& registry) {
+  // Compatibility path: callers that want to own a mutable automaton pay
+  // the copy; the admission hot path holds the shared artifact instead.
+  return shared_property(p, n, registry)->automaton();
 }
 
 TraceParams experiment_params(Property p, int num_processes,

@@ -1,5 +1,7 @@
 #include "decmon/core/session.hpp"
 
+#include <stdexcept>
+
 #include "decmon/distributed/replay_runtime.hpp"
 #include "decmon/lattice/computation.hpp"
 #include "decmon/ltl/parser.hpp"
@@ -17,14 +19,17 @@ double RunResult::delay_time_percent_per_view() const {
 
 MonitorSession::MonitorSession(AtomRegistry registry,
                                MonitorAutomaton automaton)
-    : registry_(std::make_unique<AtomRegistry>(std::move(registry))),
-      automaton_(std::make_unique<MonitorAutomaton>(std::move(automaton))) {
-  // Hot-path prerequisite: every match/step in the monitored run goes
-  // through the dense dispatch table (no-op when the builder already did
-  // this or the automaton has too many relevant atoms).
-  automaton_->build_dispatch();
-  property_ =
-      std::make_unique<CompiledProperty>(automaton_.get(), registry_.get());
+    // PropertyArtifact builds the dispatch table (hot-path prerequisite:
+    // every match/step goes through the dense table) and compiles the
+    // property; this session is the artifact's only owner.
+    : artifact_(std::make_shared<PropertyArtifact>(std::move(registry),
+                                                   std::move(automaton))) {}
+
+MonitorSession::MonitorSession(SharedProperty artifact)
+    : artifact_(std::move(artifact)) {
+  if (!artifact_) {
+    throw std::invalid_argument("MonitorSession: null property artifact");
+  }
 }
 
 MonitorSession MonitorSession::from_text(const std::string& property,
@@ -37,10 +42,10 @@ MonitorSession MonitorSession::from_text(const std::string& property,
 
 RunResult MonitorSession::run(const SystemTrace& trace, const SimConfig& sim,
                               const MonitorOptions& options) const {
-  SimRuntime runtime(trace, registry_.get(), sim);
+  SimRuntime runtime(trace, &artifact_->registry(), sim);
   DecentralizedMonitor monitors(
-      property_.get(), &runtime,
-      initial_letters_of(*registry_, runtime.initial_states()), options);
+      property_handle(artifact_), &runtime,
+      initial_letters_of(registry(), runtime.initial_states()), options);
   runtime.set_hooks(&monitors);
   runtime.run();
 
@@ -60,10 +65,10 @@ RunResult MonitorSession::run(const SystemTrace& trace, const SimConfig& sim,
 RunResult MonitorSession::run_centralized(const SystemTrace& trace,
                                           const SimConfig& sim,
                                           int central_node) const {
-  SimRuntime runtime(trace, registry_.get(), sim);
+  SimRuntime runtime(trace, &artifact_->registry(), sim);
   CentralizedMonitor central(
-      property_.get(), &runtime,
-      initial_letters_of(*registry_, runtime.initial_states()), central_node);
+      &artifact_->property(), &runtime,
+      initial_letters_of(registry(), runtime.initial_states()), central_node);
   runtime.set_hooks(&central);
   runtime.run();
 
@@ -90,7 +95,8 @@ RunResult MonitorSession::replay(const Computation& computation,
   for (int p = 0; p < computation.num_processes(); ++p) {
     init.push_back(computation.event(p, 0).letter);
   }
-  DecentralizedMonitor monitors(property_.get(), &runtime, init, options);
+  DecentralizedMonitor monitors(property_handle(artifact_), &runtime, init,
+                                options);
   runtime.run(computation, monitors, seed);
 
   RunResult result;
@@ -106,10 +112,10 @@ RunResult MonitorSession::replay(const Computation& computation,
 OracleResult MonitorSession::oracle(const SystemTrace& trace,
                                     const SimConfig& sim,
                                     std::size_t max_nodes) const {
-  SimRuntime runtime(trace, registry_.get(), sim);
+  SimRuntime runtime(trace, &artifact_->registry(), sim);
   runtime.run();
   Computation comp(runtime.history());
-  return oracle_evaluate(comp, *automaton_, max_nodes);
+  return oracle_evaluate(comp, artifact_->automaton(), max_nodes);
 }
 
 }  // namespace decmon

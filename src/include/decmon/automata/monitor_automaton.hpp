@@ -117,6 +117,43 @@ class MonitorAutomaton {
   void build_dispatch();
   bool dispatch_built() const { return dispatch_built_; }
 
+  /// A dispatch table computed ahead of time (tools/decmon_gen emits these
+  /// as static arrays in src/generated/). `dispatch`/`dispatch_to` hold
+  /// num_states << bits entries each; `atom_pos[b]` is the atom position of
+  /// compressed bit b, ascending.
+  struct PrebuiltDispatch {
+    int bits = 0;
+    const std::uint8_t* atom_pos = nullptr;
+    const std::int32_t* dispatch = nullptr;
+    const std::int32_t* dispatch_to = nullptr;
+  };
+
+  /// Install an ahead-of-time dispatch table instead of rebuilding it with
+  /// build_dispatch(). The atom positions must be exactly the set bits of
+  /// relevant_atoms() in ascending order (throws std::invalid_argument
+  /// otherwise); the compression lanes are derived from them, so a table
+  /// generated from a structurally identical automaton steps identically.
+  /// The table contents themselves are trusted -- the codegen drift CI job
+  /// and the structural-equality tests keep them honest.
+  void install_dispatch(const PrebuiltDispatch& pre);
+
+  // -- dispatch introspection (codegen + structural-equality tests) --
+  int dispatch_bits() const { return dispatch_bits_; }
+  const std::vector<std::uint8_t>& dispatch_atom_positions() const {
+    return dispatch_atom_pos_;
+  }
+  const std::vector<std::int32_t>& dispatch_table() const { return dispatch_; }
+  const std::vector<std::int32_t>& dispatch_to_table() const {
+    return dispatch_to_;
+  }
+
+  /// Field-by-field structural identity: states (verdicts + initial),
+  /// transitions (dense ids, endpoints, guards, insertion order), and --
+  /// when both sides have their dispatch tables built -- the dense tables
+  /// themselves. Two structurally identical automata are observationally
+  /// indistinguishable to every monitor, on any runtime.
+  bool same_structure(const MonitorAutomaton& other) const;
+
   /// Largest relevant-atom count the dense table is built for (the paper's
   /// properties use <= 2n atoms; 16 caps the table at 64K entries/state).
   static constexpr int kMaxDispatchAtoms = 16;
@@ -142,6 +179,10 @@ class MonitorAutomaton {
   std::string to_dot(const AtomRegistry* reg = nullptr) const;
 
  private:
+  /// Rebuild compress_lanes_ from relevant_mask_ / dispatch_atom_pos_
+  /// (shared by build_dispatch and install_dispatch).
+  void build_compress_lanes(int k);
+
   /// Per-byte compression lane: maps one byte of the letter to its packed
   /// relevant bits (a software pext, one lookup per mask-covered byte).
   struct CompressLane {

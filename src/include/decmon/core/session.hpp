@@ -20,6 +20,7 @@
 #include "decmon/lattice/oracle.hpp"
 #include "decmon/monitor/decentralized_monitor.hpp"
 #include "decmon/monitor/predicate.hpp"
+#include "decmon/monitor/property_registry.hpp"
 
 namespace decmon {
 
@@ -46,17 +47,25 @@ struct RunResult {
 
 class MonitorSession {
  public:
-  /// Own the registry and the monitor automaton.
+  /// Own the registry and the monitor automaton (wrapped into a private
+  /// PropertyArtifact; the artifact is not shared with anyone else).
   MonitorSession(AtomRegistry registry, MonitorAutomaton automaton);
+
+  /// Share an existing immutable artifact -- zero-copy admission: no
+  /// registry/automaton/property is built or copied, the session only bumps
+  /// the artifact's refcount (see paper::shared_property and the
+  /// CompiledPropertyRegistry). The artifact outlives the session even if
+  /// every cache is cleared meanwhile.
+  explicit MonitorSession(SharedProperty artifact);
 
   /// Parse + synthesize from LTL text.
   static MonitorSession from_text(const std::string& property,
                                   AtomRegistry registry,
                                   const SynthesisOptions& options = {});
 
-  const AtomRegistry& registry() const { return *registry_; }
-  const MonitorAutomaton& automaton() const { return *automaton_; }
-  const CompiledProperty& property() const { return *property_; }
+  const AtomRegistry& registry() const { return artifact_->registry(); }
+  const MonitorAutomaton& automaton() const { return artifact_->automaton(); }
+  const CompiledProperty& property() const { return artifact_->property(); }
 
   /// Run the trace under the deterministic simulator with decentralized
   /// monitors attached.
@@ -82,10 +91,9 @@ class MonitorSession {
                       std::size_t max_nodes = std::size_t{1} << 22) const;
 
  private:
-  // Heap-held so the CompiledProperty's internal pointers survive moves.
-  std::unique_ptr<AtomRegistry> registry_;
-  std::unique_ptr<MonitorAutomaton> automaton_;
-  std::unique_ptr<CompiledProperty> property_;
+  // Heap-pinned so the CompiledProperty's internal pointers survive moves;
+  // shared so admission of a known property copies nothing.
+  SharedProperty artifact_;
 };
 
 }  // namespace decmon

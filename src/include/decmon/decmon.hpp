@@ -47,6 +47,7 @@
 #include "decmon/monitor/decentralized_monitor.hpp"
 #include "decmon/monitor/monitor_process.hpp"
 #include "decmon/monitor/predicate.hpp"
+#include "decmon/monitor/property_registry.hpp"
 #include "decmon/monitor/stats.hpp"
 #include "decmon/monitor/token.hpp"
 #include "decmon/monitor/wire.hpp"

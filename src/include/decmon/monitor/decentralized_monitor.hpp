@@ -34,11 +34,23 @@ struct SystemVerdict {
 class DecentralizedMonitor final : public MonitorHooks {
  public:
   /// `initial_letters[p]`: process p's initial local letter (every monitor
-  /// replica receives the full initial global state, Alg. 1).
-  DecentralizedMonitor(const CompiledProperty* property,
+  /// replica receives the full initial global state, Alg. 1). The shared
+  /// overload keeps the property's owning artifact alive for the monitor's
+  /// lifetime (zero-copy admission); the raw-pointer overload wraps a
+  /// non-owning handle -- the caller guarantees the property outlives the
+  /// monitor, as before.
+  DecentralizedMonitor(std::shared_ptr<const CompiledProperty> property,
                        MonitorNetwork* network,
                        std::vector<AtomSet> initial_letters,
                        MonitorOptions options = {});
+  DecentralizedMonitor(const CompiledProperty* property,
+                       MonitorNetwork* network,
+                       std::vector<AtomSet> initial_letters,
+                       MonitorOptions options = {})
+      : DecentralizedMonitor(
+            std::shared_ptr<const CompiledProperty>(
+                std::shared_ptr<const void>(), property),
+            network, std::move(initial_letters), options) {}
 
   // MonitorHooks:
   void on_local_event(int proc, const Event& event, double now) override;
@@ -57,7 +69,7 @@ class DecentralizedMonitor final : public MonitorHooks {
   SystemVerdict result() const;
 
  private:
-  const CompiledProperty* property_;
+  std::shared_ptr<const CompiledProperty> property_;
   std::vector<std::unique_ptr<MonitorProcess>> monitors_;
   double first_violation_ = -1.0;
   double first_satisfaction_ = -1.0;

@@ -146,10 +146,21 @@ class MonitorProcess {
  public:
   /// `initial_letters[p]` is process p's local letter at its initial state
   /// (the monitor receives the initial global state as input, Alg. 1).
-  MonitorProcess(int index, const CompiledProperty* property,
+  /// The shared overload pins the property's owning artifact for the
+  /// replica's lifetime; the raw-pointer overload wraps a non-owning handle
+  /// (caller guarantees the property outlives the replica).
+  MonitorProcess(int index, std::shared_ptr<const CompiledProperty> property,
                  MonitorNetwork* network,
                  std::vector<AtomSet> initial_letters,
                  MonitorOptions options = {});
+  MonitorProcess(int index, const CompiledProperty* property,
+                 MonitorNetwork* network,
+                 std::vector<AtomSet> initial_letters,
+                 MonitorOptions options = {})
+      : MonitorProcess(index,
+                       std::shared_ptr<const CompiledProperty>(
+                           std::shared_ptr<const void>(), property),
+                       network, std::move(initial_letters), options) {}
 
   // -- runtime-facing interface --
   void on_local_event(const Event& event, double now);
@@ -293,7 +304,10 @@ class MonitorProcess {
 
   int index_;
   int n_;
-  const CompiledProperty* prop_;
+  /// Shared read-only with every other replica and session on the same
+  /// property; the shared_ptr (usually aliasing a PropertyArtifact) keeps
+  /// the automaton + registry it points into alive.
+  std::shared_ptr<const CompiledProperty> prop_;
   MonitorNetwork* net_;
   MonitorOptions options_;
 

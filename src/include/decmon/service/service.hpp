@@ -12,10 +12,11 @@
 //     peer, keeping every core busy under skewed cells.
 //   * A shard owns everything mutable about the sessions it executes: the
 //     SimRuntime, the monitors with their free lists and pooled frame
-//     shells, and a shard-local catalog of MonitorSession handles (registry
-//     + automaton + compiled property) built once per (property, n) per
-//     shard. Sessions NEVER share mutable monitor state -- the only
-//     cross-shard sharing is the process-wide synthesis cache
+//     shells, and a shard-local catalog of MonitorSession handles warmed
+//     from the shared immutable PropertyArtifact (registry + automaton +
+//     compiled property) once per (property, n) per shard. Sessions NEVER
+//     share mutable monitor state -- the only cross-shard sharing is the
+//     immutable artifact behind the process-wide synthesis cache
 //     (paper::build_automaton), which is immutable-value, copy-on-hit, and
 //     guarded for concurrent readers, so a property is synthesized once per
 //     fleet rather than once per session.
@@ -164,9 +165,10 @@ class MonitoringService {
     LatencyHistogram latency_ns;
     LatencyHistogram queue_ns;
     double busy_ms = 0.0;
-    /// (property, n) -> session handle, built once per shard via the shared
-    /// synthesis cache. Worker-private: no locking, no cross-shard sharing
-    /// of compiled automata.
+    /// (property, n) -> session handle, warmed once per shard from the
+    /// shared immutable artifact (paper::shared_property): a refcount bump,
+    /// no per-shard copy of compiled automata. Worker-private map; the
+    /// artifact it points at is read-only everywhere.
     std::unordered_map<int, std::unique_ptr<MonitorSession>> catalog;
   };
 

@@ -7,14 +7,16 @@
 namespace decmon {
 
 DecentralizedMonitor::DecentralizedMonitor(
-    const CompiledProperty* property, MonitorNetwork* network,
+    std::shared_ptr<const CompiledProperty> property, MonitorNetwork* network,
     std::vector<AtomSet> initial_letters, MonitorOptions options)
-    : property_(property) {
-  const int n = property->num_processes();
+    : property_(std::move(property)) {
+  const int n = property_->num_processes();
   monitors_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
+    // Replicas share the one property (and, through the aliasing
+    // shared_ptr, its owning artifact); nothing per-replica is copied.
     monitors_.push_back(std::make_unique<MonitorProcess>(
-        i, property, network, initial_letters, options));
+        i, property_, network, initial_letters, options));
     monitors_.back()->set_verdict_callback([this](Verdict v, double now) {
       if (v == Verdict::kFalse &&
           (first_violation_ < 0 || now < first_violation_)) {

@@ -33,13 +33,14 @@ constexpr std::size_t kMaxPooledViews = 128;
 
 }  // namespace
 
-MonitorProcess::MonitorProcess(int index, const CompiledProperty* property,
+MonitorProcess::MonitorProcess(int index,
+                               std::shared_ptr<const CompiledProperty> property,
                                MonitorNetwork* network,
                                std::vector<AtomSet> initial_letters,
                                MonitorOptions options)
     : index_(index),
       n_(property->num_processes()),
-      prop_(property),
+      prop_(std::move(property)),
       net_(network),
       options_(options),
       peer_floor_(static_cast<std::size_t>(n_), 0),

@@ -115,15 +115,15 @@ MonitorSession& MonitoringService::session_for(Shard& shard,
   const int key = static_cast<int>(spec.property) * 64 + spec.num_processes;
   auto it = shard.catalog.find(key);
   if (it == shard.catalog.end()) {
-    // One synthesis per fleet (the shared build_automaton memo), one copy
-    // per shard: the compiled property a shard hands its sessions is never
-    // visible to another thread.
-    AtomRegistry reg = paper::make_registry(spec.num_processes);
-    MonitorAutomaton automaton =
-        paper::build_automaton(spec.property, spec.num_processes, reg);
+    // Zero-copy warm-up: every shard's catalog holds the same immutable
+    // artifact (AOT generated monitor or one fleet-wide synthesis, see
+    // paper::shared_property) -- admission is a lookup plus a refcount
+    // bump, nothing property-sized is copied per shard.
     it = shard.catalog
              .emplace(key, std::make_unique<MonitorSession>(
-                               std::move(reg), std::move(automaton)))
+                               paper::shared_property(
+                                   spec.property, spec.num_processes,
+                                   paper::make_registry(spec.num_processes))))
              .first;
   }
   return *it->second;

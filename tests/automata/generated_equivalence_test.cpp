@@ -1,0 +1,149 @@
+// Generated-code equivalence, layer 1: every checked-in generated monitor
+// (src/generated/, emitted by decmon_gen --golden-set) materializes to an
+// automaton STRUCTURALLY IDENTICAL to what runtime synthesis builds today
+// -- same states, verdicts, transitions in dense-id order, guard cubes, and
+// dense dispatch tables. Structural identity makes the two observationally
+// indistinguishable on every runtime; the monitor/ differential tests then
+// confirm bit-identical verdicts end to end. A failure here means the
+// synthesizer changed shape and src/generated/ must be regenerated (the CI
+// codegen-drift job catches the same skew byte-wise).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "decmon/core/properties.hpp"
+#include "decmon/generated/gen_tables.hpp"
+#include "decmon/monitor/property_registry.hpp"
+
+namespace decmon::gen {
+// Emitted by decmon_gen; registered in builtin.cpp. Declared here rather
+// than in a header so the golden set stays private to generated code and
+// its tests.
+extern const GenAutomaton kGen_A_n3;
+extern const GenAutomaton kGen_A_n5;
+extern const GenAutomaton kGen_B_n3;
+extern const GenAutomaton kGen_B_n5;
+extern const GenAutomaton kGen_C_n3;
+extern const GenAutomaton kGen_C_n5;
+extern const GenAutomaton kGen_D_n3;
+extern const GenAutomaton kGen_D_n5;
+extern const GenAutomaton kGen_E_n3;
+extern const GenAutomaton kGen_E_n5;
+extern const GenAutomaton kGen_F_n3;
+extern const GenAutomaton kGen_F_n5;
+}  // namespace decmon::gen
+
+namespace decmon {
+namespace {
+
+struct GoldenUnit {
+  const gen::GenAutomaton* g;
+  paper::Property p;
+};
+
+const GoldenUnit kGoldenUnits[] = {
+    {&gen::kGen_A_n3, paper::Property::kA},
+    {&gen::kGen_A_n5, paper::Property::kA},
+    {&gen::kGen_B_n3, paper::Property::kB},
+    {&gen::kGen_B_n5, paper::Property::kB},
+    {&gen::kGen_C_n3, paper::Property::kC},
+    {&gen::kGen_C_n5, paper::Property::kC},
+    {&gen::kGen_D_n3, paper::Property::kD},
+    {&gen::kGen_D_n5, paper::Property::kD},
+    {&gen::kGen_E_n3, paper::Property::kE},
+    {&gen::kGen_E_n5, paper::Property::kE},
+    {&gen::kGen_F_n3, paper::Property::kF},
+    {&gen::kGen_F_n5, paper::Property::kF},
+};
+
+TEST(GeneratedEquivalence, EveryUnitMatchesRuntimeSynthesisStructurally) {
+  for (const GoldenUnit& unit : kGoldenUnits) {
+    const gen::GenAutomaton& g = *unit.g;
+    SCOPED_TRACE(g.name);
+    const int n = g.num_processes;
+    AtomRegistry reg = paper::make_registry(n);
+
+    // The registered identity is exactly what the admission path keys on.
+    EXPECT_EQ(paper::formula_text(unit.p, n), g.formula);
+    EXPECT_EQ(paper::atom_signature(reg), g.atom_signature);
+
+    const MonitorAutomaton generated = gen::materialize(g);
+    MonitorAutomaton synthesized =
+        paper::build_automaton_uncached(unit.p, n, reg);
+    ASSERT_TRUE(generated.dispatch_built());
+    ASSERT_TRUE(synthesized.dispatch_built());
+    EXPECT_TRUE(generated.same_structure(synthesized));
+    EXPECT_TRUE(synthesized.same_structure(generated));
+    EXPECT_FALSE(generated.validate().has_value());
+  }
+}
+
+TEST(GeneratedEquivalence, GoldenSetCoversTheEquivalenceGrid) {
+  // A-F x n in {3,5}: same grid the equivalence goldens pin.
+  ASSERT_EQ(std::size(kGoldenUnits), 12u);
+  for (paper::Property p : paper::kAllProperties) {
+    for (int n : {3, 5}) {
+      const std::string formula = paper::formula_text(p, n);
+      bool found = false;
+      for (const GoldenUnit& unit : kGoldenUnits) {
+        if (formula == unit.g->formula) found = true;
+      }
+      EXPECT_TRUE(found) << formula;
+    }
+  }
+}
+
+TEST(GeneratedEquivalence, MaterializedDispatchAgreesWithLinearScan) {
+  // The installed tables must reproduce first-match-in-insertion-order
+  // exactly (the same cross-check build_dispatch gets in
+  // dispatch_table_test, now for tables we did NOT build at runtime).
+  for (const GoldenUnit& unit : kGoldenUnits) {
+    const gen::GenAutomaton& g = *unit.g;
+    SCOPED_TRACE(g.name);
+    const MonitorAutomaton m = gen::materialize(g);
+    const std::uint64_t letters = std::uint64_t{1} << g.dispatch_bits;
+    for (int q = 0; q < m.num_states(); ++q) {
+      for (std::uint64_t i = 0; i < letters; ++i) {
+        AtomSet letter = 0;
+        for (int b = 0; b < g.dispatch_bits; ++b) {
+          if (i & (std::uint64_t{1} << b)) {
+            letter |= AtomSet{1} << g.atom_pos[b];
+          }
+        }
+        const MonitorTransition* fast = m.matching_transition(q, letter);
+        const MonitorTransition* ref = m.matching_transition_linear(q, letter);
+        ASSERT_EQ(fast, ref) << "state " << q << " letter " << letter;
+      }
+    }
+  }
+}
+
+TEST(GeneratedEquivalence, InstallDispatchRejectsForeignTables) {
+  // install_dispatch guards the only unchecked coupling: the atom positions
+  // must be the automaton's own relevant mask, ascending.
+  const gen::GenAutomaton& g = gen::kGen_A_n3;
+  MonitorAutomaton m;
+  for (std::int32_t q = 0; q < g.num_states; ++q) {
+    m.add_state(static_cast<Verdict>(g.verdicts[q]));
+  }
+  m.set_initial(g.initial);
+  for (std::int32_t i = 0; i < g.num_transitions; ++i) {
+    const gen::GenTransition& t = g.transitions[i];
+    m.add_transition(t.from, t.to, Cube{t.pos, t.neg});
+  }
+  MonitorAutomaton::PrebuiltDispatch pre;
+  pre.bits = g.dispatch_bits + 1;  // wrong width for the relevant mask
+  pre.atom_pos = g.atom_pos;
+  pre.dispatch = g.dispatch;
+  pre.dispatch_to = g.dispatch_to;
+  EXPECT_THROW(m.install_dispatch(pre), std::invalid_argument);
+
+  const std::uint8_t wrong_pos[] = {0, 1, 2};  // not the relevant atoms
+  pre.bits = g.dispatch_bits;
+  pre.atom_pos = wrong_pos;
+  EXPECT_THROW(m.install_dispatch(pre), std::invalid_argument);
+  EXPECT_FALSE(m.dispatch_built());
+}
+
+}  // namespace
+}  // namespace decmon

@@ -474,6 +474,43 @@ TEST(SocketRuntime, VerdictsMatchSimRuntimeOnThesisProperties) {
   }
 }
 
+TEST(SocketRuntime, AotGeneratedPropertyMatchesSynthesisVerdicts) {
+  // Generated-vs-synthesized differential over real sockets: an AOT
+  // registry admission (zero synthesis, shared artifact, aliasing property
+  // handles in every replica) must produce the same schedule-invariant
+  // verdict set as a runtime-synthesized property on the same trace.
+  for (paper::Property p : paper::kAllProperties) {
+    const int n = 3;
+    const std::uint64_t seed = 2015;  // first equivalence-golden seed
+    SystemTrace trace = generate_trace(paper::experiment_params(p, n, seed));
+    force_final_all_true(trace);
+
+    AtomRegistry reg = paper::make_registry(n);
+    MonitorAutomaton m = paper::build_automaton_uncached(p, n, reg);
+    CompiledProperty prop(&m, &reg);
+    SocketRuntime synth_rt(trace, &reg, fast_config());
+    DecentralizedMonitor synth_dm(
+        &prop, &synth_rt, initial_letters_of(reg, synth_rt.initial_states()));
+    synth_rt.set_hooks(&synth_dm);
+    synth_rt.run();
+
+    paper::synthesis_cache_clear();  // force the AOT registry to serve
+    SharedProperty artifact =
+        paper::shared_property(p, n, paper::make_registry(n));
+    SocketRuntime aot_rt(trace, &artifact->registry(), fast_config());
+    DecentralizedMonitor aot_dm(
+        property_handle(artifact), &aot_rt,
+        initial_letters_of(artifact->registry(), aot_rt.initial_states()));
+    aot_rt.set_hooks(&aot_dm);
+    aot_rt.run();
+
+    EXPECT_TRUE(synth_dm.all_finished()) << paper::name(p);
+    EXPECT_TRUE(aot_dm.all_finished()) << paper::name(p);
+    EXPECT_EQ(aot_dm.result().verdicts, synth_dm.result().verdicts)
+        << paper::name(p);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Reliable channel over the socket transport (envelope wire form end to
 // end: every monitor payload crosses as a serialized ChannelEnvelope).

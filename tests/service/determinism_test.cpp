@@ -185,6 +185,51 @@ TEST(CrossShardDeterminism, StreamingPostureIsDeterministicAcrossShards) {
   }
 }
 
+TEST(CrossShardDeterminism, AotAdmittedShardsMatchUncachedSynthesis) {
+  // The 4-shard service warms every catalog through shared_property, which
+  // with a cold memo serves the golden grid straight from the generated
+  // CompiledPropertyRegistry. Reference legs here deliberately bypass every
+  // cache (build_automaton_uncached), so agreement proves the AOT artifacts
+  // are bit-identical to fresh synthesis through the full sharded path.
+  const std::vector<SessionSpec> specs = golden_grid();
+
+  std::vector<Fingerprint> uncached;
+  for (const SessionSpec& spec : specs) {
+    AtomRegistry reg = paper::make_registry(spec.num_processes);
+    MonitorAutomaton automaton = paper::build_automaton_uncached(
+        spec.property, spec.num_processes, reg);
+    MonitorSession session(std::move(reg), std::move(automaton));
+    TraceParams params = paper::experiment_params(
+        spec.property, spec.num_processes, spec.trace_seed, spec.comm_mu,
+        spec.comm_enabled, spec.internal_events);
+    SystemTrace trace = generate_trace(params);
+    force_final_all_true(trace);
+    uncached.push_back(Fingerprint::of(session.run(trace)));
+  }
+
+  paper::synthesis_cache_clear();  // force shard admission through the registry
+  const auto before = CompiledPropertyRegistry::instance().stats();
+  const std::vector<Fingerprint> sharded = run_through_service(specs, 4);
+  const auto after = CompiledPropertyRegistry::instance().stats();
+  // Every golden formula was served ahead-of-time at least once. The grid
+  // has 11 distinct formulas, not 12: A and C coincide at n=3 (both reduce
+  // to G((P0.p) U (P1.p && P2.p))), so they share one admission key.
+  EXPECT_GE(after.hits, before.hits + 11);
+  EXPECT_EQ(after.mismatches, before.mismatches);
+
+  ASSERT_EQ(sharded.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE(paper::name(specs[i].property) + " n=" +
+                 std::to_string(specs[i].num_processes) + " seed=" +
+                 std::to_string(specs[i].trace_seed));
+    EXPECT_EQ(sharded[i].verdicts, uncached[i].verdicts);
+    EXPECT_EQ(sharded[i].program_events, uncached[i].program_events);
+    EXPECT_EQ(sharded[i].monitor_messages, uncached[i].monitor_messages);
+    EXPECT_EQ(sharded[i].global_views_created, uncached[i].global_views_created);
+    EXPECT_EQ(sharded[i].token_hops, uncached[i].token_hops);
+  }
+}
+
 TEST(CrossShardDeterminism, RepeatedShardedRunsAgree) {
   // Two concurrent 3-shard runs of a comm-heavy cell family: placement and
   // interleaving differ run to run, fingerprints must not.

@@ -1,9 +1,13 @@
-// Multi-threaded hammer for the paper::build_automaton synthesis cache.
+// Multi-threaded hammer for the paper synthesis cache (build_automaton and
+// the zero-copy shared_property admission path it now rides on).
 //
 // The sharded service warms every shard's catalog from this one process-
 // wide memo, so hits must be safe from many threads at once (shared-lock
-// lookups, copy-on-hit) while misses insert and clear() swaps the whole
-// table out from under them. Run under TSan this is the test that falsifies
+// lookups; shared_property bumps a refcount, build_automaton copies out)
+// while misses insert and clear() swaps the whole table out from under
+// them. The shared posture adds a lifetime clause: an artifact handed out
+// before a clear() must stay fully usable afterwards -- outstanding
+// shared_ptrs keep it alive. Run under TSan this is the test that falsifies
 // the locking; in a plain build it still checks the returned automata are
 // complete, independently owned copies and the hit/miss counters add up.
 #include <gtest/gtest.h>
@@ -118,6 +122,55 @@ TEST(SynthesisCacheHammer, CountersAccountForEveryCall) {
   EXPECT_LE(stats.misses,
             static_cast<std::uint64_t>(kThreads) * std::size(kKeys));
   EXPECT_GT(stats.hits, 0u);
+}
+
+TEST(SynthesisCacheHammer, ClearNeverInvalidatesOutstandingArtifacts) {
+  // The shared-posture clear() race: threads admit via shared_property and
+  // keep USING their artifacts while an antagonist clears the memo and the
+  // AOT registry in a loop. A cleared table only drops the caches' own
+  // references -- every outstanding shared_ptr must keep its artifact
+  // (registry + automaton + compiled property) fully alive.
+  constexpr int kThreads = 6;
+  constexpr int kItersPerThread = 150;
+  paper::synthesis_cache_clear();
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &go, &failures] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      std::vector<SharedProperty> held;
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const Key& key = kKeys[(t + i) % std::size(kKeys)];
+        AtomRegistry reg = paper::make_registry(key.n);
+        SharedProperty art = paper::shared_property(key.prop, key.n, reg);
+        held.push_back(art);  // outlive many antagonist clears
+        // Touch every layer of the artifact, including entries admitted
+        // dozens of clears ago.
+        const SharedProperty& old = held[held.size() / 2];
+        if (old->property().num_processes() < 2 ||
+            !old->automaton().step(old->automaton().initial_state(), 0) ||
+            old->registry().num_processes() < 2) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&go, &stop] {
+    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+    while (!stop.load(std::memory_order_acquire)) {
+      paper::synthesis_cache_clear();
+      CompiledPropertyRegistry::instance().clear();
+      std::this_thread::yield();
+    }
+  });
+  go.store(true, std::memory_order_release);
+  for (int t = 0; t < kThreads; ++t) threads[static_cast<std::size_t>(t)].join();
+  stop.store(true, std::memory_order_release);
+  threads.back().join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 }  // namespace

@@ -5,11 +5,16 @@
 //   bench_harness --quick --out bench_quick.json
 //   bench_check BENCH_core.json bench_quick.json --wall-tol 4.0
 //
-// Only `cell.*`, `socket.*`, `service.*`, `stream.*`, and
-// `recovery.socket.*` metrics are compared, and only
+// Only `cell.*`, `socket.*`, `service.*`, `stream.*`,
+// `recovery.socket.*`, and `micro.BM_PropertyAdmission.*` metrics are
+// compared, and only
 // those present in BOTH files (quick mode runs a sub-grid; the simulator
 // recovery.{clean,channel,crash}.* rows use different repetition counts per
-// mode and micro.* is pure wall time, so neither is comparable).
+// mode and the rest of micro.* is pure wall time, so neither is
+// comparable). The admission .ns rows band by --wall-tol like any time
+// metric; the aot row additionally carries two absolute, machine-
+// independent floors -- >=100x faster than cold synthesis and strictly
+// cheaper than the legacy copy-on-hit -- checked on the candidate alone.
 // Count-valued cell metrics (monitor_messages,
 // global_views, peak_views, token_hops, wire_bytes) are deterministic for a
 // given replication count and must match the baseline EXACTLY -- any drift means
@@ -180,11 +185,19 @@ int main(int argc, char** argv) {
   int failures = 0;
   for (const auto& [name, cand] : candidate) {
     const bool is_service = name.rfind("service.", 0) == 0;
+    const bool is_admission =
+        name.rfind("micro.BM_PropertyAdmission.", 0) == 0;
     if (name.rfind("cell.", 0) != 0 && name.rfind("socket.", 0) != 0 &&
         name.rfind("stream.", 0) != 0 &&
-        name.rfind("recovery.socket.", 0) != 0 && !is_service) {
+        name.rfind("recovery.socket.", 0) != 0 && !is_service &&
+        !is_admission) {
       continue;
     }
+    // The admission .ns rows are pure wall time (banded below like any
+    // time metric); the derived .speedup ratio is the quotient of two
+    // banded rows, so comparing it to baseline would double-count jitter.
+    // Its real contract is the absolute floor checked after this loop.
+    if (is_admission && !is_time_metric(name)) continue;
     const double* base = lookup(baseline, name);
     if (!base) continue;  // sub-grid runs simply cover fewer cells
     ++compared;
@@ -228,6 +241,38 @@ int main(int argc, char** argv) {
       ++failures;
       std::printf("FAIL %-44s baseline %.6g candidate %.6g (exact)\n",
                   name.c_str(), *base, cand);
+    }
+  }
+
+  // Zero-copy admission floors (candidate-only, machine-independent by
+  // orders of magnitude): the ahead-of-time registry hit must stay >=100x
+  // faster than cold synthesis and strictly cheaper than the legacy
+  // copy-on-hit posture. These are the committed perf claims of the
+  // AOT-codegen change; a violation means the admission fast path rotted.
+  {
+    const double* speedup =
+        lookup(candidate, "micro.BM_PropertyAdmission.aot_vs_cold.speedup");
+    const double* aot = lookup(candidate, "micro.BM_PropertyAdmission.aot.ns");
+    const double* copy =
+        lookup(candidate, "micro.BM_PropertyAdmission.cache_hit_copy.ns");
+    if (speedup) {
+      ++compared;
+      if (*speedup < 100.0) {
+        ++failures;
+        std::printf(
+            "FAIL %-44s candidate %.6g (floor 100x over cold synthesis)\n",
+            "micro.BM_PropertyAdmission.aot_vs_cold.speedup", *speedup);
+      }
+    }
+    if (aot && copy) {
+      ++compared;
+      if (*aot >= *copy) {
+        ++failures;
+        std::printf(
+            "FAIL %-44s aot %.6g >= cache_hit_copy %.6g "
+            "(zero-copy admission must beat copy-on-hit)\n",
+            "micro.BM_PropertyAdmission.aot.ns", *aot, *copy);
+      }
     }
   }
 

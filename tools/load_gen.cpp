@@ -329,6 +329,20 @@ int main(int argc, char** argv) {
   const double rss_mb = peak_rss_mb();
   std::printf("  peak rss %.1f MB%s\n", rss_mb,
               opt.streaming ? " (streaming posture)" : "");
+  // Admission economics: how the fleet's property admissions were served.
+  // cache hits are zero-copy refcount bumps on the process-wide memo,
+  // registry hits were served ahead-of-time by generated code, and a
+  // nonzero mismatch count means src/generated/ is stale for this build.
+  const paper::SynthesisCacheStats cache_stats = paper::synthesis_cache_stats();
+  const CompiledPropertyRegistry::Stats registry_stats =
+      CompiledPropertyRegistry::instance().stats();
+  std::printf(
+      "  admission: cache hits %llu / misses %llu, aot registry hits %llu, "
+      "mismatches %llu\n",
+      static_cast<unsigned long long>(cache_stats.hits),
+      static_cast<unsigned long long>(cache_stats.misses),
+      static_cast<unsigned long long>(registry_stats.hits),
+      static_cast<unsigned long long>(registry_stats.mismatches));
   if (opt.retry_failed > 0) {
     std::printf("  retried %llu, recovered %llu, unrecovered %zu\n",
                 static_cast<unsigned long long>(retried),
@@ -360,7 +374,11 @@ int main(int argc, char** argv) {
        << "    \"lat_p50_ms\": " << q_ms(st.latency_ns, 0.50) << ",\n"
        << "    \"lat_p95_ms\": " << q_ms(st.latency_ns, 0.95) << ",\n"
        << "    \"lat_p99_ms\": " << q_ms(st.latency_ns, 0.99) << ",\n"
-       << "    \"queue_p99_ms\": " << q_ms(st.queue_ns, 0.99) << "\n"
+       << "    \"queue_p99_ms\": " << q_ms(st.queue_ns, 0.99) << ",\n"
+       << "    \"cache_hits\": " << cache_stats.hits << ",\n"
+       << "    \"cache_misses\": " << cache_stats.misses << ",\n"
+       << "    \"registry_hits\": " << registry_stats.hits << ",\n"
+       << "    \"registry_mismatches\": " << registry_stats.mismatches << "\n"
        << "  }\n"
        << "}\n";
   }
